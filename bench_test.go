@@ -1,0 +1,249 @@
+package pip
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VI). One benchmark per artifact:
+//
+//	BenchmarkTable3Corpus      Table III  (corpus generation + phase 1)
+//	BenchmarkFigure9Precision  Figure 9   (alias-analysis MayAlias rates)
+//	BenchmarkTable5Configs     Table V    (solver runtime per configuration)
+//	BenchmarkFigure10Ratios    Figure 10  (per-file ratio series)
+//	BenchmarkTable6Pointees    Table VI   (explicit pointee counts)
+//
+// plus ablation benchmarks for the design choices called out in DESIGN.md
+// (pointee representation, iteration order, cycle detection, PIP).
+//
+// The benchmarks run on a reduced corpus so `go test -bench=.` finishes on
+// a laptop; `cmd/pipbench -scale 1 -sizescale 1` runs the full-size
+// evaluation and prints the paper-formatted tables.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/alias"
+	"github.com/pip-analysis/pip/internal/bench"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+var benchOpts = workload.Options{Seed: 1, Scale: 0.02, SizeScale: 0.1, MaxInstrs: 4000}
+
+var (
+	corpusOnce sync.Once
+	corpus     *bench.Corpus
+)
+
+func benchCorpus(b *testing.B) *bench.Corpus {
+	b.Helper()
+	corpusOnce.Do(func() { corpus = bench.BuildCorpus(benchOpts) })
+	return corpus
+}
+
+// BenchmarkTable3Corpus measures corpus generation plus constraint
+// generation (analysis phase 1), the inputs to Table III.
+func BenchmarkTable3Corpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := bench.BuildCorpus(benchOpts)
+		if len(c.Files) == 0 {
+			b.Fatal("empty corpus")
+		}
+		_ = bench.Table3(c)
+	}
+}
+
+// BenchmarkTable5Configs measures the constraint-solving phase for each
+// configuration row of Table V over the whole (reduced) corpus.
+func BenchmarkTable5Configs(b *testing.B) {
+	c := benchCorpus(b)
+	configs := append([]string{}, bench.Table5Configs...)
+	configs = append(configs, "EP+Naive") // the EP Oracle's usual winner
+	for _, name := range configs {
+		cfg := core.MustParseConfig(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range c.Files {
+					core.MustSolve(f.Gen.Problem, cfg)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure10Ratios measures the full Table V / Figure 10 pipeline:
+// all configurations plus the EP-oracle pool, producing the ratio series.
+func BenchmarkFigure10Ratios(b *testing.B) {
+	c := benchCorpus(b)
+	for i := 0; i < b.N; i++ {
+		res := bench.MeasureRuntime(c, 1)
+		if out := bench.Figure10(res); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkTable6Pointees measures solving plus explicit-pointee counting
+// for the Table VI configurations.
+func BenchmarkTable6Pointees(b *testing.B) {
+	c := benchCorpus(b)
+	for _, name := range []string{"IP+WL(FIFO)", "IP+WL(FIFO)+PIP"} {
+		cfg := core.MustParseConfig(name)
+		b.Run(name, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				for _, f := range c.Files {
+					sol := core.MustSolve(f.Gen.Problem, cfg)
+					total += sol.Stats.ExplicitPointees
+				}
+			}
+			if total == 0 {
+				b.Fatal("no pointees")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9Precision measures the alias-analysis client over the
+// corpus for the three analysis configurations of Figure 9.
+func BenchmarkFigure9Precision(b *testing.B) {
+	c := benchCorpus(b)
+	b.Run("BasicAA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range c.Files {
+				basic := alias.NewBasicAA(f.Module)
+				alias.ConflictRate(f.Module, basic)
+			}
+		}
+	})
+	b.Run("Andersen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range c.Files {
+				sol := core.MustSolve(f.Gen.Problem, core.DefaultConfig())
+				and := alias.NewAndersen(f.Gen, sol)
+				alias.ConflictRate(f.Module, and)
+			}
+		}
+	})
+	b.Run("Combined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range c.Files {
+				basic := alias.NewBasicAA(f.Module)
+				sol := core.MustSolve(f.Gen.Problem, core.DefaultConfig())
+				and := alias.NewAndersen(f.Gen, sol)
+				alias.ConflictRate(f.Module, alias.Combined{basic, and})
+			}
+		}
+	})
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationRepresentation isolates the paper's central claim: the
+// implicit pointee representation vs the explicit Ω node, on an
+// escape-heavy pathological file where the difference is largest.
+func BenchmarkAblationRepresentation(b *testing.B) {
+	files := workload.GenerateSuite(workload.Suites[11],
+		workload.Options{Seed: 9, Scale: 0.001, SizeScale: 0.02})
+	f := files[0]
+	gen := core.Generate(f.Module)
+	for _, name := range []string{"EP+WL(FIFO)", "IP+WL(FIFO)", "IP+WL(FIFO)+PIP"} {
+		cfg := core.MustParseConfig(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(gen.Problem, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSolverKind compares the three solver families: naive
+// iteration, the worklist algorithm, and wave propagation (the latter an
+// extension beyond the paper's Table IV).
+func BenchmarkAblationSolverKind(b *testing.B) {
+	c := benchCorpus(b)
+	for _, name := range []string{"IP+Naive", "IP+WL(FIFO)", "IP+Wave", "IP+WL(FIFO)+PIP", "IP+Wave+PIP"} {
+		cfg := core.MustParseConfig(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range c.Files {
+					core.MustSolve(f.Gen.Problem, cfg)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrders compares the five worklist iteration orders.
+func BenchmarkAblationOrders(b *testing.B) {
+	c := benchCorpus(b)
+	for _, order := range []string{"FIFO", "LIFO", "LRF", "2LRF", "TOPO"} {
+		cfg := core.MustParseConfig("IP+WL(" + order + ")+PIP")
+		b.Run(order, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range c.Files {
+					core.MustSolve(f.Gen.Problem, cfg)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCycleDetection compares the cycle-detection techniques
+// on top of the same baseline.
+func BenchmarkAblationCycleDetection(b *testing.B) {
+	c := benchCorpus(b)
+	for _, name := range []string{
+		"IP+WL(FIFO)",
+		"IP+WL(FIFO)+OCD",
+		"IP+WL(FIFO)+HCD",
+		"IP+WL(FIFO)+LCD",
+		"IP+WL(FIFO)+HCD+LCD",
+		"IP+OVS+WL(FIFO)",
+	} {
+		cfg := core.MustParseConfig(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, f := range c.Files {
+					core.MustSolve(f.Gen.Problem, cfg)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPIPRules isolates the contribution of each of the four
+// PIP additions (Section IV) on an escape-heavy pathological file.
+func BenchmarkAblationPIPRules(b *testing.B) {
+	files := workload.GenerateSuite(workload.Suites[11],
+		workload.Options{Seed: 9, Scale: 0.001, SizeScale: 0.02})
+	gen := core.Generate(files[0].Module)
+	cases := []struct {
+		name string
+		mask uint8
+	}{
+		{"none", 0}, {"rule1", 1}, {"rule2", 2}, {"rule3", 4}, {"rule4", 8},
+		{"rules12", 3}, {"all", 0xF},
+	}
+	for _, c := range cases {
+		cfg := core.Config{Rep: core.IP, Solver: core.Worklist, Order: core.FIFO}
+		if c.mask != 0 {
+			cfg.PIP = true
+			cfg.PIPMask = c.mask
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustSolve(gen.Problem, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkPhase1Generation measures constraint generation alone.
+func BenchmarkPhase1Generation(b *testing.B) {
+	c := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range c.Files {
+			core.Generate(f.Module)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pipalias")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestAliasReport(t *testing.T) {
+	src := `
+extern void *malloc(long);
+void f(int *in) {
+    int *a = (int*)malloc(4);
+    int *b = (int*)malloc(4);
+    *a = 1; *b = 2; *in = 3;
+}
+`
+	out, err := runSelf(t, "-c", src)
+	if err != nil {
+		t.Fatalf("pipalias failed: %v\n%s", err, out)
+	}
+	for _, frag := range []string{"BasicAA", "Andersen+BasicAA", "MayAlias", "queries"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command pipbench regenerates the paper's evaluation: Table III (corpus),
+// Figure 9 (alias precision), Table V (solver runtime), Figure 10 (runtime
+// ratios), Table VI (explicit pointees), and the headline numbers from the
+// running text. Results are printed and, with -out, written to files named
+// like the paper artifact's outputs.
+//
+// Usage:
+//
+//	pipbench [-scale 0.1] [-sizescale 0.25] [-reps 3] [-out results/]
+//	pipbench -run table5,headline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/bench"
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "file-count scale (1.0 = the paper's 3659 files)")
+	sizeScale := flag.Float64("sizescale", 0.25, "per-file size scale")
+	maxInstrs := flag.Int("maxinstrs", 0, "optional per-file instruction cap (0 = none)")
+	noPath := flag.Bool("nopathological", false, "exclude the escape-heavy outlier files")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	reps := flag.Int("reps", 3, "timing repetitions per file/configuration (paper: 50)")
+	out := flag.String("out", "", "directory to write result files to")
+	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, k := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(k)] = true
+	}
+	enabled := func(k string) bool { return want["all"] || want[k] }
+
+	emit := func(file, content string) {
+		fmt.Println(content)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, file), []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	opts := workload.Options{
+		Seed: *seed, Scale: *scale, SizeScale: *sizeScale,
+		MaxInstrs: *maxInstrs, NoPathological: *noPath,
+	}
+	start := time.Now()
+	fmt.Printf("building corpus (scale=%g, sizescale=%g, seed=%d)...\n", *scale, *sizeScale, *seed)
+	corpus := bench.BuildCorpus(opts)
+	fmt.Printf("%s [%.1fs]\n\n", corpus, time.Since(start).Seconds())
+
+	if enabled("table3") {
+		emit("file-sizes-table.txt", bench.Table3(corpus))
+	}
+	if enabled("fig9") {
+		fmt.Println("running precision client (Figure 9)...")
+		emit("precision.txt", bench.RenderFigure9(bench.Figure9(corpus)))
+	}
+	needRuntime := enabled("table5") || enabled("fig10") || enabled("table6") || enabled("headline")
+	if needRuntime {
+		fmt.Printf("measuring solver runtime (%d configurations x %d files x %d reps)...\n",
+			len(bench.Table5Configs)+len(bench.EPOracleConfigs), len(corpus.Files), *reps)
+		t := time.Now()
+		res := bench.MeasureRuntimeVerbose(corpus, *reps, func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		})
+		fmt.Printf("measurement done [%.1fs]\n\n", time.Since(t).Seconds())
+		if enabled("table5") {
+			emit("configuration-runtimes-table.txt", bench.Table5(res))
+		}
+		if enabled("fig10") {
+			emit("runtime-ratios.txt", bench.Figure10(res))
+			if *out != "" {
+				if err := os.WriteFile(filepath.Join(*out, "runtime-ratios.csv"),
+					[]byte(bench.Figure10CSV(res)), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if enabled("table6") {
+			emit("configuration-memory-usage-table.txt",
+				bench.Table6(res)+"\n"+bench.RenderScalability(res))
+		}
+		if enabled("headline") {
+			emit("headline.txt", bench.RenderHeadline(bench.Headline(res)))
+		}
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pipbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	outDir := filepath.Join(dir, "results")
+	out, err := exec.Command(bin,
+		"-scale", "0.003", "-sizescale", "0.02", "-maxinstrs", "600",
+		"-reps", "1", "-out", outDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pipbench failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, frag := range []string{"Table III", "Figure 9", "Table V", "Table VI", "Headline", "EP Oracle"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, text)
+		}
+	}
+	for _, f := range []string{
+		"file-sizes-table.txt", "precision.txt",
+		"configuration-runtimes-table.txt", "runtime-ratios.txt",
+		"runtime-ratios.csv", "configuration-memory-usage-table.txt",
+		"headline.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Fatalf("result file %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestBenchSubsetSelection(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pipbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin,
+		"-scale", "0.003", "-sizescale", "0.02", "-maxinstrs", "400",
+		"-run", "table3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pipbench failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "Table III") {
+		t.Fatalf("table3 missing:\n%s", text)
+	}
+	if strings.Contains(text, "measuring solver runtime") {
+		t.Fatalf("runtime measurement ran despite -run table3:\n%s", text)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateCorpusToDisk(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pipgen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	outDir := filepath.Join(dir, "corpus")
+	out, err := exec.Command(bin, "-out", outDir, "-scale", "0.003", "-sizescale", "0.02", "-maxinstrs", "500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pipgen failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	// The corpus must exist on disk and contain valid MIR.
+	var files []string
+	err = filepath.Walk(outDir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".mir") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil || len(files) < 10 {
+		t.Fatalf("corpus on disk too small: %d files (%v)", len(files), err)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "pipopt")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	src := `
+extern void *malloc(long);
+static long *sa;
+static long *sb;
+void setup() { sa = (long*)malloc(8); sb = (long*)malloc(8); }
+long hot(long n) {
+    long *a = sa;
+    long *b = sb;
+    long acc = *a;
+    *b = n;
+    long again = *a;
+    return acc + again;
+}
+`
+	out, err := exec.Command(bin, "-c", src, "-print").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pipopt failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "BasicAA only:") || !strings.Contains(text, "Andersen+BasicAA:") {
+		t.Fatalf("missing comparison lines:\n%s", text)
+	}
+	if !strings.Contains(text, "module") {
+		t.Fatalf("-print did not emit MIR:\n%s", text)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSelf builds and runs the command with the given arguments.
+func runSelf(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pipsolve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestSolveInlineC(t *testing.T) {
+	out, err := runSelf(t, "-c", "static int x; int *p = &x; extern void take(int**); void f() { take(&p); }")
+	if err != nil {
+		t.Fatalf("pipsolve failed: %v\n%s", err, out)
+	}
+	for _, frag := range []string{"points-to sets:", "@p -> @x", "externally accessible", "solver:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSolveIRFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mir")
+	src := "module \"m\"\nglobal @g : ptr = null export\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runSelf(t, path)
+	if err != nil {
+		t.Fatalf("pipsolve failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "@g") {
+		t.Fatalf("output missing @g:\n%s", out)
+	}
+}
+
+func TestSolveDOT(t *testing.T) {
+	out, err := runSelf(t, "-dot", "-c", "int *p; static int x; void f() { p = &x; }")
+	if err != nil {
+		t.Fatalf("pipsolve -dot failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "digraph constraints") {
+		t.Fatalf("not DOT output:\n%s", out)
+	}
+}
+
+func TestSolveConfigFlag(t *testing.T) {
+	out, err := runSelf(t, "-config", "EP+Naive", "-c", "int x;")
+	if err != nil {
+		t.Fatalf("pipsolve failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "EP+Naive") {
+		t.Fatalf("configuration not echoed:\n%s", out)
+	}
+	if _, err := runSelf(t, "-config", "BOGUS", "-c", "int x;"); err == nil {
+		t.Fatal("bogus configuration accepted")
+	}
+}
+
+func TestSolveBadSource(t *testing.T) {
+	out, err := runSelf(t, "-c", "int f( {")
+	if err == nil {
+		t.Fatalf("bad source accepted:\n%s", out)
+	}
+}

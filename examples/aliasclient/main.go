@@ -1,0 +1,60 @@
+// Alias-client demo (the paper's Figure 9 setup on one file): compile a
+// realistic C routine, then compare the MayAlias rates of the local
+// BasicAA-style analysis, the sound Andersen analysis, and their
+// combination. The two image planes live in distinct static globals and
+// come from distinct heap allocation sites: BasicAA cannot track pointers
+// through memory, but the points-to analysis proves the planes disjoint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pip-analysis/pip"
+)
+
+const imageC = `
+extern void *malloc(long n);
+
+static float *pixels;   /* plane 1: private to this module */
+static float *mask;     /* plane 2: private to this module */
+
+void setup(int w, int h) {
+    pixels = (float*)malloc(sizeof(float) * w * h);
+    mask = (float*)malloc(sizeof(float) * w * h);
+}
+
+/* Apply the mask in place. px and mk are loaded back from memory, which
+   defeats a local IR-walking analysis, but the points-to sets name the two
+   distinct allocation sites. */
+void apply_mask(int n) {
+    float *px = pixels;
+    float *mk = mask;
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        px[i] = px[i] * mk[i];
+    }
+}
+`
+
+func main() {
+	res, err := pip.AnalyzeC("image.c", imageC, pip.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	aa := res.AliasAnalysis()
+
+	fmt.Println("image.c — intra-procedural store×(load ∪ store) conflict rates:")
+	fmt.Printf("  %-18s %5.1f%% MayAlias\n", "BasicAA", 100*res.MayAliasRate(aa.Basic))
+	fmt.Printf("  %-18s %5.1f%% MayAlias\n", "Andersen", 100*res.MayAliasRate(aa.Andersen))
+	fmt.Printf("  %-18s %5.1f%% MayAlias\n", "Andersen+BasicAA", 100*res.MayAliasRate(aa.Combined))
+
+	// The headline query: does writing px[i] disturb mk[i]?
+	px, pxExt, err := res.PointsTo("apply_mask.px")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk, mkExt, _ := res.PointsTo("apply_mask.mk")
+	fmt.Printf("\npx -> %v external=%v\nmk -> %v external=%v\n", px, pxExt, mk, mkExt)
+	fmt.Println("\ndistinct heap allocation sites -> the masked multiply can be vectorized.")
+}

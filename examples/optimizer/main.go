@@ -1,0 +1,71 @@
+// Optimizer demo: the compiler transformations the paper's introduction
+// motivates, driven by the sound points-to analysis. A loop body reloads a
+// pointer-indirected value; BasicAA alone cannot prove the reload
+// redundant, but the points-to sets separate the two heap objects, and the
+// interprocedural mod/ref summaries let the elimination survive even
+// across a helper call.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pip-analysis/pip"
+)
+
+const kernelC = `
+extern void *malloc(long);
+
+static long *weights;
+static long *biases;
+static long stat_applies;
+
+static void note() { stat_applies = stat_applies + 1; }
+
+void setup(int n) {
+    weights = (long*)malloc(sizeof(long) * n);
+    biases = (long*)malloc(sizeof(long) * n);
+}
+
+long apply(int n) {
+    long *w = weights;
+    long *b = biases;
+    long acc = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        acc += w[i] * 3;
+        b[i] = acc;        /* cannot touch w: distinct heap objects */
+        acc += w[i];       /* reload eliminable */
+        note();            /* touches only stat_applies */
+    }
+    return acc;
+}
+`
+
+func main() {
+	res, err := pip.AnalyzeC("kernel.c", kernelC, pip.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := countLoads(res)
+	stats, err := res.OptimizeInterprocedural()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := countLoads(res)
+	fmt.Printf("loads: %d -> %d (eliminated %d), dead stores removed: %d\n",
+		before, after, stats.LoadsEliminated, stats.StoresEliminated)
+	fmt.Println("\noptimized MIR:")
+	fmt.Print(pip.PrintIR(res.Module))
+}
+
+func countLoads(res *pip.Result) int {
+	n := 0
+	text := pip.PrintIR(res.Module)
+	for i := 0; i+6 < len(text); i++ {
+		if text[i:i+6] == " load " {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+// Pointer-smuggling soundness demo (paper Section III-C): pointers can be
+// converted to integers and back — directly via casts, or indirectly by
+// storing a pointer and reloading its bytes as a scalar ("pointer
+// smuggling"). The analysis stays sound under the PNVI-ae-udi provenance
+// model by treating every exposed pointee as externally accessible, while
+// unexposed private objects stay private.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/pip-analysis/pip"
+)
+
+const smuggleC = `
+static int exposed_target;
+static int hidden_target;
+static int *keeper;          /* holds &hidden_target, never exposed */
+
+long expose() {
+    int *p = &exposed_target;
+    return (long)p;              /* address exposed: Ω ⊒ p */
+}
+
+int *recreate(long addr) {
+    int *back = (int*)addr;      /* unknown origin: back ⊒ Ω */
+    return back;
+}
+
+long smuggle() {
+    int *boxed[1];
+    boxed[0] = &exposed_target;
+    long *raw = (long*)boxed;    /* type-punned view of the box */
+    return raw[0];               /* loading a pointer as a scalar */
+}
+
+static void keep_private() {
+    keeper = &hidden_target;     /* taken, stored, but never exposed as
+                                    an integer and never handed out */
+}
+`
+
+func main() {
+	res, err := pip.AnalyzeC("smuggle.c", smuggleC, pip.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, g := range []string{"exposed_target", "hidden_target"} {
+		esc, err := res.Escaped(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s externally accessible: %v\n", g, esc)
+	}
+
+	targets, external, err := res.PointsTo("recreate.back")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecreate.back -> %v external=%v\n", targets, external)
+	fmt.Println("\nA recreated pointer may target any exposed object (here: exposed_target),")
+	fmt.Println("but never hidden_target, whose address was never exposed as an integer.")
+	fmt.Println("\nfull solution:")
+	fmt.Print(res.Dump())
+}

@@ -1,0 +1,3 @@
+module github.com/pip-analysis/pip
+
+go 1.22

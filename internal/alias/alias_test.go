@@ -1,0 +1,389 @@
+package alias
+
+import (
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+func mustModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func instrByName(m *ir.Module, name string) *ir.Instr {
+	var out *ir.Instr
+	m.ForEachInstr(func(_ *ir.Function, _ *ir.Block, in *ir.Instr) {
+		if in.IName == name {
+			out = in
+		}
+	})
+	return out
+}
+
+const basicSrc = `
+module "basic"
+struct %Pair = { i64, i64 }
+global @g : i64 = 0:i64 internal
+global @h : i64 = 0:i64 internal
+declare func @ext(ptr) -> ptr
+
+func @f(%p: ptr) export {
+entry:
+  %a = alloca i64
+  %b = alloca i64
+  %pair = alloca %Pair
+  %f0 = gep %Pair, %pair, 0:i64, 0:i64
+  %f1 = gep %Pair, %pair, 0:i64, 1:i64
+  %esc = alloca i64
+  %r = call ptr, @ext(%esc)
+  store 1:i64, %a
+  store 2:i64, %b
+  store 3:i64, @g
+  ret
+}
+`
+
+func TestBasicAADistinctObjects(t *testing.T) {
+	m := mustModule(t, basicSrc)
+	aa := NewBasicAA(m)
+	a := instrByName(m, "a")
+	b := instrByName(m, "b")
+	g := m.Global("g")
+	h := m.Global("h")
+
+	if got := aa.Alias(a, 8, b, 8); got != NoAlias {
+		t.Fatalf("alloca vs alloca = %v", got)
+	}
+	if got := aa.Alias(a, 8, g, 8); got != NoAlias {
+		t.Fatalf("alloca vs global = %v", got)
+	}
+	if got := aa.Alias(g, 8, h, 8); got != NoAlias {
+		t.Fatalf("global vs global = %v", got)
+	}
+	if got := aa.Alias(a, 8, a, 8); got != MustAlias {
+		t.Fatalf("identical = %v", got)
+	}
+}
+
+func TestBasicAAGEPOffsets(t *testing.T) {
+	m := mustModule(t, basicSrc)
+	aa := NewBasicAA(m)
+	f0 := instrByName(m, "f0")
+	f1 := instrByName(m, "f1")
+	pair := instrByName(m, "pair")
+
+	// Field 0 occupies [0,8), field 1 occupies [8,16): disjoint.
+	if got := aa.Alias(f0, 8, f1, 8); got != NoAlias {
+		t.Fatalf("disjoint fields = %v", got)
+	}
+	// The base pointer overlaps field 0 at offset 0.
+	if got := aa.Alias(f0, 8, pair, 16); got != MustAlias {
+		t.Fatalf("same offset = %v", got)
+	}
+	// Overlapping ranges: 8-byte store at 0 vs 16-byte access at 0.
+	if got := aa.Alias(pair, 16, f1, 8); got != MayAlias {
+		t.Fatalf("overlapping ranges = %v", got)
+	}
+}
+
+func TestBasicAAEscapedAlloca(t *testing.T) {
+	m := mustModule(t, basicSrc)
+	aa := NewBasicAA(m)
+	esc := instrByName(m, "esc")
+	a := instrByName(m, "a")
+	f := m.Func("f")
+	p := f.Params[0]
+
+	// a's address never escapes: NoAlias with the unknown parameter.
+	if got := aa.Alias(a, 8, p, 8); got != NoAlias {
+		t.Fatalf("private alloca vs param = %v", got)
+	}
+	// esc was passed to a call: captured, cannot refute.
+	if got := aa.Alias(esc, 8, p, 8); got != MayAlias {
+		t.Fatalf("captured alloca vs param = %v", got)
+	}
+	// But two identified objects still never alias, captured or not.
+	if got := aa.Alias(esc, 8, a, 8); got != NoAlias {
+		t.Fatalf("captured alloca vs other alloca = %v", got)
+	}
+}
+
+func TestAndersenRefutesWhatBasicCannot(t *testing.T) {
+	// Two heap pointers from different sites flow through memory; BasicAA
+	// cannot track them, Andersen can.
+	src := `
+module "heapsplit"
+declare func @malloc(i64) -> ptr
+
+func @f() export {
+entry:
+  %s1 = alloca ptr
+  %s2 = alloca ptr
+  %h1 = call ptr, @malloc(8:i64)
+  %h2 = call ptr, @malloc(8:i64)
+  store %h1, %s1
+  store %h2, %s2
+  %p1 = load ptr, %s1
+  %p2 = load ptr, %s2
+  store 1:i64, %p1
+  store 2:i64, %p2
+  ret
+}
+`
+	m := mustModule(t, src)
+	basic := NewBasicAA(m)
+	and, err := AnalyzeModule(m, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := instrByName(m, "p1")
+	p2 := instrByName(m, "p2")
+	if got := basic.Alias(p1, 8, p2, 8); got != MayAlias {
+		t.Fatalf("BasicAA should not refute loaded pointers: %v", got)
+	}
+	if got := and.Alias(p1, 8, p2, 8); got != NoAlias {
+		t.Fatalf("Andersen should refute distinct heap sites: %v", got)
+	}
+	comb := Combined{basic, and}
+	if got := comb.Alias(p1, 8, p2, 8); got != NoAlias {
+		t.Fatalf("combined should take the NoAlias: %v", got)
+	}
+}
+
+func TestAndersenUnknownPointers(t *testing.T) {
+	src := `
+module "unknown"
+global @exp : ptr = null export
+declare func @get() -> ptr
+
+func @f(%q: ptr) export {
+entry:
+  %priv = alloca i64
+  %r = call ptr, @get()
+  store 1:i64, %r
+  store 2:i64, %q
+  ret
+}
+`
+	m := mustModule(t, src)
+	and, err := AnalyzeModule(m, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := instrByName(m, "r")
+	priv := instrByName(m, "priv")
+	f := m.Func("f")
+	q := f.Params[0]
+	// Two unknown-origin pointers may alias (both may target Ω).
+	if got := and.Alias(r, 8, q, 8); got != MayAlias {
+		t.Fatalf("unknown vs unknown = %v", got)
+	}
+	// A never-escaping alloca cannot alias an unknown pointer even under
+	// Andersen (the paper's key precision point for incomplete programs).
+	if got := and.Alias(priv, 8, q, 8); got != NoAlias {
+		t.Fatalf("private alloca vs unknown pointer = %v", got)
+	}
+	// The exported global may be written by external code through q.
+	if got := and.Alias(m.Global("exp"), 8, q, 8); got != MayAlias {
+		t.Fatalf("exported global vs unknown pointer = %v", got)
+	}
+}
+
+func TestConflictRateOrdering(t *testing.T) {
+	// On a module with memory-indirected pointers, combining analyses must
+	// be at least as precise as each alone.
+	src := `
+module "rate"
+global @slot : ptr = null internal
+declare func @ext(ptr) -> ptr
+
+func @work(%in: ptr) export {
+entry:
+  %a = alloca i64
+  %b = alloca i64
+  %box = alloca ptr
+  store %a, %box
+  %pa = load ptr, %box
+  store 1:i64, %pa
+  store 2:i64, %b
+  store 3:i64, %in
+  %r = call ptr, @ext(%b)
+  store 4:i64, %r
+  %v = load i64, %a
+  %w = load i64, %b
+  ret
+}
+`
+	m := mustModule(t, src)
+	basic := NewBasicAA(m)
+	and, err := AnalyzeModule(m, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := ConflictRate(m, basic)
+	sa := ConflictRate(m, and)
+	sc := ConflictRate(m, Combined{basic, and})
+	if sb.Total() == 0 || sb.Total() != sa.Total() || sa.Total() != sc.Total() {
+		t.Fatalf("query counts differ: %d %d %d", sb.Total(), sa.Total(), sc.Total())
+	}
+	if sc.MayRate() > sb.MayRate() || sc.MayRate() > sa.MayRate() {
+		t.Fatalf("combined (%.2f) must not exceed basic (%.2f) or andersen (%.2f)",
+			sc.MayRate(), sb.MayRate(), sa.MayRate())
+	}
+	if sc.MayAlias+sc.NoAlias+sc.MustAlias != sc.Total() {
+		t.Fatal("stats inconsistent")
+	}
+}
+
+// TestSoundnessAgainstSemantics: accesses that definitely alias must never
+// be NoAlias under either analysis.
+func TestNeverRefuteTrueAliases(t *testing.T) {
+	src := `
+module "true"
+global @g : i64 = 0:i64 internal
+
+func @f() export {
+entry:
+  %box = alloca ptr
+  store @g, %box
+  %p = load ptr, %box
+  store 1:i64, %p
+  store 2:i64, @g
+  ret
+}
+`
+	m := mustModule(t, src)
+	basic := NewBasicAA(m)
+	and, err := AnalyzeModule(m, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := instrByName(m, "p") // definitely &g
+	g := m.Global("g")
+	for name, an := range map[string]Analysis{"basic": basic, "andersen": and,
+		"combined": Combined{basic, and}} {
+		if got := an.Alias(p, 8, g, 8); got == NoAlias {
+			t.Fatalf("%s refuted a true alias", name)
+		}
+	}
+}
+
+func TestCombinedPrecedence(t *testing.T) {
+	m := mustModule(t, basicSrc)
+	aa := NewBasicAA(m)
+	a := instrByName(m, "a")
+	comb := Combined{aa}
+	if got := comb.Alias(a, 8, a, 8); got != MustAlias {
+		t.Fatalf("combined must propagate MustAlias: %v", got)
+	}
+	if got := (Combined{}).Alias(a, 8, a, 8); got != MayAlias {
+		t.Fatalf("empty combined should answer MayAlias: %v", got)
+	}
+}
+
+func TestBasicAAUnknownGEPIndex(t *testing.T) {
+	src := `
+module "g"
+func @f(%n: i64) export {
+entry:
+  %buf = alloca [16 x i64]
+  %a = gep i64, %buf, %n
+  %b = gep i64, %buf, 3:i64
+  store 1:i64, %a
+  store 2:i64, %b
+  ret
+}
+`
+	m := mustModule(t, src)
+	aa := NewBasicAA(m)
+	a := instrByName(m, "a")
+	b := instrByName(m, "b")
+	// Same base, one offset unknown: cannot refute.
+	if got := aa.Alias(a, 8, b, 8); got != MayAlias {
+		t.Fatalf("unknown index vs const offset = %v", got)
+	}
+	// Different bases still refutable even with unknown offsets.
+	src2 := `
+module "g2"
+func @f(%n: i64) export {
+entry:
+  %x = alloca [4 x i64]
+  %y = alloca [4 x i64]
+  %a = gep i64, %x, %n
+  %b = gep i64, %y, %n
+  store 1:i64, %a
+  store 2:i64, %b
+  ret
+}
+`
+	m2 := mustModule(t, src2)
+	aa2 := NewBasicAA(m2)
+	if got := aa2.Alias(instrByName(m2, "a"), 8, instrByName(m2, "b"), 8); got != NoAlias {
+		t.Fatalf("distinct bases with unknown offsets = %v", got)
+	}
+}
+
+func TestBasicAAMemcpyDoesNotCapture(t *testing.T) {
+	src := `
+module "mc"
+func @f(%p: ptr) export {
+entry:
+  %a = alloca [8 x i8]
+  memcpy %a, %p, 8:i64
+  ret
+}
+`
+	m := mustModule(t, src)
+	aa := NewBasicAA(m)
+	a := instrByName(m, "a")
+	f := m.Func("f")
+	// Writing INTO the alloca does not capture its address: it still
+	// cannot alias the unknown parameter.
+	if got := aa.Alias(a, 8, f.Params[0], 8); got != NoAlias {
+		t.Fatalf("memcpy dst counted as captured: %v", got)
+	}
+}
+
+func TestAndersenNullAndConstants(t *testing.T) {
+	src := `
+module "n"
+global @g : i64 = 0:i64 internal
+func @f(%p: ptr) export {
+entry:
+  store 1:i64, @g
+  ret
+}
+`
+	m := mustModule(t, src)
+	and, err := AnalyzeModule(m, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Querying against a null-pointer constant cannot be refuted (no
+	// model), must stay May.
+	nullV := &ir.ConstNull{}
+	if got := and.Alias(m.Global("g"), 8, nullV, 8); got != MayAlias {
+		t.Fatalf("null query = %v", got)
+	}
+}
+
+func TestConflictStatsAccumulation(t *testing.T) {
+	var total ConflictStats
+	total.Add(ConflictStats{NoAlias: 1, MayAlias: 2, MustAlias: 3})
+	total.Add(ConflictStats{NoAlias: 4})
+	if total.Total() != 10 || total.NoAlias != 5 {
+		t.Fatalf("accumulation wrong: %+v", total)
+	}
+	if r := (ConflictStats{}).MayRate(); r != 0 {
+		t.Fatalf("empty MayRate = %v", r)
+	}
+}

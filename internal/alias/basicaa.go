@@ -1,0 +1,179 @@
+package alias
+
+import "github.com/pip-analysis/pip/internal/ir"
+
+// BasicAA mimics LLVM's BasicAA pass (paper Section VI-A): ad-hoc IR
+// traversal that finds the origins of pointers. It understands distinct
+// allocations, constant getelementptr offsets, and stack slots whose
+// address never escapes the function; it does not follow loads, calls, or
+// nested pointers.
+type BasicAA struct {
+	captured map[*ir.Instr]bool
+}
+
+// NewBasicAA builds the analysis for a module, precomputing which allocas
+// have their address captured (stored, passed to a call, cast to an
+// integer, or merged through phi/select).
+func NewBasicAA(m *ir.Module) *BasicAA {
+	b := &BasicAA{captured: map[*ir.Instr]bool{}}
+	m.ForEachInstr(func(_ *ir.Function, _ *ir.Block, in *ir.Instr) {
+		for ai, arg := range in.Args {
+			base, _, known := decompose(arg)
+			if !known {
+				continue
+			}
+			al, isAlloca := base.(*ir.Instr)
+			if !isAlloca || al.Op != ir.OpAlloca {
+				continue
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				// Address used only as a load source: not captured.
+			case ir.OpStore:
+				if ai == 0 {
+					b.captured[al] = true // the address itself is stored
+				}
+			case ir.OpGEP, ir.OpBitcast, ir.OpICmp:
+				// Derived pointers are tracked through decompose;
+				// comparisons do not capture.
+			case ir.OpMemcpy:
+				// Reading/writing through the pointer does not capture
+				// the address (the len operand cannot be a pointer).
+			default:
+				// Calls, ptrtoint, phi, select, ret, binary ops: treat
+				// the address as captured.
+				b.captured[al] = true
+			}
+		}
+	})
+	return b
+}
+
+// location is a decomposed pointer: an identified base object plus a
+// constant byte offset, when derivable.
+type location struct {
+	base        ir.Value
+	offset      int64
+	exactOffset bool
+}
+
+// decompose strips gep/bitcast chains. The third result reports whether the
+// base is an identified object (alloca, global, or function).
+func decompose(v ir.Value) (ir.Value, location, bool) {
+	loc := location{exactOffset: true}
+	for {
+		switch cur := v.(type) {
+		case *ir.Global:
+			loc.base = cur
+			return cur, loc, true
+		case *ir.Function:
+			loc.base = cur
+			return cur, loc, true
+		case *ir.Instr:
+			switch cur.Op {
+			case ir.OpAlloca:
+				loc.base = cur
+				return cur, loc, true
+			case ir.OpBitcast:
+				v = cur.Args[0]
+			case ir.OpGEP:
+				off, exact := gepOffset(cur)
+				if !exact {
+					loc.exactOffset = false
+				}
+				loc.offset += off
+				v = cur.Args[0]
+			default:
+				loc.base = cur
+				return cur, loc, false
+			}
+		default:
+			loc.base = v
+			return v, loc, false
+		}
+	}
+}
+
+// gepOffset computes the constant byte offset of a gep, using the simple
+// layout model of ir.SizeOf. The first index scales by the size of the
+// base type; later indices walk into aggregates.
+func gepOffset(in *ir.Instr) (int64, bool) {
+	t := in.Ty
+	var off int64
+	for i, idx := range in.Args[1:] {
+		ci, isConst := idx.(*ir.ConstInt)
+		if !isConst {
+			return off, false
+		}
+		if i == 0 {
+			off += ci.Val * ir.SizeOf(t)
+			continue
+		}
+		switch cur := t.(type) {
+		case *ir.StructType:
+			fi := int(ci.Val)
+			if fi < 0 || fi >= len(cur.Fields) {
+				return off, false
+			}
+			off += ir.FieldOffset(cur, fi)
+			t = cur.Fields[fi]
+		case *ir.ArrayType:
+			off += ci.Val * ir.SizeOf(cur.Elem)
+			t = cur.Elem
+		default:
+			return off, false
+		}
+	}
+	return off, true
+}
+
+// Alias implements Analysis.
+func (b *BasicAA) Alias(a ir.Value, sizeA int64, c ir.Value, sizeB int64) Result {
+	if a == c {
+		return MustAlias
+	}
+	baseA, locA, knownA := decompose(a)
+	baseB, locB, knownB := decompose(c)
+
+	if knownA && knownB {
+		if baseA != baseB {
+			// Distinct identified objects never overlap.
+			return NoAlias
+		}
+		// Same object: compare offsets when exact.
+		if locA.exactOffset && locB.exactOffset {
+			if locA.offset == locB.offset {
+				return MustAlias
+			}
+			lo, hi := locA, locB
+			loSize := sizeA
+			if lo.offset > hi.offset {
+				lo, hi = hi, lo
+				loSize = sizeB
+			}
+			if loSize > 0 && lo.offset+loSize <= hi.offset {
+				return NoAlias
+			}
+		}
+		return MayAlias
+	}
+
+	// One side identified, other unknown: a non-captured alloca cannot be
+	// reached through an unknown pointer.
+	check := func(base ir.Value, known bool, other ir.Value) Result {
+		if !known {
+			return MayAlias
+		}
+		if al, ok := base.(*ir.Instr); ok && al.Op == ir.OpAlloca && !b.captured[al] {
+			return NoAlias
+		}
+		return MayAlias
+	}
+	if r := check(baseA, knownA, c); r == NoAlias {
+		return NoAlias
+	}
+	if r := check(baseB, knownB, a); r == NoAlias {
+		return NoAlias
+	}
+	return MayAlias
+}

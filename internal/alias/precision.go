@@ -1,0 +1,80 @@
+package alias
+
+import "github.com/pip-analysis/pip/internal/ir"
+
+// ConflictStats aggregates the intra-procedural load/store conflict-rate
+// metric of Figure 9 (Nagaraj and Govindarajan): for every store, query
+// aliasing against every load and every other store in the same function.
+type ConflictStats struct {
+	NoAlias   int
+	MayAlias  int
+	MustAlias int
+}
+
+// Total returns the number of queries issued.
+func (c ConflictStats) Total() int { return c.NoAlias + c.MayAlias + c.MustAlias }
+
+// MayRate returns the fraction of queries answered MayAlias (Figure 9's
+// y-axis; lower is better).
+func (c ConflictStats) MayRate() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.MayAlias) / float64(t)
+}
+
+// Add accumulates other into c.
+func (c *ConflictStats) Add(other ConflictStats) {
+	c.NoAlias += other.NoAlias
+	c.MayAlias += other.MayAlias
+	c.MustAlias += other.MustAlias
+}
+
+// access is one memory access: the pointer operand and the accessed size.
+type access struct {
+	ptr     ir.Value
+	size    int64
+	isStore bool
+}
+
+// ConflictRate runs the pairwise client over every function of m using
+// analysis an.
+func ConflictRate(m *ir.Module, an Analysis) ConflictStats {
+	var stats ConflictStats
+	for _, f := range m.Funcs {
+		var accs []access
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					accs = append(accs, access{ptr: in.Args[0], size: ir.SizeOf(in.Ty)})
+				case ir.OpStore:
+					accs = append(accs, access{ptr: in.Args[1], size: ir.SizeOf(in.Args[0].Type()), isStore: true})
+				}
+			}
+		}
+		for i, s := range accs {
+			if !s.isStore {
+				continue
+			}
+			for j, other := range accs {
+				if i == j {
+					continue
+				}
+				if other.isStore && j < i {
+					continue // count each store/store pair once
+				}
+				switch an.Alias(s.ptr, s.size, other.ptr, other.size) {
+				case NoAlias:
+					stats.NoAlias++
+				case MayAlias:
+					stats.MayAlias++
+				case MustAlias:
+					stats.MustAlias++
+				}
+			}
+		}
+	}
+	return stats
+}

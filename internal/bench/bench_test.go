@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+// tinyOpts keeps unit tests fast; the real evaluation runs via cmd/pipbench
+// and the repository-root benchmarks.
+var tinyOpts = workload.Options{Seed: 5, Scale: 0.01, SizeScale: 0.03, MaxInstrs: 1500}
+
+func tinyCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := BuildCorpus(tinyOpts)
+	if len(c.Files) < len(workload.Suites) {
+		t.Fatalf("corpus too small: %d", len(c.Files))
+	}
+	return c
+}
+
+func TestTable3(t *testing.T) {
+	c := tinyCorpus(t)
+	out := Table3(c)
+	for _, suite := range c.SuiteNames() {
+		if !strings.Contains(out, suite) {
+			t.Fatalf("Table III missing suite %s:\n%s", suite, out)
+		}
+	}
+	if !strings.Contains(out, "|V| mean") {
+		t.Fatalf("Table III header malformed:\n%s", out)
+	}
+}
+
+func TestMeasureRuntimeAndTables(t *testing.T) {
+	c := tinyCorpus(t)
+	res := MeasureRuntime(c, 1)
+	for _, name := range Table5Configs {
+		if len(res.PerFile[name]) != len(c.Files) {
+			t.Fatalf("missing timings for %s", name)
+		}
+		for i, v := range res.PerFile[name] {
+			if v <= 0 {
+				t.Fatalf("%s: non-positive timing for file %d", name, i)
+			}
+		}
+	}
+	if len(res.Oracle) != len(c.Files) {
+		t.Fatal("oracle timings missing")
+	}
+	// The oracle must never be slower than any pool member.
+	for i := range c.Files {
+		for _, name := range EPOracleConfigs {
+			if res.Oracle[i] > res.PerFile[name][i] {
+				t.Fatalf("oracle %f > %s %f on file %d", res.Oracle[i], name, res.PerFile[name][i], i)
+			}
+		}
+	}
+	t5 := Table5(res)
+	if !strings.Contains(t5, "EP Oracle") || !strings.Contains(t5, "IP+WL(FIFO)+PIP") {
+		t.Fatalf("Table V malformed:\n%s", t5)
+	}
+	t6 := Table6(res)
+	if !strings.Contains(t6, "explicit pointees") {
+		t.Fatalf("Table VI malformed:\n%s", t6)
+	}
+	f10 := Figure10(res)
+	if !strings.Contains(f10, "EP-Oracle") || !strings.Contains(f10, "PIP") {
+		t.Fatalf("Figure 10 malformed:\n%s", f10)
+	}
+	csv := Figure10CSV(res)
+	if !strings.HasPrefix(csv, "ep_oracle_us,") {
+		t.Fatalf("Figure 10 CSV malformed: %q", csv[:40])
+	}
+
+	h := Headline(res)
+	if h.PointsExtFraction <= 0 || h.PointsExtFraction >= 1 {
+		t.Fatalf("implausible p ⊒ Ω fraction: %v", h.PointsExtFraction)
+	}
+	if h.IPvsEPOracle <= 0 || h.PIPvsBestNoPIP <= 0 {
+		t.Fatal("headline ratios missing")
+	}
+	render := RenderHeadline(h)
+	if !strings.Contains(render, "51%") {
+		t.Fatalf("headline render missing paper reference:\n%s", render)
+	}
+}
+
+func TestTable6PIPReducesPointees(t *testing.T) {
+	c := tinyCorpus(t)
+	res := MeasureRuntime(c, 1)
+	sum := func(name string) int {
+		total := 0
+		for _, v := range res.Pointees[name] {
+			total += v
+		}
+		return total
+	}
+	noPip := sum("IP+WL(FIFO)")
+	pip := sum("IP+WL(FIFO)+PIP")
+	if pip > noPip {
+		t.Fatalf("PIP increased total explicit pointees: %d > %d", pip, noPip)
+	}
+	// The corpus contains pathological escape-heavy files, so the gap
+	// must be substantial (Table VI shows 3188 vs 922 mean).
+	if noPip < 2*pip {
+		t.Fatalf("expected ≥2x pointee reduction from PIP, got %d vs %d", noPip, pip)
+	}
+}
+
+func TestFigure9Precision(t *testing.T) {
+	c := tinyCorpus(t)
+	rows := Figure9(c)
+	if len(rows) == 0 || len(rows) > len(c.SuiteNames()) {
+		t.Fatalf("rows = %d, suites = %d", len(rows), len(c.SuiteNames()))
+	}
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Fatalf("%s: no alias queries issued", r.Suite)
+		}
+		if r.Combined > r.BasicAA+1e-9 || r.Combined > r.Andersen+1e-9 {
+			t.Fatalf("%s: combined (%.3f) worse than components (%.3f, %.3f)",
+				r.Suite, r.Combined, r.BasicAA, r.Andersen)
+		}
+		for _, v := range []float64{r.BasicAA, r.Andersen, r.Combined} {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: rate out of range: %v", r.Suite, v)
+			}
+		}
+	}
+	out := RenderFigure9(rows)
+	if !strings.Contains(out, "MayAlias reduction") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestRenderScalability(t *testing.T) {
+	c := tinyCorpus(t)
+	res := MeasureRuntime(c, 1)
+	out := RenderScalability(res)
+	if !strings.Contains(out, "memory scalability") || !strings.Contains(out, "IP+WL(FIFO)+PIP") {
+		t.Fatalf("scalability table malformed:\n%s", out)
+	}
+	// PIP must never use more set memory in total than plain IP.
+	sum := func(name string) int {
+		total := 0
+		for _, v := range res.Bytes[name] {
+			total += v
+		}
+		return total
+	}
+	if sum("IP+WL(FIFO)+PIP") > sum("IP+WL(FIFO)") {
+		t.Fatalf("PIP used more memory: %d vs %d", sum("IP+WL(FIFO)+PIP"), sum("IP+WL(FIFO)"))
+	}
+}

@@ -1,0 +1,65 @@
+// Package bench implements the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (Section VI): Table III
+// (corpus summary), Figure 9 (alias precision), Table V (solver runtime),
+// Figure 10 (per-file runtime ratios), Table VI (explicit pointees), and
+// the headline numbers quoted in the text.
+package bench
+
+import (
+	"fmt"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+// CorpusFile is one benchmark file with its phase-1 output.
+type CorpusFile struct {
+	workload.File
+	Gen *core.Gen
+}
+
+// Corpus is the generated benchmark corpus with constraints built once
+// (phase 1 is identical across solver configurations, so it is hoisted out
+// of the timed region, as in the paper, which times the solving phase).
+type Corpus struct {
+	Opts  workload.Options
+	Files []CorpusFile
+}
+
+// BuildCorpus generates the corpus and runs constraint generation.
+func BuildCorpus(opts workload.Options) *Corpus {
+	files := workload.GenerateCorpus(opts)
+	c := &Corpus{Opts: opts}
+	for _, f := range files {
+		c.Files = append(c.Files, CorpusFile{File: f, Gen: core.Generate(f.Module)})
+	}
+	return c
+}
+
+// SuiteNames returns the suite names in corpus order.
+func (c *Corpus) SuiteNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, f := range c.Files {
+		if !seen[f.Suite] {
+			seen[f.Suite] = true
+			names = append(names, f.Suite)
+		}
+	}
+	return names
+}
+
+// String summarizes the corpus.
+func (c *Corpus) String() string {
+	instrs := 0
+	for _, f := range c.Files {
+		instrs += f.Module.NumInstrs()
+	}
+	return fmt.Sprintf("corpus: %d files, %d IR instructions (scale=%.3g, sizeScale=%.3g)",
+		len(c.Files), instrs, c.Opts.Scale, c.Opts.SizeScale)
+}
+
+// solveOnce solves one file under cfg and returns the solution.
+func solveOnce(f CorpusFile, cfg core.Config) *core.Solution {
+	return core.MustSolve(f.Gen.Problem, cfg)
+}

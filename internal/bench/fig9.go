@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pip-analysis/pip/internal/alias"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/stats"
+)
+
+// PrecisionRow is one suite's Figure 9 data: the MayAlias rate of each
+// alias-analysis configuration over all intra-procedural store×(load∪store)
+// pairs.
+type PrecisionRow struct {
+	Suite    string
+	Queries  int
+	BasicAA  float64
+	Andersen float64
+	Combined float64
+}
+
+// Figure9 runs the precision client over the corpus.
+func Figure9(c *Corpus) []PrecisionRow {
+	type agg struct {
+		basic, andersen, combined alias.ConflictStats
+	}
+	bySuite := map[string]*agg{}
+	for _, f := range c.Files {
+		if f.Pathological {
+			// Pathological files exist to stress the solver (Table V /
+			// Figure 10); their quadratic store/load pair counts would
+			// drown the suite's precision statistics.
+			continue
+		}
+		a := bySuite[f.Suite]
+		if a == nil {
+			a = &agg{}
+			bySuite[f.Suite] = a
+		}
+		basic := alias.NewBasicAA(f.Module)
+		sol := solveOnce(f, core.DefaultConfig())
+		and := alias.NewAndersen(f.Gen, sol)
+		comb := alias.Combined{basic, and}
+		a.basic.Add(alias.ConflictRate(f.Module, basic))
+		a.andersen.Add(alias.ConflictRate(f.Module, and))
+		a.combined.Add(alias.ConflictRate(f.Module, comb))
+	}
+	var rows []PrecisionRow
+	for _, name := range c.SuiteNames() {
+		a := bySuite[name]
+		if a == nil {
+			continue
+		}
+		rows = append(rows, PrecisionRow{
+			Suite:    name,
+			Queries:  a.basic.Total(),
+			BasicAA:  a.basic.MayRate(),
+			Andersen: a.andersen.MayRate(),
+			Combined: a.combined.MayRate(),
+		})
+	}
+	return rows
+}
+
+// RenderFigure9 formats the precision rows as a table plus the average
+// MayAlias reduction the paper quotes (40% vs BasicAA alone).
+func RenderFigure9(rows []PrecisionRow) string {
+	tab := &stats.Table{
+		Title:  "Figure 9: percentage of intra-procedural alias queries answering MayAlias (lower is better)",
+		Header: []string{"Benchmark", "Queries", "BasicAA", "Andersen", "Andersen+BasicAA"},
+	}
+	var reductions []float64
+	for _, r := range rows {
+		tab.AddRow(r.Suite, fmt.Sprint(r.Queries),
+			fmt.Sprintf("%.1f%%", 100*r.BasicAA),
+			fmt.Sprintf("%.1f%%", 100*r.Andersen),
+			fmt.Sprintf("%.1f%%", 100*r.Combined))
+		if r.BasicAA > 0 {
+			reductions = append(reductions, 1-r.Combined/r.BasicAA)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\nAverage MayAlias reduction of Andersen+BasicAA vs BasicAA alone: %.0f%% (paper: 40%%)\n",
+		100*stats.Mean(reductions))
+	return b.String()
+}

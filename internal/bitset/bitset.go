@@ -1,0 +1,260 @@
+// Package bitset provides a hybrid sparse/dense set of small unsigned
+// integers, used for the explicit points-to sets (Sol_e) of constraint
+// variables. Most points-to sets are tiny (the paper's p50 is below 300
+// elements per file across all variables), so sets start as a sorted
+// uint32 slice and switch to a bitmap once they grow past a threshold.
+package bitset
+
+import "math/bits"
+
+// smallMax is the cardinality at which a set migrates from the sorted-slice
+// representation to the bitmap representation.
+const smallMax = 48
+
+// Set is a set of uint32 values. The zero value is an empty set ready to use.
+type Set struct {
+	small []uint32 // sorted ascending; valid while bits == nil
+	bits  []uint64 // bitmap; non-nil once the set has grown
+	n     int      // cardinality when in bitmap mode
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	if s.bits != nil {
+		return s.n
+	}
+	return len(s.small)
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool { return s.Len() == 0 }
+
+// search returns the insertion index of x in s.small.
+func (s *Set) search(x uint32) int {
+	lo, hi := 0, len(s.small)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.small[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether x is in the set.
+func (s *Set) Contains(x uint32) bool {
+	if s.bits != nil {
+		w := int(x >> 6)
+		return w < len(s.bits) && s.bits[w]&(1<<(x&63)) != 0
+	}
+	i := s.search(x)
+	return i < len(s.small) && s.small[i] == x
+}
+
+// Add inserts x and reports whether the set changed.
+func (s *Set) Add(x uint32) bool {
+	if s.bits != nil {
+		return s.addBit(x)
+	}
+	i := s.search(x)
+	if i < len(s.small) && s.small[i] == x {
+		return false
+	}
+	if len(s.small) >= smallMax {
+		s.migrate()
+		return s.addBit(x)
+	}
+	s.small = append(s.small, 0)
+	copy(s.small[i+1:], s.small[i:])
+	s.small[i] = x
+	return true
+}
+
+func (s *Set) addBit(x uint32) bool {
+	w := int(x >> 6)
+	if w >= len(s.bits) {
+		grown := make([]uint64, w+1+w/4)
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	mask := uint64(1) << (x & 63)
+	if s.bits[w]&mask != 0 {
+		return false
+	}
+	s.bits[w] |= mask
+	s.n++
+	return true
+}
+
+// migrate switches the set from slice mode to bitmap mode.
+func (s *Set) migrate() {
+	maxv := uint32(0)
+	if len(s.small) > 0 {
+		maxv = s.small[len(s.small)-1]
+	}
+	s.bits = make([]uint64, int(maxv>>6)+1)
+	for _, x := range s.small {
+		s.bits[x>>6] |= 1 << (x & 63)
+	}
+	s.n = len(s.small)
+	s.small = nil
+}
+
+// Remove deletes x and reports whether the set changed.
+func (s *Set) Remove(x uint32) bool {
+	if s.bits != nil {
+		w := int(x >> 6)
+		if w >= len(s.bits) {
+			return false
+		}
+		mask := uint64(1) << (x & 63)
+		if s.bits[w]&mask == 0 {
+			return false
+		}
+		s.bits[w] &^= mask
+		s.n--
+		return true
+	}
+	i := s.search(x)
+	if i >= len(s.small) || s.small[i] != x {
+		return false
+	}
+	s.small = append(s.small[:i], s.small[i+1:]...)
+	return true
+}
+
+// Clear removes all elements but keeps allocated storage.
+func (s *Set) Clear() {
+	s.small = s.small[:0]
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	if s.bits != nil {
+		s.small = nil
+	}
+	s.n = 0
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == s {
+		return false
+	}
+	if t.bits != nil && s.bits != nil {
+		changed := false
+		if len(t.bits) > len(s.bits) {
+			grown := make([]uint64, len(t.bits))
+			copy(grown, s.bits)
+			s.bits = grown
+		}
+		for i, w := range t.bits {
+			old := s.bits[i]
+			merged := old | w
+			if merged != old {
+				s.bits[i] = merged
+				s.n += bits.OnesCount64(merged) - bits.OnesCount64(old)
+				changed = true
+			}
+		}
+		return changed
+	}
+	changed := false
+	t.ForEach(func(x uint32) {
+		if s.Add(x) {
+			changed = true
+		}
+	})
+	return changed
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s *Set) ForEach(fn func(uint32)) {
+	if s.bits != nil {
+		for wi, w := range s.bits {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				fn(uint32(wi<<6 + b))
+				w &= w - 1
+			}
+		}
+		return
+	}
+	for _, x := range s.small {
+		fn(x)
+	}
+}
+
+// AppendTo appends the elements in ascending order to dst and returns the
+// extended slice.
+func (s *Set) AppendTo(dst []uint32) []uint32 {
+	s.ForEach(func(x uint32) { dst = append(dst, x) })
+	return dst
+}
+
+// Slice returns the elements as a fresh ascending slice.
+func (s *Set) Slice() []uint32 {
+	return s.AppendTo(make([]uint32, 0, s.Len()))
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{}
+	if s.bits != nil {
+		c.bits = make([]uint64, len(s.bits))
+		copy(c.bits, s.bits)
+		c.n = s.n
+		return c
+	}
+	c.small = append([]uint32(nil), s.small...)
+	return c
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	eq := true
+	s.ForEach(func(x uint32) {
+		if eq && !t.Contains(x) {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// ApproxBytes estimates the heap bytes backing the set.
+func (s *Set) ApproxBytes() int {
+	if s.bits != nil {
+		return 8 * cap(s.bits)
+	}
+	return 4 * cap(s.small)
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	if s.Len() > t.Len() {
+		s, t = t, s
+	}
+	if s.bits != nil && t.bits != nil {
+		n := len(s.bits)
+		if len(t.bits) < n {
+			n = len(t.bits)
+		}
+		for i := 0; i < n; i++ {
+			if s.bits[i]&t.bits[i] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	s.ForEach(func(x uint32) {
+		if !found && t.Contains(x) {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,318 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || !s.Empty() {
+		t.Fatalf("zero value not empty: len=%d", s.Len())
+	}
+	if s.Contains(0) || s.Contains(42) {
+		t.Fatal("empty set contains elements")
+	}
+	if s.Remove(7) {
+		t.Fatal("Remove on empty set reported a change")
+	}
+}
+
+func TestAddContains(t *testing.T) {
+	var s Set
+	if !s.Add(5) {
+		t.Fatal("first Add(5) reported no change")
+	}
+	if s.Add(5) {
+		t.Fatal("second Add(5) reported a change")
+	}
+	if !s.Contains(5) {
+		t.Fatal("Contains(5) = false after Add")
+	}
+	if s.Contains(4) || s.Contains(6) {
+		t.Fatal("Contains on neighbors of the only element")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSmallOrdering(t *testing.T) {
+	var s Set
+	for _, x := range []uint32{9, 3, 7, 1, 100, 0} {
+		s.Add(x)
+	}
+	got := s.Slice()
+	want := []uint32{0, 1, 3, 7, 9, 100}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMigration(t *testing.T) {
+	var s Set
+	// Push far beyond the small threshold and verify behavior is unchanged.
+	for i := uint32(0); i < 4*smallMax; i++ {
+		if !s.Add(i * 3) {
+			t.Fatalf("Add(%d) reported no change", i*3)
+		}
+	}
+	if s.bits == nil {
+		t.Fatal("set did not migrate to bitmap mode")
+	}
+	if s.Len() != 4*smallMax {
+		t.Fatalf("Len = %d, want %d", s.Len(), 4*smallMax)
+	}
+	for i := uint32(0); i < 4*smallMax; i++ {
+		if !s.Contains(i * 3) {
+			t.Fatalf("Contains(%d) = false", i*3)
+		}
+		if s.Contains(i*3 + 1) {
+			t.Fatalf("Contains(%d) = true", i*3+1)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var s Set
+	for i := uint32(0); i < 200; i++ {
+		s.Add(i)
+	}
+	for i := uint32(0); i < 200; i += 2 {
+		if !s.Remove(i) {
+			t.Fatalf("Remove(%d) reported no change", i)
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	for i := uint32(0); i < 200; i++ {
+		if s.Contains(i) != (i%2 == 1) {
+			t.Fatalf("Contains(%d) = %v", i, s.Contains(i))
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	for _, n := range []uint32{5, 500} {
+		var s Set
+		for i := uint32(0); i < n; i++ {
+			s.Add(i)
+		}
+		s.Clear()
+		if s.Len() != 0 {
+			t.Fatalf("after Clear, Len = %d", s.Len())
+		}
+		if s.Contains(1) {
+			t.Fatal("after Clear, Contains(1)")
+		}
+		s.Add(3)
+		if s.Len() != 1 || !s.Contains(3) {
+			t.Fatal("set unusable after Clear")
+		}
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	cases := []struct{ a, b []uint32 }{
+		{[]uint32{1, 2, 3}, []uint32{3, 4, 5}},
+		{nil, []uint32{7}},
+		{[]uint32{7}, nil},
+		{mkRange(0, 300), mkRange(150, 450)},
+		{mkRange(0, 10), mkRange(200, 600)},
+	}
+	for _, c := range cases {
+		var a, b Set
+		for _, x := range c.a {
+			a.Add(x)
+		}
+		for _, x := range c.b {
+			b.Add(x)
+		}
+		want := map[uint32]bool{}
+		for _, x := range c.a {
+			want[x] = true
+		}
+		for _, x := range c.b {
+			want[x] = true
+		}
+		changed := a.UnionWith(&b)
+		if a.Len() != len(want) {
+			t.Fatalf("union len = %d, want %d", a.Len(), len(want))
+		}
+		for x := range want {
+			if !a.Contains(x) {
+				t.Fatalf("union missing %d", x)
+			}
+		}
+		wantChanged := len(want) != len(c.a)
+		if changed != wantChanged {
+			t.Fatalf("UnionWith changed = %v, want %v", changed, wantChanged)
+		}
+	}
+}
+
+func TestUnionWithSelf(t *testing.T) {
+	var s Set
+	s.Add(1)
+	s.Add(2)
+	if s.UnionWith(&s) {
+		t.Fatal("UnionWith(self) reported a change")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after self-union", s.Len())
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	for _, n := range []int{3, 300} {
+		var s Set
+		for i := 0; i < n; i++ {
+			s.Add(uint32(i * 7))
+		}
+		c := s.Clone()
+		if !s.Equal(c) || !c.Equal(&s) {
+			t.Fatal("clone not equal to original")
+		}
+		c.Add(999999)
+		if s.Equal(c) {
+			t.Fatal("Equal true after diverging")
+		}
+		if s.Contains(999999) {
+			t.Fatal("clone aliases original storage")
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	var a, b Set
+	for i := uint32(0); i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := uint32(1); i < 100; i += 2 {
+		b.Add(i)
+	}
+	if a.Intersects(&b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Add(50)
+	if !a.Intersects(&b) {
+		t.Fatal("overlapping sets do not intersect")
+	}
+	var empty Set
+	if a.Intersects(&empty) || empty.Intersects(&a) {
+		t.Fatal("empty set intersects")
+	}
+}
+
+func TestForEachEarlyElements(t *testing.T) {
+	var s Set
+	s.Add(64) // exactly on a word boundary in bitmap mode
+	s.Add(63)
+	s.Add(0)
+	for i := uint32(0); i < 200; i++ {
+		s.Add(i * 64) // force bitmap with word-boundary values
+	}
+	var got []uint32
+	s.ForEach(func(x uint32) { got = append(got, x) })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("ForEach not ascending")
+	}
+	if len(got) != s.Len() {
+		t.Fatalf("ForEach visited %d, Len = %d", len(got), s.Len())
+	}
+}
+
+func mkRange(lo, hi uint32) []uint32 {
+	var out []uint32
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Property: the Set behaves identically to map[uint32]bool under a random
+// sequence of Add/Remove/Contains operations.
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		ref := map[uint32]bool{}
+		for _, op := range ops {
+			x := uint32(op) % 512
+			switch rng.Intn(3) {
+			case 0:
+				if s.Add(x) != !ref[x] {
+					return false
+				}
+				ref[x] = true
+			case 1:
+				if s.Remove(x) != ref[x] {
+					return false
+				}
+				delete(ref, x)
+			case 2:
+				if s.Contains(x) != ref[x] {
+					return false
+				}
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative with respect to membership.
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a1, b1, a2, b2 Set
+		for _, x := range xs {
+			a1.Add(uint32(x))
+			a2.Add(uint32(x))
+		}
+		for _, y := range ys {
+			b1.Add(uint32(y))
+			b2.Add(uint32(y))
+		}
+		a1.UnionWith(&b1) // a1 = xs ∪ ys
+		b2.UnionWith(&a2) // b2 = ys ∪ xs
+		return a1.Equal(&b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for j := uint32(0); j < 32; j++ {
+			s.Add(j * 5)
+		}
+	}
+}
+
+func BenchmarkUnionLarge(b *testing.B) {
+	var x, y Set
+	for i := uint32(0); i < 4096; i++ {
+		x.Add(i * 2)
+		y.Add(i*2 + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.UnionWith(&y)
+	}
+}

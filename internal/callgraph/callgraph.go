@@ -1,0 +1,213 @@
+// Package callgraph builds a sound call graph from a points-to solution —
+// one of the downstream clients the paper names (Section I: "call graph
+// and mod/ref summary creation"). Indirect calls resolve through the
+// points-to sets of their callee pointers; calls through pointers of
+// unknown origin, and calls arriving from external modules, are
+// represented explicitly so the graph stays sound for incomplete programs.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+// Edge is one call site with its resolved targets.
+type Edge struct {
+	Site *ir.Instr
+	// Targets are the module-local functions the call may reach.
+	Targets []*ir.Function
+	// External reports whether the call may also reach functions in
+	// external modules (callee pointer of unknown origin, or an imported
+	// function).
+	External bool
+}
+
+// Node is a function in the call graph.
+type Node struct {
+	Func *ir.Function
+	// Calls lists the function's call sites.
+	Calls []*Edge
+	// ExternallyCallable reports whether external modules may call this
+	// function (its address escaped or it is exported).
+	ExternallyCallable bool
+}
+
+// Graph is a whole-module call graph.
+type Graph struct {
+	Module *ir.Module
+	Nodes  map[*ir.Function]*Node
+	// funcOfMem resolves abstract memory locations back to functions.
+	funcOfMem map[core.VarID]*ir.Function
+}
+
+// Build constructs the call graph from an analyzed module.
+func Build(m *ir.Module, gen *core.Gen, sol *core.Solution) *Graph {
+	g := &Graph{
+		Module:    m,
+		Nodes:     map[*ir.Function]*Node{},
+		funcOfMem: map[core.VarID]*ir.Function{},
+	}
+	for _, f := range m.Funcs {
+		if mem, ok := gen.MemOf[f]; ok {
+			g.funcOfMem[mem] = f
+		}
+	}
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		node := &Node{Func: f}
+		if mem, ok := gen.MemOf[f]; ok {
+			node.ExternallyCallable = sol.Escaped(mem)
+		}
+		g.Nodes[f] = node
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				node.Calls = append(node.Calls, g.resolveCall(in, gen, sol))
+			}
+		}
+	}
+	return g
+}
+
+// resolveCall computes the target set of one call site.
+func (g *Graph) resolveCall(in *ir.Instr, gen *core.Gen, sol *core.Solution) *Edge {
+	e := &Edge{Site: in}
+	addTarget := func(f *ir.Function) {
+		for _, t := range e.Targets {
+			if t == f {
+				return
+			}
+		}
+		if f.IsDecl() {
+			// Imported function: behaves as external code.
+			e.External = true
+			return
+		}
+		e.Targets = append(e.Targets, f)
+	}
+	switch callee := in.Callee().(type) {
+	case *ir.Function:
+		addTarget(callee)
+	default:
+		id, ok := gen.VarOf[in.Callee()]
+		if !ok {
+			// Call through a value the analysis does not model (null,
+			// undef): it traps; no targets.
+			return e
+		}
+		for _, x := range sol.PointsTo(id) {
+			if x == core.OmegaPointee {
+				e.External = true
+				continue
+			}
+			if f, isFunc := g.funcOfMem[x]; isFunc {
+				addTarget(f)
+			}
+			// Non-function pointees are ill-typed call targets; calling
+			// them is undefined behaviour, so they add no edges.
+		}
+		sort.Slice(e.Targets, func(i, j int) bool {
+			return e.Targets[i].FName < e.Targets[j].FName
+		})
+	}
+	return e
+}
+
+// Callees returns the set of module-local functions f may call (directly
+// or indirectly), plus whether it may call into external modules.
+func (g *Graph) Callees(f *ir.Function) ([]*ir.Function, bool) {
+	node := g.Nodes[f]
+	if node == nil {
+		return nil, false
+	}
+	seen := map[*ir.Function]bool{}
+	external := false
+	var out []*ir.Function
+	for _, e := range node.Calls {
+		if e.External {
+			external = true
+		}
+		for _, t := range e.Targets {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FName < out[j].FName })
+	return out, external
+}
+
+// Reachable returns every module-local function transitively reachable
+// from the roots. When fromExternal is true, all externally callable
+// functions are added as roots (the sound entry set of an incomplete
+// program).
+func (g *Graph) Reachable(roots []*ir.Function, fromExternal bool) map[*ir.Function]bool {
+	work := append([]*ir.Function{}, roots...)
+	if fromExternal {
+		for f, n := range g.Nodes {
+			if n.ExternallyCallable {
+				work = append(work, f)
+			}
+		}
+	}
+	seen := map[*ir.Function]bool{}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		callees, _ := g.Callees(f)
+		work = append(work, callees...)
+	}
+	return seen
+}
+
+// DOT renders the call graph in Graphviz format. External code is drawn as
+// a dashed node.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  external [label=\"<external modules>\", style=dashed];\n")
+	var funcs []*ir.Function
+	for f := range g.Nodes {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].FName < funcs[j].FName })
+	for _, f := range funcs {
+		node := g.Nodes[f]
+		fmt.Fprintf(&b, "  %q;\n", f.FName)
+		if node.ExternallyCallable {
+			fmt.Fprintf(&b, "  external -> %q;\n", f.FName)
+		}
+		emitted := map[string]bool{}
+		callsExternal := false
+		for _, e := range node.Calls {
+			for _, t := range e.Targets {
+				key := f.FName + "->" + t.FName
+				if !emitted[key] {
+					emitted[key] = true
+					fmt.Fprintf(&b, "  %q -> %q;\n", f.FName, t.FName)
+				}
+			}
+			if e.External {
+				callsExternal = true
+			}
+		}
+		if callsExternal {
+			fmt.Fprintf(&b, "  %q -> external;\n", f.FName)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

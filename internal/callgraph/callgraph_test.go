@@ -1,0 +1,160 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/cfront"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+func build(t *testing.T, src string) (*Graph, *ir.Module, *core.Gen, *core.Solution) {
+	t.Helper()
+	m, err := cfront.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := core.Generate(m)
+	sol := core.MustSolve(gen.Problem, core.DefaultConfig())
+	return Build(m, gen, sol), m, gen, sol
+}
+
+const dispatchSrc = `
+extern void unknown_sink(void *f);
+
+static int alpha(int v) { return v + 1; }
+static int beta(int v) { return v + 2; }
+static int gamma_unused(int v) { return v + 3; }
+
+static int (*table[2])(int);
+
+static void init() {
+    table[0] = alpha;
+    table[1] = beta;
+}
+
+int run(int i, int v) {
+    init();
+    return table[i](v);
+}
+
+void leak() {
+    unknown_sink(alpha);
+}
+`
+
+func TestIndirectCallResolution(t *testing.T) {
+	g, m, _, _ := build(t, dispatchSrc)
+	run := m.Func("run")
+	callees, external := g.Callees(run)
+	names := map[string]bool{}
+	for _, f := range callees {
+		names[f.FName] = true
+	}
+	if !names["alpha"] || !names["beta"] || !names["init"] {
+		t.Fatalf("run should call init, alpha, beta: %v", names)
+	}
+	if names["gamma_unused"] {
+		t.Fatal("gamma_unused is not in the table; it must not be a callee")
+	}
+	// The table holds only module-local functions, but it could have been
+	// overwritten externally? table is static and never escapes, so no.
+	if external {
+		t.Fatal("indirect call through a private table must not reach external code")
+	}
+}
+
+func TestExternallyCallable(t *testing.T) {
+	g, m, _, _ := build(t, dispatchSrc)
+	if !g.Nodes[m.Func("run")].ExternallyCallable {
+		t.Fatal("exported run must be externally callable")
+	}
+	if g.Nodes[m.Func("beta")].ExternallyCallable {
+		t.Fatal("static beta never escapes; not externally callable")
+	}
+	// alpha was passed to unknown_sink: its address escaped, external
+	// modules may call it.
+	if !g.Nodes[m.Func("alpha")].ExternallyCallable {
+		t.Fatal("alpha escaped through unknown_sink; it must be externally callable")
+	}
+}
+
+func TestExternalCallEdges(t *testing.T) {
+	g, m, _, _ := build(t, dispatchSrc)
+	_, external := g.Callees(m.Func("leak"))
+	if !external {
+		t.Fatal("leak calls an imported function: external edge required")
+	}
+}
+
+func TestUnknownFunctionPointer(t *testing.T) {
+	src := `
+extern void *get_handler();
+
+int invoke(int v) {
+    int (*h)(int) = (int(*)(int))get_handler();
+    return h(v);
+}
+`
+	g, m, _, _ := build(t, src)
+	_, external := g.Callees(m.Func("invoke"))
+	if !external {
+		t.Fatal("call through unknown pointer must include external targets")
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g, m, _, _ := build(t, dispatchSrc)
+	// From run: init, alpha, beta reachable; gamma not.
+	reach := g.Reachable([]*ir.Function{m.Func("run")}, false)
+	if !reach[m.Func("alpha")] || !reach[m.Func("init")] {
+		t.Fatal("alpha/init must be reachable from run")
+	}
+	if reach[m.Func("gamma_unused")] {
+		t.Fatal("gamma_unused must be unreachable")
+	}
+	// Sound entry set: everything externally callable. alpha escaped, so
+	// it is a root; gamma_unused still unreachable (dead code).
+	reach2 := g.Reachable(nil, true)
+	if !reach2[m.Func("alpha")] || !reach2[m.Func("run")] {
+		t.Fatal("external roots missing")
+	}
+	if reach2[m.Func("gamma_unused")] {
+		t.Fatal("gamma_unused must stay unreachable")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, _, _, _ := build(t, dispatchSrc)
+	dot := g.DOT()
+	for _, frag := range []string{
+		"digraph callgraph",
+		`"run" -> "alpha"`,
+		`"run" -> "beta"`,
+		`"leak" -> external`,
+		`external -> "run"`,
+		`external -> "alpha"`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	if strings.Contains(dot, `"run" -> "gamma_unused"`) {
+		t.Fatal("spurious edge to gamma_unused")
+	}
+}
+
+func TestCallThroughNull(t *testing.T) {
+	src := `
+int crash() {
+    int (*f)(void) = NULL;
+    return f();
+}
+`
+	g, m, _, _ := build(t, src)
+	callees, external := g.Callees(m.Func("crash"))
+	if len(callees) != 0 || external {
+		t.Fatalf("call through null should have no targets: %v external=%v", callees, external)
+	}
+}

@@ -1,0 +1,218 @@
+package cfront
+
+// AST nodes for mini-C. Every node carries a source line for diagnostics.
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type (
+	// IntLit is an integer literal.
+	IntLit struct {
+		Val  int64
+		Line int
+	}
+	// FloatLit is a floating literal.
+	FloatLit struct {
+		Val  float64
+		Line int
+	}
+	// StrLit is a string literal.
+	StrLit struct {
+		Val  string
+		Line int
+	}
+	// NullLit is the NULL keyword.
+	NullLit struct{ Line int }
+	// Ident is a name reference.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// Unary is &x, *x, -x, !x, ~x.
+	Unary struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// Binary is x op y for arithmetic, comparison, and logical operators.
+	Binary struct {
+		Op   string
+		X, Y Expr
+		Line int
+	}
+	// Assign is lhs = rhs (and compound assignments, desugared by the
+	// parser into Assign{lhs, Binary{...}}).
+	Assign struct {
+		LHS, RHS Expr
+		Line     int
+	}
+	// Cond is c ? t : f.
+	Cond struct {
+		C, T, F Expr
+		Line    int
+	}
+	// Call is fun(args...).
+	Call struct {
+		Fun  Expr
+		Args []Expr
+		Line int
+	}
+	// Index is x[i].
+	Index struct {
+		X, I Expr
+		Line int
+	}
+	// Member is x.name or x->name.
+	Member struct {
+		X     Expr
+		Name  string
+		Arrow bool
+		Line  int
+	}
+	// CastExpr is (T)x.
+	CastExpr struct {
+		T    CType
+		X    Expr
+		Line int
+	}
+	// SizeofExpr is sizeof(T).
+	SizeofExpr struct {
+		T    CType
+		Line int
+	}
+	// InitList is a brace initializer { e1, e2, ... }.
+	InitList struct {
+		Elems []Expr
+		Line  int
+	}
+)
+
+func (e *IntLit) exprLine() int     { return e.Line }
+func (e *FloatLit) exprLine() int   { return e.Line }
+func (e *StrLit) exprLine() int     { return e.Line }
+func (e *NullLit) exprLine() int    { return e.Line }
+func (e *Ident) exprLine() int      { return e.Line }
+func (e *Unary) exprLine() int      { return e.Line }
+func (e *Binary) exprLine() int     { return e.Line }
+func (e *Assign) exprLine() int     { return e.Line }
+func (e *Cond) exprLine() int       { return e.Line }
+func (e *Call) exprLine() int       { return e.Line }
+func (e *Index) exprLine() int      { return e.Line }
+func (e *Member) exprLine() int     { return e.Line }
+func (e *CastExpr) exprLine() int   { return e.Line }
+func (e *SizeofExpr) exprLine() int { return e.Line }
+func (e *InitList) exprLine() int   { return e.Line }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+type (
+	// DeclStmt declares local variables.
+	DeclStmt struct {
+		Vars []*VarDecl
+		Line int
+	}
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct {
+		X    Expr
+		Line int
+	}
+	// Block is { stmts }.
+	Block struct {
+		Stmts []Stmt
+		Line  int
+	}
+	// If is if (c) then else els.
+	If struct {
+		C          Expr
+		Then, Else Stmt
+		Line       int
+	}
+	// While is while (c) body; DoWhile when Post is true.
+	While struct {
+		C    Expr
+		Body Stmt
+		Post bool
+		Line int
+	}
+	// For is for (init; cond; step) body.
+	For struct {
+		Init Stmt
+		Cond Expr
+		Step Expr
+		Body Stmt
+		Line int
+	}
+	// Return is return [x].
+	Return struct {
+		X    Expr
+		Line int
+	}
+	// Switch is switch (x) { cases }.
+	Switch struct {
+		X     Expr
+		Cases []SwitchCase
+		Line  int
+	}
+	// Break exits the innermost loop or switch.
+	Break struct{ Line int }
+	// Continue restarts the innermost loop.
+	Continue struct{ Line int }
+)
+
+// SwitchCase is one case (or default, when Val is nil) with its body;
+// control falls through to the next case unless the body breaks.
+type SwitchCase struct {
+	Val  Expr // nil for default
+	Body []Stmt
+	Line int
+}
+
+func (s *DeclStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int { return s.Line }
+func (s *Block) stmtLine() int    { return s.Line }
+func (s *If) stmtLine() int       { return s.Line }
+func (s *While) stmtLine() int    { return s.Line }
+func (s *For) stmtLine() int      { return s.Line }
+func (s *Return) stmtLine() int   { return s.Line }
+func (s *Switch) stmtLine() int   { return s.Line }
+func (s *Break) stmtLine() int    { return s.Line }
+func (s *Continue) stmtLine() int { return s.Line }
+
+// Storage is a declaration's storage class.
+type Storage uint8
+
+const (
+	// DefaultStorage is a plain (exported) definition.
+	DefaultStorage Storage = iota
+	// StaticStorage is internal linkage.
+	StaticStorage
+	// ExternStorage is a declaration defined elsewhere.
+	ExternStorage
+)
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Name    string
+	Type    CType
+	Init    Expr
+	Storage Storage
+	Line    int
+}
+
+// FuncDef is a function definition or prototype.
+type FuncDef struct {
+	Name    string
+	Type    *FuncCT
+	Params  []string
+	Body    *Block // nil for prototypes
+	Storage Storage
+	Line    int
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDef
+	Globals []*VarDecl
+	Funcs   []*FuncDef
+}

@@ -1,0 +1,59 @@
+package cfront
+
+import (
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+// FuzzCompile checks that the mini-C frontend never panics and that every
+// module it produces verifies and can be analyzed.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		figure1C,
+		"int x;",
+		"static int *p = &p;",
+		"struct s { struct s *next; int v; };",
+		"int f(int (*g)(int), int v) { return g(v); }",
+		"extern void *malloc(long); void *m() { return malloc(8); }",
+		"char *s() { return \"hi\"; }",
+		"int a[10]; int g(int i) { return a[i]; }",
+		"long c(int *p) { return (long)p; }",
+		"int w(int n) { int s = 0; while (n) { s += n; n--; } return s; }",
+		"typedef int myint; myint t;",
+		"int f() { return 1 ? 2 : 3; }",
+		"void v() { do { } while (0); }",
+		"int f(void) { return sizeof(struct { int x; }); }",
+		"/* comment */ int g;",
+		"#include <stdio.h>\nint x;",
+		"enum e { A, B = 3 }; int f() { return B; }",
+		"union u { int i; int *p; }; union u g;",
+		"int f(int k) { switch (k) { case 1: return 1; default: break; } return 0; }",
+		"int g() { static int c; c++; return c; }",
+		"static int a; static int *t[2] = { &a, &a }; int *f(int i) { return t[i]; }",
+		"struct s { int *x; }; static int v; static struct s d = { &v };",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile("fuzz.c", src)
+		if err != nil {
+			return
+		}
+		if verr := ir.Verify(m); verr != nil {
+			t.Fatalf("accepted program does not verify: %v\nsource: %q", verr, src)
+		}
+		gen := core.Generate(m)
+		if perr := gen.Problem.Validate(); perr != nil {
+			t.Fatalf("invalid problem from accepted program: %v\nsource: %q", perr, src)
+		}
+		// The analysis must terminate and agree across representations.
+		a := core.MustSolve(gen.Problem, core.MustParseConfig("IP+WL(FIFO)+PIP"))
+		b := core.MustSolve(gen.Problem, core.MustParseConfig("EP+Naive"))
+		if a.Canonical() != b.Canonical() {
+			t.Fatalf("representation disagreement on fuzz program %q", src)
+		}
+	})
+}

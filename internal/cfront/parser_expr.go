@@ -1,0 +1,327 @@
+package cfront
+
+import "strconv"
+
+// Expression parsing: precedence climbing with C's operator levels.
+
+// parseExpr parses a full (comma-free) expression.
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+// parseInitializer parses either an expression or a brace initializer.
+func (p *parser) parseInitializer() (Expr, error) {
+	t := p.peek()
+	if t.kind == tPunct && t.text == "{" {
+		p.pos++
+		lst := &InitList{Line: t.line}
+		for !p.acceptPunct("}") {
+			if len(lst.Elems) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+				if p.acceptPunct("}") { // trailing comma
+					return lst, nil
+				}
+			}
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+		}
+		return lst, nil
+	}
+	return p.parseAssignExpr()
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tPunct {
+		return lhs, nil
+	}
+	switch t.text {
+	case "=":
+		p.pos++
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, RHS: rhs, Line: t.line}, nil
+	case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=":
+		p.pos++
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := t.text[:1]
+		return &Assign{LHS: lhs, RHS: &Binary{Op: op, X: lhs, Y: rhs, Line: t.line}, Line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptPunct("?") {
+		return c, nil
+	}
+	line := p.peek().line
+	thenE, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{C: c, T: thenE, F: elseE, Line: line}, nil
+}
+
+// binLevels lists binary operators from lowest to highest precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	lhs, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		matched := false
+		for _, op := range binLevels[level] {
+			if t.text == op {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.text, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tPunct {
+		switch t.text {
+		case "&", "*", "-", "!", "~", "+":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "+" {
+				return x, nil
+			}
+			return &Unary{Op: t.text, X: x, Line: t.line}, nil
+		case "++", "--":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Pre-increment: desugared to an assignment.
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			return &Assign{LHS: x, RHS: &Binary{Op: op, X: x, Y: &IntLit{Val: 1, Line: t.line}, Line: t.line}, Line: t.line}, nil
+		case "(":
+			// Cast if '(' starts a type name.
+			save := p.save()
+			p.pos++
+			if p.isTypeStart() {
+				base, err := p.parseSpecifiers(nil)
+				if err != nil {
+					return nil, err
+				}
+				_, ct, err := p.parseDeclarator(base, true)
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &CastExpr{T: ct, X: x, Line: t.line}, nil
+			}
+			p.restore(save)
+		}
+	}
+	if t.kind == tKeyword && t.text == "sizeof" {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if p.isTypeStart() {
+			base, err := p.parseSpecifiers(nil)
+			if err != nil {
+				return nil, err
+			}
+			_, ct, err := p.parseDeclarator(base, true)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{T: ct, Line: t.line}, nil
+		}
+		// sizeof(expr): parse and ignore the expression's value.
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		_ = x
+		return &SizeofExpr{T: cLong, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tPunct {
+			return x, nil
+		}
+		switch t.text {
+		case "(":
+			p.pos++
+			call := &Call{Fun: x, Line: t.line}
+			for !p.acceptPunct(")") {
+				if len(call.Args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			x = call
+		case "[":
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: idx, Line: t.line}
+		case ".":
+			p.pos++
+			nt := p.next()
+			if nt.kind != tIdent {
+				return nil, p.errf(nt, "expected a field name")
+			}
+			x = &Member{X: x, Name: nt.text, Line: t.line}
+		case "->":
+			p.pos++
+			nt := p.next()
+			if nt.kind != tIdent {
+				return nil, p.errf(nt, "expected a field name")
+			}
+			x = &Member{X: x, Name: nt.text, Arrow: true, Line: t.line}
+		case "++", "--":
+			// Post-increment used as a statement-level operation: desugar
+			// to pre-increment (the produced value differs only for
+			// scalar arithmetic, which the analysis does not observe).
+			p.pos++
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			x = &Assign{LHS: x, RHS: &Binary{Op: op, X: x, Y: &IntLit{Val: 1, Line: t.line}, Line: t.line}, Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad integer literal %q", t.text)
+		}
+		return &IntLit{Val: v, Line: t.line}, nil
+	case tFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad float literal %q", t.text)
+		}
+		return &FloatLit{Val: v, Line: t.line}, nil
+	case tChar:
+		return &IntLit{Val: int64(t.text[0]), Line: t.line}, nil
+	case tString:
+		return &StrLit{Val: t.text, Line: t.line}, nil
+	case tKeyword:
+		if t.text == "NULL" {
+			return &NullLit{Line: t.line}, nil
+		}
+		return nil, p.errf(t, "unexpected keyword %q in expression", t.text)
+	case tIdent:
+		if v, ok := p.enumConsts[t.text]; ok {
+			return &IntLit{Val: v, Line: t.line}, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tPunct:
+		if t.text == "(" {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, p.errf(t, "unexpected %s in expression", t)
+}

@@ -1,0 +1,257 @@
+package cfront
+
+// Statement parsing.
+
+func (p *parser) parseBlock() (*Block, error) {
+	line := p.peek().line
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	blk := &Block{Line: line}
+	for !p.acceptPunct("}") {
+		if p.peek().kind == tEOF {
+			return nil, p.errf(p.peek(), "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tPunct && t.text == "{":
+		return p.parseBlock()
+	case t.kind == tPunct && t.text == ";":
+		p.pos++
+		return &Block{Line: t.line}, nil
+	case p.acceptKeyword("if"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.acceptKeyword("else") {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{C: c, Then: then, Else: els, Line: t.line}, nil
+	case p.acceptKeyword("while"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{C: c, Body: body, Line: t.line}, nil
+	case p.acceptKeyword("do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("while") {
+			return nil, p.errf(p.peek(), "expected while after do body")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &While{C: c, Body: body, Post: true, Line: t.line}, nil
+	case p.acceptKeyword("for"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.acceptPunct(";") {
+			var err error
+			if p.isTypeStart() {
+				init, err = p.parseDeclStmt()
+			} else {
+				var x Expr
+				x, err = p.parseExpr()
+				if err == nil {
+					init = &ExprStmt{X: x, Line: t.line}
+					err = p.expectPunct(";")
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr
+		if !p.acceptPunct(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+		var step Expr
+		if p.peek().kind != tPunct || p.peek().text != ")" {
+			var err error
+			step, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Init: init, Cond: cond, Step: step, Body: body, Line: t.line}, nil
+	case p.acceptKeyword("switch"):
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		sw := &Switch{X: x, Line: t.line}
+		curIdx := -1
+		for !p.acceptPunct("}") {
+			ct := p.peek()
+			switch {
+			case p.acceptKeyword("case"):
+				val, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				sw.Cases = append(sw.Cases, SwitchCase{Val: val, Line: ct.line})
+				curIdx = len(sw.Cases) - 1
+			case p.acceptKeyword("default"):
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				sw.Cases = append(sw.Cases, SwitchCase{Line: ct.line})
+				curIdx = len(sw.Cases) - 1
+			default:
+				if curIdx < 0 {
+					return nil, p.errf(ct, "statement before first case label")
+				}
+				s, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				sw.Cases[curIdx].Body = append(sw.Cases[curIdx].Body, s)
+			}
+		}
+		return sw, nil
+	case p.acceptKeyword("return"):
+		if p.acceptPunct(";") {
+			return &Return{Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Return{X: x, Line: t.line}, nil
+	case p.acceptKeyword("break"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Break{Line: t.line}, nil
+	case p.acceptKeyword("continue"):
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Continue{Line: t.line}, nil
+	case p.isTypeStart():
+		return p.parseDeclStmt()
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: t.line}, nil
+	}
+}
+
+// parseDeclStmt parses a local declaration statement (consumes ';').
+func (p *parser) parseDeclStmt() (Stmt, error) {
+	line := p.peek().line
+	storage := DefaultStorage
+	base, err := p.parseSpecifiers(&storage)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{Line: line}
+	for {
+		name, t, err := p.parseDeclarator(base, false)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf(p.peek(), "declaration needs a name")
+		}
+		var init Expr
+		if p.acceptPunct("=") {
+			init, err = p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+		}
+		ds.Vars = append(ds.Vars, &VarDecl{Name: name, Type: t, Init: init, Storage: storage, Line: line})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

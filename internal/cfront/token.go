@@ -1,0 +1,248 @@
+// Package cfront is a frontend for a C subset ("mini-C") that lowers to
+// MIR. It supports the language constructs that matter to a points-to
+// analysis: pointers, arrays, structs, address-of and dereference, function
+// pointers and indirect calls, static/extern linkage, pointer-integer
+// casts, and the standard allocation functions. It stands in for clang in
+// this reproduction, letting the examples and tests analyze real C source
+// such as the paper's Figure 1.
+package cfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tInt
+	tFloat
+	tChar
+	tString
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"struct": true, "union": true, "enum": true,
+	"static": true, "extern": true, "const": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"switch": true, "case": true, "default": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"typedef": true, "NULL": true,
+}
+
+// multi-character punctuation, longest first.
+var punct2 = []string{
+	"->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, &lexError{line, "unterminated comment"}
+			}
+			i += 2
+		case c == '#':
+			// Preprocessor lines are ignored (the mini-C frontend takes
+			// already-preprocessed input).
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			i++
+			var sb strings.Builder
+			for i < n && src[i] != '"' {
+				if src[i] == '\n' {
+					return nil, &lexError{line, "newline in string literal"}
+				}
+				if src[i] == '\\' && i+1 < n {
+					i++
+					sb.WriteByte(unescape(src[i]))
+				} else {
+					sb.WriteByte(src[i])
+				}
+				i++
+			}
+			if i >= n {
+				return nil, &lexError{line, "unterminated string literal"}
+			}
+			i++
+			toks = append(toks, token{tString, sb.String(), line})
+		case c == '\'':
+			i++
+			if i >= n {
+				return nil, &lexError{line, "unterminated character literal"}
+			}
+			var ch byte
+			if src[i] == '\\' && i+1 < n {
+				i++
+				ch = unescape(src[i])
+			} else {
+				ch = src[i]
+			}
+			i++
+			if i >= n || src[i] != '\'' {
+				return nil, &lexError{line, "unterminated character literal"}
+			}
+			i++
+			toks = append(toks, token{tChar, string(ch), line})
+		case isDigit(c):
+			start := i
+			isFloat := false
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				i += 2
+				for i < n && isHexDigit(src[i]) {
+					i++
+				}
+			} else {
+				for i < n && isDigit(src[i]) {
+					i++
+				}
+				if i < n && src[i] == '.' {
+					isFloat = true
+					i++
+					for i < n && isDigit(src[i]) {
+						i++
+					}
+				}
+				if i < n && (src[i] == 'e' || src[i] == 'E') {
+					j := i + 1
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					if j < n && isDigit(src[j]) {
+						isFloat = true
+						i = j
+						for i < n && isDigit(src[i]) {
+							i++
+						}
+					}
+				}
+			}
+			numEnd := i
+			// Integer/float suffixes (dropped from the token text).
+			for i < n && (src[i] == 'u' || src[i] == 'U' || src[i] == 'l' || src[i] == 'L' ||
+				src[i] == 'f' || src[i] == 'F') {
+				if src[i] == 'f' || src[i] == 'F' {
+					isFloat = true
+				}
+				i++
+			}
+			kind := tInt
+			if isFloat {
+				kind = tFloat
+			}
+			toks = append(toks, token{kind, src[start:numEnd], line})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			kind := tIdent
+			if keywords[word] {
+				kind = tKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+		default:
+			matched := false
+			for _, p2 := range punct2 {
+				if strings.HasPrefix(src[i:], p2) {
+					toks = append(toks, token{tPunct, p2, line})
+					i += len(p2)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("+-*/%<>=!&|^~?:;,.(){}[]", rune(c)) {
+				toks = append(toks, token{tPunct, string(c), line})
+				i++
+				break
+			}
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	default:
+		return c
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,165 @@
+package core
+
+// This file implements the online cycle-detection techniques of Table IV:
+// OCD (detect and collapse every cycle the moment an edge creates one) and
+// the collapse step shared with LCD (lazy detection triggered from
+// propagate when two sets are already equal). Cycle elimination never
+// changes the solution, only the work needed to reach it (Section II-D).
+
+// succSlice returns a snapshot of r's simple-edge successors.
+func (s *solver) succSlice(r VarID) []uint32 {
+	if s.succ[r] == nil {
+		return nil
+	}
+	return s.succ[r].Slice()
+}
+
+// collapseAllSCCs collapses every simple-edge cycle currently in the graph.
+func (s *solver) collapseAllSCCs() {
+	t := &tarjanState{
+		s:       s,
+		index:   map[VarID]int{},
+		lowlink: map[VarID]int{},
+		onStack: map[VarID]bool{},
+	}
+	for v := 0; v < s.n; v++ {
+		r := s.find(VarID(v))
+		if _, seen := t.index[r]; !seen {
+			t.strongConnect(r)
+		}
+	}
+}
+
+// ocdCheck runs after inserting edge src→dst: if dst reaches src, the new
+// edge closed a cycle; collapse the strongly connected component.
+func (s *solver) ocdCheck(src, dst VarID) {
+	if !s.reaches(dst, src) {
+		return
+	}
+	s.detectAndCollapse(dst, src)
+}
+
+// reaches reports whether from reaches to along simple edges.
+func (s *solver) reaches(from, to VarID) bool {
+	from, to = s.find(from), s.find(to)
+	if from == to {
+		return true
+	}
+	s.markGen++
+	gen := s.markGen
+	stack := []VarID{from}
+	s.visitMark[from] = gen
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range s.succSlice(u) {
+			v := s.find(q)
+			if v == to {
+				return true
+			}
+			if s.visitMark[v] != gen {
+				s.visitMark[v] = gen
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// detectAndCollapse runs Tarjan's algorithm from root over the simple-edge
+// graph and collapses every non-trivial strongly connected component it
+// finds. The must pair (root, other) is known or suspected to share a
+// cycle; collapsing all SCCs reachable from root covers it.
+func (s *solver) detectAndCollapse(root, other VarID) {
+	root = s.find(root)
+	t := &tarjanState{
+		s:       s,
+		index:   map[VarID]int{},
+		lowlink: map[VarID]int{},
+		onStack: map[VarID]bool{},
+	}
+	t.strongConnect(root)
+	_ = other
+}
+
+type tarjanState struct {
+	s       *solver
+	index   map[VarID]int
+	lowlink map[VarID]int
+	onStack map[VarID]bool
+	stack   []VarID
+	next    int
+}
+
+// strongConnect is an iterative Tarjan SCC over representatives.
+func (t *tarjanState) strongConnect(v0 VarID) {
+	type frame struct {
+		v     VarID
+		succs []uint32
+		i     int
+	}
+	s := t.s
+	frames := []frame{{v: v0, succs: s.succSlice(v0)}}
+	t.index[v0] = t.next
+	t.lowlink[v0] = t.next
+	t.next++
+	t.stack = append(t.stack, v0)
+	t.onStack[v0] = true
+
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		advanced := false
+		for f.i < len(f.succs) {
+			w := s.find(f.succs[f.i])
+			f.i++
+			if w == f.v {
+				continue
+			}
+			if _, seen := t.index[w]; !seen {
+				t.index[w] = t.next
+				t.lowlink[w] = t.next
+				t.next++
+				t.stack = append(t.stack, w)
+				t.onStack[w] = true
+				frames = append(frames, frame{v: w, succs: s.succSlice(w)})
+				advanced = true
+				break
+			}
+			if t.onStack[w] && t.index[w] < t.lowlink[f.v] {
+				t.lowlink[f.v] = t.index[w]
+			}
+			if t.lowlink[w] < t.lowlink[f.v] && t.onStack[w] {
+				t.lowlink[f.v] = t.lowlink[w]
+			}
+		}
+		if advanced {
+			continue
+		}
+		// Finished f.v: maybe the root of an SCC.
+		if t.lowlink[f.v] == t.index[f.v] {
+			var comp []VarID
+			for {
+				w := t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				t.onStack[w] = false
+				comp = append(comp, w)
+				if w == f.v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				merged := comp[0]
+				for _, w := range comp[1:] {
+					merged = s.unify(merged, w)
+				}
+			}
+		}
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			parent := &frames[len(frames)-1]
+			if t.lowlink[f.v] < t.lowlink[parent.v] {
+				t.lowlink[parent.v] = t.lowlink[f.v]
+			}
+		}
+	}
+}

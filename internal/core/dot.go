@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProblemDOT renders the constraint graph in Graphviz format, following
+// the paper's drawing conventions (Section II-B): virtual registers are
+// circles, abstract memory locations are squares, base constraints appear
+// as a braced list inside the node, simple constraints are plain edges,
+// and load/store constraints are edges with a dereference marker. The six
+// Ω-flag constraints are listed beneath the variable name.
+func ProblemDOT(p *Problem) string { return dotRender(p, nil) }
+
+// SolutionDOT renders the constraint graph with the solved points-to sets
+// (the "blue" state of the paper's Figure 4) and the inferred p ⊒ Ω marks.
+func SolutionDOT(p *Problem, sol *Solution) string { return dotRender(p, sol) }
+
+func dotRender(p *Problem, sol *Solution) string {
+	var b strings.Builder
+	b.WriteString("digraph constraints {\n  rankdir=LR;\n  node [fontsize=10];\n")
+
+	// Base sets per variable.
+	base := map[VarID][]VarID{}
+	if sol == nil {
+		for _, e := range p.Base {
+			base[e.Dst] = append(base[e.Dst], e.Src)
+		}
+	} else {
+		for v := VarID(0); v < VarID(p.NumVars()); v++ {
+			if p.PtrCompat[v] {
+				base[v] = sol.Explicit(v)
+			}
+		}
+	}
+
+	flagText := func(v VarID) string {
+		var marks []string
+		f := p.Flags[v]
+		if sol != nil {
+			if sol.PointsToExternal(v) {
+				f |= FlagPointsExt
+			}
+			if sol.Escaped(v) {
+				f |= FlagExternal
+			}
+		}
+		if f&FlagExternal != 0 {
+			marks = append(marks, "Ω⊒{x}")
+		}
+		if f&FlagPointsExt != 0 {
+			marks = append(marks, "x⊒Ω")
+		}
+		if f&FlagEscapedPointees != 0 {
+			marks = append(marks, "Ω⊒x")
+		}
+		if f&FlagStoreScalar != 0 {
+			marks = append(marks, "*x⊒Ω")
+		}
+		if f&FlagLoadScalar != 0 {
+			marks = append(marks, "Ω⊒*x")
+		}
+		if f&FlagImpFunc != 0 {
+			marks = append(marks, "ImpFunc")
+		}
+		if len(marks) == 0 {
+			return ""
+		}
+		return "\\n" + strings.Join(marks, " ")
+	}
+
+	for v := VarID(0); v < VarID(p.NumVars()); v++ {
+		shape := "ellipse"
+		if p.Kind[v] == Memory {
+			shape = "box"
+		}
+		label := p.Names[v]
+		if label == "" {
+			label = fmt.Sprintf("v%d", v)
+		}
+		if bs := base[v]; len(bs) > 0 {
+			sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+			var names []string
+			for _, x := range bs {
+				n := p.Names[x]
+				if n == "" {
+					n = fmt.Sprintf("v%d", x)
+				}
+				names = append(names, n)
+			}
+			label += "\\n{" + strings.Join(names, ", ") + "}"
+		}
+		label += flagText(v)
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=\"%s\"];\n", v, shape, strings.ReplaceAll(label, "\"", "'"))
+	}
+	for _, e := range p.Simple {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.Src, e.Dst)
+	}
+	for _, e := range p.Load {
+		// Dst ⊇ *Src: dereference at the tail.
+		fmt.Fprintf(&b, "  n%d -> n%d [taillabel=\"*\", style=dashed];\n", e.Src, e.Dst)
+	}
+	for _, e := range p.Store {
+		// *Dst ⊇ Src: dereference at the head.
+		fmt.Fprintf(&b, "  n%d -> n%d [headlabel=\"*\", style=dashed];\n", e.Src, e.Dst)
+	}
+	for i, fc := range p.Funcs {
+		fmt.Fprintf(&b, "  f%d [shape=plaintext, label=\"Func%d\"];\n", i, i+1)
+		fmt.Fprintf(&b, "  f%d -> n%d [style=dotted, arrowhead=none];\n", i, fc.F)
+		if fc.Ret != NoVar {
+			fmt.Fprintf(&b, "  f%d -> n%d [style=dotted, label=\"r\"];\n", i, fc.Ret)
+		}
+		for ai, av := range fc.Args {
+			if av != NoVar {
+				fmt.Fprintf(&b, "  f%d -> n%d [style=dotted, label=\"a%d\"];\n", i, av, ai+1)
+			}
+		}
+	}
+	for i, cc := range p.Calls {
+		fmt.Fprintf(&b, "  c%d [shape=plaintext, label=\"Call%d\"];\n", i, i+1)
+		fmt.Fprintf(&b, "  c%d -> n%d [style=dotted, arrowhead=none];\n", i, cc.Target)
+		if cc.Ret != NoVar {
+			fmt.Fprintf(&b, "  c%d -> n%d [style=dotted, label=\"r\"];\n", i, cc.Ret)
+		}
+		for ai, av := range cc.Args {
+			if av != NoVar {
+				fmt.Fprintf(&b, "  c%d -> n%d [style=dotted, label=\"a%d\"];\n", i, av, ai+1)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

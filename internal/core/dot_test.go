@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProblemDOT(t *testing.T) {
+	prob, ids := buildFigure3(t)
+	dot := ProblemDOT(prob)
+	for _, frag := range []string{
+		"digraph constraints",
+		"shape=box",     // memory locations are squares
+		"shape=ellipse", // registers are circles
+		"{x}",           // base constraint of p
+		"style=dashed",  // complex edges
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	_ = ids
+}
+
+func TestSolutionDOT(t *testing.T) {
+	prob, ids := buildFigure1(t)
+	sol := MustSolve(prob, DefaultConfig())
+	dot := SolutionDOT(prob, sol)
+	if !strings.Contains(dot, "x⊒Ω") {
+		t.Fatalf("solution DOT missing inferred Ω marks:\n%s", dot)
+	}
+	// r keeps an explicit pointee (the non-escaping w) even under PIP.
+	if !strings.Contains(dot, "r\\n{") {
+		t.Fatalf("solution DOT missing r's solved set:\n%s", dot)
+	}
+	_ = ids
+}
+
+func TestDOTFuncCallLabels(t *testing.T) {
+	prob, _ := buildFigure1(t)
+	dot := ProblemDOT(prob)
+	if !strings.Contains(dot, "Func1") || !strings.Contains(dot, "Call1") {
+		t.Fatalf("DOT missing Func/Call constraint nodes:\n%s", dot)
+	}
+}

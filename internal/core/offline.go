@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the two offline (pre-solve) techniques of Table IV:
+//
+//   - OVS, offline variable substitution (Rountev and Chandra): merge
+//     variables that are provably pointer-equivalent before solving, using
+//     hash-based value numbering over the offline constraint graph.
+//   - The offline half of HCD, hybrid cycle detection (Hardekopf and Lin):
+//     collapse offline simple-constraint cycles immediately and record, for
+//     cycles that run through a dereference node *p, the online rule
+//     "unify every pointee of p with r".
+//
+// Both analyses use the same offline constraint graph: one node per
+// variable plus one dereference node per variable that is dereferenced by a
+// load or store constraint.
+
+// offlineGraph is the offline constraint graph. Node ids 0..n-1 are the
+// variables; node n+v is the dereference node *v.
+type offlineGraph struct {
+	n        int
+	preds    [][]int32 // incoming edges
+	hasDeref []bool
+}
+
+func (g *offlineGraph) derefNode(v VarID) int32 { return int32(g.n) + int32(v) }
+func (g *offlineGraph) isDeref(node int32) bool { return int(node) >= g.n }
+func (g *offlineGraph) varOf(node int32) VarID  { return VarID(int(node) - g.n) }
+
+func buildOfflineGraph(p *Problem) *offlineGraph {
+	n := p.NumVars()
+	g := &offlineGraph{
+		n:        n,
+		preds:    make([][]int32, 2*n),
+		hasDeref: make([]bool, n),
+	}
+	addEdge := func(from, to int32) {
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for _, e := range p.Simple {
+		addEdge(int32(e.Src), int32(e.Dst))
+	}
+	for _, e := range p.Load {
+		// Dst ⊇ *Src.
+		g.hasDeref[e.Src] = true
+		addEdge(g.derefNode(e.Src), int32(e.Dst))
+	}
+	for _, e := range p.Store {
+		// *Dst ⊇ Src.
+		g.hasDeref[e.Dst] = true
+		addEdge(int32(e.Src), g.derefNode(e.Dst))
+	}
+	return g
+}
+
+// offlineSCCs computes strongly connected components of the offline graph
+// (over nodes that participate in any edge) using iterative Tarjan over the
+// predecessor lists (direction does not matter for SCCs). It returns a
+// component id per node and the component count. Nodes in no edge get
+// singleton components.
+func offlineSCCs(g *offlineGraph) ([]int32, int32) {
+	total := 2 * g.n
+	// Build successor lists from predecessor lists.
+	succs := make([][]int32, total)
+	for to, ps := range g.preds {
+		for _, from := range ps {
+			succs[from] = append(succs[from], int32(to))
+		}
+	}
+	const unvisited = int32(-1)
+	index := make([]int32, total)
+	low := make([]int32, total)
+	comp := make([]int32, total)
+	onStack := make([]bool, total)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		next   int32
+		nComp  int32
+		sstack []int32
+	)
+	type frame struct {
+		v int32
+		i int
+	}
+	for start := 0; start < total; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: int32(start)}}
+		index[start] = next
+		low[start] = next
+		next++
+		sstack = append(sstack, int32(start))
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.i < len(succs[v]) {
+				w := succs[v][f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					sstack = append(sstack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && low[w] < low[v] {
+					low[v] = low[w]
+				}
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := sstack[len(sstack)-1]
+					sstack = sstack[:len(sstack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+	return comp, nComp
+}
+
+// runOVS performs offline variable substitution: hash-based value numbering
+// assigns each variable a label describing its points-to set symbolically;
+// variables with identical labels are unified before solving. Indirect
+// nodes (memory locations, dereference nodes, flagged variables, call
+// results, and function parameters) receive unique labels, which makes the
+// substitution exact: it never changes the computed solution.
+func (s *solver) runOVS() {
+	p := s.p
+	g := buildOfflineGraph(p)
+	comp, nComp := offlineSCCs(g)
+
+	n := p.NumVars()
+	indirect := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if p.Kind[v] == Memory || p.Flags[v] != 0 || !p.PtrCompat[v] {
+			indirect[v] = true
+		}
+	}
+	for _, fc := range p.Funcs {
+		// Parameters receive edges from unknown call sites.
+		for _, a := range fc.Args {
+			if a != NoVar {
+				indirect[a] = true
+			}
+		}
+		indirect[fc.F] = true
+	}
+	for _, cc := range p.Calls {
+		// Results receive edges from unknown returns.
+		if cc.Ret != NoVar {
+			indirect[cc.Ret] = true
+		}
+		indirect[cc.Target] = true
+	}
+
+	// Base labels: ref(x) per base-constraint target set.
+	baseLabels := make(map[VarID][]int64, len(p.Base))
+	for _, e := range p.Base {
+		baseLabels[e.Dst] = append(baseLabels[e.Dst], int64(e.Src))
+	}
+
+	// Condensation: group offline nodes by component; process components
+	// in topological order (Tarjan emits them in reverse topological
+	// order of the successor DAG, so components can be processed in
+	// increasing id order only after sorting by dependency; instead we
+	// process with memoized recursion over components).
+	compIndirect := make([]bool, nComp)
+	compMembers := make([][]int32, nComp)
+	total := 2 * n
+	for node := 0; node < total; node++ {
+		c := comp[node]
+		compMembers[c] = append(compMembers[c], int32(node))
+		if g.isDeref(int32(node)) || indirect[node] {
+			compIndirect[c] = true
+		}
+	}
+
+	// Component predecessor sets.
+	compPreds := make([][]int32, nComp)
+	for to := 0; to < total; to++ {
+		ct := comp[to]
+		for _, from := range g.preds[to] {
+			cf := comp[from]
+			if cf != ct {
+				compPreds[ct] = append(compPreds[ct], cf)
+			}
+		}
+	}
+
+	// Assign label sets per component, memoized. Fresh labels are
+	// negative and unique; base labels are non-negative variable ids.
+	labelOf := make([][]int64, nComp)
+	freshCounter := int64(0)
+	var labelsFor func(c int32) []int64
+	labelsFor = func(c int32) []int64 {
+		if labelOf[c] != nil {
+			return labelOf[c]
+		}
+		labelOf[c] = []int64{} // cycle guard; components form a DAG
+		if compIndirect[c] {
+			freshCounter++
+			labelOf[c] = []int64{-freshCounter}
+			return labelOf[c]
+		}
+		set := map[int64]bool{}
+		for _, m := range compMembers[c] {
+			if !g.isDeref(m) {
+				for _, l := range baseLabels[VarID(m)] {
+					set[l] = true
+				}
+			}
+		}
+		for _, pc := range compPreds[c] {
+			for _, l := range labelsFor(pc) {
+				set[l] = true
+			}
+		}
+		out := make([]int64, 0, len(set))
+		for l := range set {
+			out = append(out, l)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		labelOf[c] = out
+		return out
+	}
+
+	// Unify: (1) direct variables in the same component (offline copy
+	// cycles); (2) direct variables with identical non-empty label sets.
+	byLabel := map[string]VarID{}
+	for v := 0; v < n; v++ {
+		if indirect[v] {
+			continue
+		}
+		c := comp[v]
+		if compIndirect[c] {
+			// A direct variable on a cycle through an indirect node: the
+			// cycle is not guaranteed to materialize, so members are not
+			// provably equivalent. Skip to keep OVS exact.
+			continue
+		}
+		ls := labelsFor(c)
+		if len(ls) == 0 {
+			continue // provably points to nothing
+		}
+		var b strings.Builder
+		for _, l := range ls {
+			fmt.Fprintf(&b, "%d,", l)
+		}
+		key := b.String()
+		if first, ok := byLabel[key]; ok {
+			s.forest.Union(first, VarID(v))
+			s.stats.Unifications++
+		} else {
+			byLabel[key] = VarID(v)
+		}
+	}
+}
+
+// runHCDOffline computes the hybrid-cycle-detection table. Offline cycles
+// consisting purely of variable nodes are collapsed immediately. For a
+// cycle that passes through exactly one dereference node *p, the table
+// records hcdRef[p] = r for a variable r on the cycle: at solve time, every
+// pointee of p provably joins a cycle with r and is unified with it. Cycles
+// through two or more dereference nodes are skipped, keeping the technique
+// exact (the materialization of one deref's edges depends on the other's
+// points-to set, so the cycle is not guaranteed).
+func (s *solver) runHCDOffline() {
+	p := s.p
+	g := buildOfflineGraph(p)
+	comp, nComp := offlineSCCs(g)
+
+	n := p.NumVars()
+	type info struct {
+		vars   []VarID
+		derefs []VarID
+	}
+	comps := make([]info, nComp)
+	for node := 0; node < 2*n; node++ {
+		c := comp[node]
+		if g.isDeref(int32(node)) {
+			v := g.varOf(int32(node))
+			if g.hasDeref[v] {
+				comps[c].derefs = append(comps[c].derefs, v)
+			}
+		} else {
+			comps[c].vars = append(comps[c].vars, VarID(node))
+		}
+	}
+	s.hcdRef = map[VarID]VarID{}
+	for _, ci := range comps {
+		if len(ci.vars)+len(ci.derefs) < 2 {
+			continue
+		}
+		switch {
+		case len(ci.derefs) == 0:
+			// Pure simple-constraint cycle: collapse now.
+			rep := ci.vars[0]
+			for _, v := range ci.vars[1:] {
+				if p.PtrCompat[v] && p.PtrCompat[rep] {
+					rep = s.forest.Union(rep, v)
+					s.stats.Unifications++
+				}
+			}
+		case len(ci.derefs) == 1 && len(ci.vars) > 0:
+			// The cycle runs a → *p → b → … → a. It materializes through
+			// every pointee x of p, so x can be unified with an on-cycle
+			// variable r the moment it appears. The on-cycle variables
+			// themselves are NOT collapsed offline: if p never gains a
+			// pointee the cycle never exists, and eager collapsing would
+			// change the solution.
+			r := ci.vars[0]
+			if !p.PtrCompat[r] {
+				break
+			}
+			pv := s.forest.Find(ci.derefs[0])
+			s.hcdRef[pv] = r
+		}
+	}
+}

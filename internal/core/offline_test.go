@@ -1,0 +1,165 @@
+package core
+
+import "testing"
+
+// Offline-technique unit tests on crafted constraint graphs.
+
+// copyChain builds p0 → p1 → … → p(n-1) with a base constraint at the head.
+func copyChain(n int) (*Problem, []VarID) {
+	p := NewProblem()
+	loc := p.AddVar("loc", Memory, true)
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = p.AddVar("", Register, true)
+	}
+	p.AddBase(vars[0], loc)
+	for i := 1; i < n; i++ {
+		p.AddSimple(vars[i], vars[i-1])
+	}
+	return p, vars
+}
+
+func TestOVSMergesCopyChain(t *testing.T) {
+	// Straight copy chains are pointer-equivalent after the head; OVS
+	// must shrink the number of distinct solution sets dramatically.
+	prob, _ := copyChain(50)
+	with := MustSolve(prob, MustParseConfig("IP+OVS+WL(FIFO)"))
+	without := MustSolve(prob, MustParseConfig("IP+WL(FIFO)"))
+	if with.Canonical() != without.Canonical() {
+		t.Fatal("OVS changed the solution")
+	}
+	// All 50 chain members share one Sol set under OVS: total explicit
+	// pointees counted per representative collapses to ~1.
+	if with.Stats.ExplicitPointees >= without.Stats.ExplicitPointees {
+		t.Fatalf("OVS should reduce explicit pointees: %d vs %d",
+			with.Stats.ExplicitPointees, without.Stats.ExplicitPointees)
+	}
+	if with.Stats.ExplicitPointees > 3 {
+		t.Fatalf("copy chain should collapse to a few sets, got %d pointees",
+			with.Stats.ExplicitPointees)
+	}
+}
+
+func TestOVSKeepsDistinctChainsApart(t *testing.T) {
+	// Two chains with different base constraints must not merge.
+	p := NewProblem()
+	locA := p.AddVar("a", Memory, true)
+	locB := p.AddVar("b", Memory, true)
+	a0 := p.AddVar("", Register, true)
+	a1 := p.AddVar("", Register, true)
+	b0 := p.AddVar("", Register, true)
+	b1 := p.AddVar("", Register, true)
+	p.AddBase(a0, locA)
+	p.AddBase(b0, locB)
+	p.AddSimple(a1, a0)
+	p.AddSimple(b1, b0)
+	sol := MustSolve(p, MustParseConfig("IP+OVS+WL(FIFO)"))
+	sa := sol.PointsTo(a1)
+	sb := sol.PointsTo(b1)
+	if len(sa) != 1 || len(sb) != 1 || sa[0] == sb[0] {
+		t.Fatalf("distinct chains merged: %v vs %v", sa, sb)
+	}
+}
+
+func TestOVSWithFlagsStaysExact(t *testing.T) {
+	// A flagged variable in the middle of a chain must not be merged away.
+	prob, vars := copyChain(10)
+	prob.SetFlag(vars[5], FlagPointsExt)
+	prob.SetFlag(vars[2], FlagEscapedPointees)
+	want := ReferenceSolve(prob)
+	for _, cfg := range []string{"IP+OVS+WL(FIFO)", "EP+OVS+WL(FIFO)", "IP+OVS+Naive"} {
+		sol := MustSolve(prob, MustParseConfig(cfg))
+		if sol.Canonical() != want {
+			t.Fatalf("%s with flags diverged from reference", cfg)
+		}
+	}
+}
+
+func TestHCDCollapsesOfflineCycle(t *testing.T) {
+	// A pure simple-edge cycle collapses offline under HCD.
+	p := NewProblem()
+	loc := p.AddVar("loc", Memory, true)
+	a := p.AddVar("a", Register, true)
+	b := p.AddVar("b", Register, true)
+	c := p.AddVar("c", Register, true)
+	p.AddBase(a, loc)
+	p.AddSimple(b, a)
+	p.AddSimple(c, b)
+	p.AddSimple(a, c)
+	sol := MustSolve(p, MustParseConfig("IP+WL(FIFO)+HCD"))
+	noHCD := MustSolve(p, MustParseConfig("IP+WL(FIFO)"))
+	if sol.Canonical() != noHCD.Canonical() {
+		t.Fatal("HCD changed the solution")
+	}
+	if sol.Stats.Unifications == 0 {
+		t.Fatal("HCD should collapse the offline cycle")
+	}
+}
+
+func TestHCDDerefCycleUnifiesPointees(t *testing.T) {
+	// The cycle a → *p → a (store *p ⊇ a; load a ⊇ *p): every pointee of
+	// p joins a's cycle at solve time.
+	p := NewProblem()
+	x := p.AddVar("x", Memory, true)
+	y := p.AddVar("y", Memory, true)
+	loc := p.AddVar("loc", Memory, true)
+	a := p.AddVar("a", Register, true)
+	ptr := p.AddVar("p", Register, true)
+	p.AddBase(ptr, x)
+	p.AddBase(ptr, y)
+	p.AddBase(a, loc)
+	p.AddStore(ptr, a) // *p ⊇ a
+	p.AddLoad(a, ptr)  // a ⊇ *p
+	want := ReferenceSolve(p)
+	sol := MustSolve(p, MustParseConfig("IP+WL(FIFO)+HCD"))
+	if sol.Canonical() != want {
+		t.Fatal("HCD deref cycle changed the solution")
+	}
+	if sol.Stats.Unifications < 2 {
+		t.Fatalf("HCD should unify both pointees with a, got %d unifications",
+			sol.Stats.Unifications)
+	}
+}
+
+func TestLCDCollapsesOnlineCycle(t *testing.T) {
+	// A cycle that only materializes online (through a load) is caught by
+	// LCD once the sets become equal.
+	p := NewProblem()
+	cell := p.AddVar("cell", Memory, true)
+	x := p.AddVar("x", Memory, true)
+	a := p.AddVar("a", Register, true)
+	b := p.AddVar("b", Register, true)
+	hnd := p.AddVar("hnd", Register, true)
+	p.AddBase(hnd, cell)
+	p.AddBase(a, x)
+	p.AddSimple(b, a)  // a → b
+	p.AddStore(hnd, b) // *hnd ⊇ b  (creates b → cell)
+	p.AddLoad(a, hnd)  // a ⊇ *hnd  (creates cell → a): cycle a→b→cell→a
+	want := ReferenceSolve(p)
+	lcd := MustSolve(p, MustParseConfig("IP+WL(FIFO)+LCD"))
+	if lcd.Canonical() != want {
+		t.Fatal("LCD changed the solution")
+	}
+	ocd := MustSolve(p, MustParseConfig("IP+WL(FIFO)+OCD"))
+	if ocd.Canonical() != want {
+		t.Fatal("OCD changed the solution")
+	}
+	if ocd.Stats.Unifications == 0 {
+		t.Fatal("OCD must find the online cycle")
+	}
+}
+
+func TestDPMatchesNonDPOnChains(t *testing.T) {
+	// Difference propagation produces identical results with fewer
+	// propagated elements on repeated small updates.
+	for seed := int64(300); seed < 305; seed++ {
+		prob := randomProblem(seed, 60, 150)
+		want := ReferenceSolve(prob)
+		for _, cfg := range []string{"IP+WL(FIFO)+DP", "EP+WL(LIFO)+DP", "IP+WL(LRF)+DP+PIP"} {
+			sol := MustSolve(prob, MustParseConfig(cfg))
+			if sol.Canonical() != want {
+				t.Fatalf("seed %d: %s diverged", seed, cfg)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import "container/heap"
+
+// worklist abstracts the iteration orders of Table IV. Nodes are pushed at
+// most once (pending membership is tracked); pop order is the policy.
+type worklist interface {
+	push(n VarID)
+	pop() (VarID, bool)
+}
+
+// newWorklist constructs the worklist for the configured iteration order.
+func newWorklist(o Order, s *solver) worklist {
+	switch o {
+	case FIFO:
+		return &fifoWL{pending: make([]bool, s.n)}
+	case LIFO:
+		return &lifoWL{pending: make([]bool, s.n)}
+	case LRF:
+		return newLRFWL(s.n)
+	case LRF2:
+		return &twoPhaseWL{cur: newLRFWL(s.n), next: newLRFWL(s.n)}
+	case Topo:
+		return &topoWL{s: s, pending: make([]bool, s.n)}
+	default:
+		return &fifoWL{pending: make([]bool, s.n)}
+	}
+}
+
+// fifoWL is a first-in-first-out queue (Pearce et al.).
+type fifoWL struct {
+	q       []VarID
+	head    int
+	pending []bool
+}
+
+func (w *fifoWL) push(n VarID) {
+	if w.pending[n] {
+		return
+	}
+	w.pending[n] = true
+	w.q = append(w.q, n)
+}
+
+func (w *fifoWL) pop() (VarID, bool) {
+	for w.head < len(w.q) {
+		n := w.q[w.head]
+		w.head++
+		if w.head > 4096 && w.head*2 > len(w.q) {
+			w.q = append(w.q[:0], w.q[w.head:]...)
+			w.head = 0
+		}
+		if w.pending[n] {
+			w.pending[n] = false
+			return n, true
+		}
+	}
+	w.q = w.q[:0]
+	w.head = 0
+	return 0, false
+}
+
+// lifoWL is a last-in-first-out stack.
+type lifoWL struct {
+	stack   []VarID
+	pending []bool
+}
+
+func (w *lifoWL) push(n VarID) {
+	if w.pending[n] {
+		return
+	}
+	w.pending[n] = true
+	w.stack = append(w.stack, n)
+}
+
+func (w *lifoWL) pop() (VarID, bool) {
+	for len(w.stack) > 0 {
+		n := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		if w.pending[n] {
+			w.pending[n] = false
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// lrfWL pops the node that was least recently fired (Pearce et al.): a
+// min-heap keyed by the logical timestamp of the node's previous visit.
+type lrfWL struct {
+	h         lrfHeap
+	lastFired []uint64
+	pending   []bool
+	clock     uint64
+}
+
+type lrfItem struct {
+	n    VarID
+	fire uint64
+}
+
+type lrfHeap []lrfItem
+
+func (h lrfHeap) Len() int            { return len(h) }
+func (h lrfHeap) Less(i, j int) bool  { return h[i].fire < h[j].fire }
+func (h lrfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lrfHeap) Push(x interface{}) { *h = append(*h, x.(lrfItem)) }
+func (h *lrfHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func newLRFWL(n int) *lrfWL {
+	return &lrfWL{lastFired: make([]uint64, n), pending: make([]bool, n)}
+}
+
+func (w *lrfWL) push(n VarID) {
+	if w.pending[n] {
+		return
+	}
+	w.pending[n] = true
+	heap.Push(&w.h, lrfItem{n: n, fire: w.lastFired[n]})
+}
+
+func (w *lrfWL) pop() (VarID, bool) {
+	for w.h.Len() > 0 {
+		it := heap.Pop(&w.h).(lrfItem)
+		if !w.pending[it.n] {
+			continue
+		}
+		w.pending[it.n] = false
+		w.clock++
+		w.lastFired[it.n] = w.clock
+		return it.n, true
+	}
+	return 0, false
+}
+
+// twoPhaseWL is the 2-phase LRF order (Hardekopf and Lin): pops drain the
+// current phase in LRF order while pushes accumulate in the next phase; the
+// phases swap when the current one runs dry.
+type twoPhaseWL struct {
+	cur, next *lrfWL
+}
+
+func (w *twoPhaseWL) push(n VarID) { w.next.push(n) }
+
+func (w *twoPhaseWL) pop() (VarID, bool) {
+	if n, ok := w.cur.pop(); ok {
+		return n, true
+	}
+	w.cur, w.next = w.next, w.cur
+	// Timestamps carry across phases through each heap's own clock.
+	return w.cur.pop()
+}
+
+// topoWL processes pending nodes in topological order of the current
+// simple-edge graph, recomputing the order at the start of every sweep
+// (Pearce et al.'s periodic topological iteration). Nodes that become
+// pending mid-sweep wait for the next sweep.
+type topoWL struct {
+	s       *solver
+	pending []bool
+	order   []VarID
+	idx     int
+	nPend   int
+}
+
+func (w *topoWL) push(n VarID) {
+	if w.pending[n] {
+		return
+	}
+	w.pending[n] = true
+	w.nPend++
+}
+
+func (w *topoWL) pop() (VarID, bool) {
+	for {
+		for w.idx < len(w.order) {
+			n := w.order[w.idx]
+			w.idx++
+			if w.pending[n] {
+				w.pending[n] = false
+				w.nPend--
+				return n, true
+			}
+		}
+		if w.nPend == 0 {
+			return 0, false
+		}
+		w.computeOrder()
+	}
+}
+
+// computeOrder builds a topological order (cycles broken arbitrarily by DFS
+// post-order) over the representatives of all pending nodes.
+func (w *topoWL) computeOrder() {
+	s := w.s
+	w.order = w.order[:0]
+	w.idx = 0
+	// Normalize pending entries whose node has been merged away, so the
+	// sweep below can always retire them.
+	for v := 0; v < s.n; v++ {
+		if !w.pending[v] {
+			continue
+		}
+		r := s.find(VarID(v))
+		if r == VarID(v) {
+			continue
+		}
+		w.pending[v] = false
+		w.nPend--
+		if !w.pending[r] {
+			w.pending[r] = true
+			w.nPend++
+		}
+	}
+	s.markGen++
+	gen := s.markGen
+	type frame struct {
+		n     VarID
+		succs []uint32
+		i     int
+	}
+	dfs := func(u VarID) {
+		frames := []frame{{n: u, succs: s.succSlice(u)}}
+		s.visitMark[u] = gen
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				v := s.find(f.succs[f.i])
+				f.i++
+				if s.visitMark[v] != gen {
+					s.visitMark[v] = gen
+					frames = append(frames, frame{n: v, succs: s.succSlice(v)})
+				}
+				continue
+			}
+			w.order = append(w.order, f.n)
+			frames = frames[:len(frames)-1]
+		}
+	}
+	for v := 0; v < s.n; v++ {
+		r := s.find(VarID(v))
+		if w.pending[r] && s.visitMark[r] != gen {
+			dfs(r)
+		}
+	}
+	// DFS emits reverse topological order; reverse it so sources come
+	// first (pointees flow forward along simple edges).
+	for i, j := 0, len(w.order)-1; i < j; i, j = i+1, j-1 {
+		w.order[i], w.order[j] = w.order[j], w.order[i]
+	}
+}

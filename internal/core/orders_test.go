@@ -1,0 +1,166 @@
+package core
+
+import "testing"
+
+// Worklist-order unit tests: each policy must dedupe pushes, drain
+// completely, and (for the solver) reach the same fixed point.
+
+func drain(w worklist) []VarID {
+	var out []VarID
+	for {
+		n, ok := w.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+func newTestSolver(n int) *solver {
+	p := NewProblem()
+	for i := 0; i < n; i++ {
+		p.AddVar("", Register, true)
+	}
+	return newSolver(p, Config{Rep: IP, Solver: Worklist})
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := newTestSolver(8)
+	w := newWorklist(FIFO, s)
+	for _, v := range []VarID{3, 1, 4, 1, 5} { // duplicate 1
+		w.push(v)
+	}
+	got := drain(w)
+	want := []VarID{3, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("FIFO drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := newTestSolver(8)
+	w := newWorklist(LIFO, s)
+	for _, v := range []VarID{1, 2, 3} {
+		w.push(v)
+	}
+	got := drain(w)
+	want := []VarID{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LIFO order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLRFPrefersLeastRecentlyFired(t *testing.T) {
+	s := newTestSolver(8)
+	w := newWorklist(LRF, s)
+	w.push(1)
+	w.push(2)
+	// Pop both: 1 and 2 now have fire times 1 and 2.
+	if n, _ := w.pop(); n != 1 && n != 2 {
+		t.Fatal("unexpected pop")
+	}
+	first, _ := w.pop()
+	_ = first
+	// Re-push both plus a never-fired node: the never-fired node (fire
+	// time 0) must come out first.
+	w.push(2)
+	w.push(5)
+	w.push(1)
+	if n, _ := w.pop(); n != 5 {
+		t.Fatalf("LRF popped %d first, want the never-fired 5", n)
+	}
+}
+
+func TestTwoPhaseDrainsEverything(t *testing.T) {
+	s := newTestSolver(16)
+	w := newWorklist(LRF2, s)
+	for v := VarID(0); v < 10; v++ {
+		w.push(v)
+	}
+	seen := map[VarID]bool{}
+	// Push more nodes while draining (they go to the next phase).
+	for i := 0; i < 3; i++ {
+		n, ok := w.pop()
+		if !ok {
+			t.Fatal("drained early")
+		}
+		seen[n] = true
+	}
+	w.push(12)
+	w.push(13)
+	for {
+		n, ok := w.pop()
+		if !ok {
+			break
+		}
+		seen[n] = true
+	}
+	if len(seen) != 12 {
+		t.Fatalf("2LRF drained %d unique nodes, want 12", len(seen))
+	}
+}
+
+func TestTopoRespectsSimpleEdges(t *testing.T) {
+	// Graph: 0 → 1 → 2. A topological sweep visits sources first.
+	s := newTestSolver(4)
+	s.succOf(0).Add(1)
+	s.succOf(1).Add(2)
+	w := newWorklist(Topo, s)
+	for _, v := range []VarID{2, 0, 1} {
+		w.push(v)
+	}
+	got := drain(w)
+	pos := map[VarID]int{}
+	for i, v := range got {
+		pos[v] = i
+	}
+	if pos[0] > pos[1] || pos[1] > pos[2] {
+		t.Fatalf("topo order violated: %v", got)
+	}
+}
+
+func TestTopoSurvivesUnification(t *testing.T) {
+	// A pending node merged away must not wedge the sweep.
+	s := newTestSolver(6)
+	w := newWorklist(Topo, s)
+	w.push(2)
+	w.push(3)
+	s.wl = w
+	s.unify(2, 3)
+	count := 0
+	for {
+		_, ok := w.pop()
+		if !ok {
+			break
+		}
+		count++
+		if count > 10 {
+			t.Fatal("topo worklist did not terminate")
+		}
+	}
+	if count == 0 {
+		t.Fatal("nothing drained")
+	}
+}
+
+// All orders must solve a stress problem to the same fixed point.
+func TestAllOrdersSameFixedPoint(t *testing.T) {
+	prob := randomProblem(777, 150, 400)
+	want := ReferenceSolve(prob)
+	for _, o := range []string{"FIFO", "LIFO", "LRF", "2LRF", "TOPO"} {
+		for _, rep := range []string{"IP", "EP"} {
+			cfg := MustParseConfig(rep + "+WL(" + o + ")")
+			sol := MustSolve(prob, cfg)
+			if sol.Canonical() != want {
+				t.Fatalf("%s diverged from reference", cfg)
+			}
+		}
+	}
+}

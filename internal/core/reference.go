@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReferenceSolve is an independent, deliberately simple fixed-point solver
+// used only by tests to validate the production solver. It materializes Ω
+// as an explicit pseudo-variable, represents points-to sets as maps, and
+// applies every inference rule of Figures 2 and 7 in a loop until nothing
+// changes. It shares no code with the solver under test.
+//
+// It returns the canonical solution string in the same format as
+// Solution.Canonical.
+func ReferenceSolve(p *Problem) string {
+	n := p.NumVars()
+	omega := VarID(n)
+
+	pts := make([]map[VarID]bool, n+1)
+	succ := make([]map[VarID]bool, n+1)
+	for i := range pts {
+		pts[i] = map[VarID]bool{}
+		succ[i] = map[VarID]bool{}
+	}
+	compat := func(v VarID) bool {
+		if v == omega {
+			return true
+		}
+		return p.PtrCompat[v]
+	}
+
+	type loadC struct{ dst, ptr VarID }
+	type storeC struct{ ptr, src VarID }
+	var loads []loadC
+	var stores []storeC
+	funcs := map[VarID][]FuncConstraint{}
+	extFunc := map[VarID]bool{} // imported functions: Func(f, Ω, ⋯, Ω)
+	var calls []CallConstraint
+
+	changed := true
+	mark := func(m map[VarID]bool, v VarID) {
+		if !m[v] {
+			m[v] = true
+			changed = true
+		}
+	}
+	// addEdge normalizes pointer-incompatible endpoints to Ω (Section V-B).
+	addEdge := func(src, dst VarID) {
+		if !compat(src) {
+			src = omega
+		}
+		if !compat(dst) {
+			dst = omega
+		}
+		if src == dst {
+			return
+		}
+		mark(succ[src], dst)
+	}
+
+	// Seed.
+	for _, e := range p.Base {
+		if compat(e.Dst) {
+			mark(pts[e.Dst], e.Src)
+		}
+	}
+	for _, e := range p.Simple {
+		addEdge(e.Src, e.Dst)
+	}
+	for _, e := range p.Load {
+		if !compat(e.Src) {
+			// Loading through an integer: unknown-origin result.
+			addEdge(omega, e.Dst)
+			continue
+		}
+		if !compat(e.Dst) {
+			// Scalar load: Ω ⊇ *ptr.
+			loads = append(loads, loadC{dst: omega, ptr: e.Src})
+			continue
+		}
+		loads = append(loads, loadC{dst: e.Dst, ptr: e.Src})
+	}
+	for _, e := range p.Store {
+		if !compat(e.Dst) {
+			addEdge(e.Src, omega)
+			continue
+		}
+		if !compat(e.Src) {
+			stores = append(stores, storeC{ptr: e.Dst, src: omega})
+			continue
+		}
+		stores = append(stores, storeC{ptr: e.Dst, src: e.Src})
+	}
+	for _, fc := range p.Funcs {
+		funcs[fc.F] = append(funcs[fc.F], fc)
+	}
+	calls = append(calls, p.Calls...)
+
+	// Ω constraints of Section III-B.
+	mark(pts[omega], omega)
+	loads = append(loads, loadC{dst: omega, ptr: omega})
+	stores = append(stores, storeC{ptr: omega, src: omega})
+
+	for v := VarID(0); v < VarID(n); v++ {
+		f := p.Flags[v]
+		if f&FlagExternal != 0 {
+			mark(pts[omega], v)
+		}
+		if f&FlagImpFunc != 0 {
+			extFunc[v] = true
+		}
+		if f&FlagPointsExt != 0 {
+			addEdge(omega, v)
+		}
+		if f&FlagEscapedPointees != 0 {
+			addEdge(v, omega)
+		}
+		if f&FlagStoreScalar != 0 {
+			stores = append(stores, storeC{ptr: v, src: omega})
+		}
+		if f&FlagLoadScalar != 0 {
+			loads = append(loads, loadC{dst: omega, ptr: v})
+		}
+	}
+
+	members := func(v VarID) []VarID {
+		out := make([]VarID, 0, len(pts[v]))
+		for x := range pts[v] {
+			out = append(out, x)
+		}
+		return out
+	}
+
+	for changed {
+		changed = false
+		// TRANS.
+		for src := VarID(0); src <= omega; src++ {
+			for dst := range succ[src] {
+				for x := range pts[src] {
+					mark(pts[dst], x)
+				}
+			}
+		}
+		// LOAD.
+		for _, l := range loads {
+			for _, x := range members(l.ptr) {
+				addEdge(x, l.dst)
+			}
+		}
+		// STORE.
+		for _, st := range stores {
+			for _, x := range members(st.ptr) {
+				addEdge(st.src, x)
+			}
+		}
+		// CALL, including Ω's external call (external modules call every
+		// function reachable from Ω) and imported functions.
+		apply := func(target VarID, ret VarID, args []VarID, externalCaller bool) {
+			for _, x := range members(target) {
+				if x == omega && !externalCaller {
+					// Call through an unknown pointer behaves as a call
+					// to an imported function.
+					if ret != NoVar {
+						addEdge(omega, ret)
+					}
+					for _, a := range args {
+						if a != NoVar {
+							addEdge(a, omega)
+						}
+					}
+					continue
+				}
+				if extFunc[x] && !externalCaller {
+					// Imported-function effects; a variable can in
+					// principle carry both ImpFunc and explicit Func
+					// constraints, in which case both apply.
+					if ret != NoVar {
+						addEdge(omega, ret)
+					}
+					for _, a := range args {
+						if a != NoVar {
+							addEdge(a, omega)
+						}
+					}
+				}
+				for _, fc := range funcs[x] {
+					if externalCaller {
+						if fc.Ret != NoVar {
+							addEdge(fc.Ret, omega)
+						}
+						for _, fa := range fc.Args {
+							if fa != NoVar {
+								addEdge(omega, fa)
+							}
+						}
+						continue
+					}
+					if ret != NoVar && fc.Ret != NoVar {
+						addEdge(fc.Ret, ret)
+					}
+					k := len(args)
+					if len(fc.Args) < k {
+						k = len(fc.Args)
+					}
+					for i := 0; i < k; i++ {
+						if args[i] != NoVar && fc.Args[i] != NoVar {
+							addEdge(args[i], fc.Args[i])
+						}
+					}
+				}
+			}
+		}
+		for _, c := range calls {
+			apply(c.Target, c.Ret, c.Args, false)
+		}
+		apply(omega, NoVar, nil, true)
+	}
+
+	// Canonical rendering: Sol(v) = Sol_e(v) \ {Ω} plus, when Ω ∈ Sol(v),
+	// all of E and the Ω marker.
+	external := map[VarID]bool{}
+	for x := range pts[omega] {
+		if x != omega {
+			external[x] = true
+		}
+	}
+	var b strings.Builder
+	for v := VarID(0); v < VarID(n); v++ {
+		if !p.PtrCompat[v] {
+			continue
+		}
+		set := map[VarID]bool{}
+		hasOmega := false
+		for x := range pts[v] {
+			if x == omega {
+				hasOmega = true
+				continue
+			}
+			set[x] = true
+		}
+		if hasOmega {
+			for x := range external {
+				set[x] = true
+			}
+		}
+		out := make([]VarID, 0, len(set))
+		for x := range set {
+			out = append(out, x)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		fmt.Fprintf(&b, "%d:", v)
+		for _, x := range out {
+			fmt.Fprintf(&b, " %d", x)
+		}
+		if hasOmega {
+			b.WriteString(" Ω")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct tests of Solution accessors, including EP/IP parity.
+
+func solvePair(t *testing.T, prob *Problem) (*Solution, *Solution) {
+	t.Helper()
+	ep := MustSolve(prob, MustParseConfig("EP+WL(FIFO)"))
+	ip := MustSolve(prob, MustParseConfig("IP+WL(FIFO)+PIP"))
+	return ep, ip
+}
+
+func TestSolutionParityEPvsIP(t *testing.T) {
+	prob, ids := buildFigure1(t)
+	ep, ip := solvePair(t, prob)
+	for name, v := range ids {
+		if !prob.PtrCompat[v] {
+			// Escape parity holds for every variable.
+			if ep.Escaped(v) != ip.Escaped(v) {
+				t.Fatalf("%s: Escaped differs EP=%v IP=%v", name, ep.Escaped(v), ip.Escaped(v))
+			}
+			continue
+		}
+		if ep.PointsToExternal(v) != ip.PointsToExternal(v) {
+			t.Fatalf("%s: PointsToExternal differs", name)
+		}
+		epSet := ep.PointsTo(v)
+		ipSet := ip.PointsTo(v)
+		if len(epSet) != len(ipSet) {
+			t.Fatalf("%s: PointsTo differs: %v vs %v", name, epSet, ipSet)
+		}
+		for i := range epSet {
+			if epSet[i] != ipSet[i] {
+				t.Fatalf("%s: PointsTo differs at %d: %v vs %v", name, i, epSet, ipSet)
+			}
+		}
+	}
+	// External sets identical.
+	e1, e2 := ep.ExternalSet(), ip.ExternalSet()
+	if len(e1) != len(e2) {
+		t.Fatalf("ExternalSet differs: %v vs %v", e1, e2)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("ExternalSet differs: %v vs %v", e1, e2)
+		}
+	}
+}
+
+func TestMayShareTargetsParity(t *testing.T) {
+	for seed := int64(900); seed < 905; seed++ {
+		prob := randomProblem(seed, 30, 70)
+		ep, ip := solvePair(t, prob)
+		for a := VarID(0); a < VarID(prob.NumVars()); a++ {
+			if !prob.PtrCompat[a] {
+				continue
+			}
+			for b := a; b < VarID(prob.NumVars()); b++ {
+				if !prob.PtrCompat[b] {
+					continue
+				}
+				if ep.MayShareTargets(a, b) != ip.MayShareTargets(a, b) {
+					t.Fatalf("seed %d: MayShareTargets(%d,%d) differs: EP=%v IP=%v",
+						seed, a, b, ep.MayShareTargets(a, b), ip.MayShareTargets(a, b))
+				}
+				// Symmetry.
+				if ip.MayShareTargets(a, b) != ip.MayShareTargets(b, a) {
+					t.Fatalf("seed %d: MayShareTargets not symmetric", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestMayShareTargetsConsistentWithPointsTo(t *testing.T) {
+	for seed := int64(910); seed < 914; seed++ {
+		prob := randomProblem(seed, 25, 60)
+		sol := MustSolve(prob, DefaultConfig())
+		for a := VarID(0); a < VarID(prob.NumVars()); a++ {
+			if !prob.PtrCompat[a] {
+				continue
+			}
+			sa := map[VarID]bool{}
+			for _, x := range sol.PointsTo(a) {
+				sa[x] = true
+			}
+			for b := VarID(0); b < VarID(prob.NumVars()); b++ {
+				if !prob.PtrCompat[b] {
+					continue
+				}
+				shared := false
+				for _, x := range sol.PointsTo(b) {
+					if sa[x] {
+						shared = true
+						break
+					}
+				}
+				if got := sol.MayShareTargets(a, b); got != shared {
+					t.Fatalf("seed %d: MayShareTargets(%d,%d)=%v but PointsTo intersection=%v\nA=%v\nB=%v",
+						seed, a, b, got, shared, sol.PointsTo(a), sol.PointsTo(b))
+				}
+			}
+		}
+	}
+}
+
+func TestApproxBytesMonotonicInPointees(t *testing.T) {
+	prob := escapeHeavyProblem(30)
+	noPip := MustSolve(prob, MustParseConfig("IP+WL(FIFO)"))
+	pip := MustSolve(prob, MustParseConfig("IP+WL(FIFO)+PIP"))
+	if pip.ApproxBytes() > noPip.ApproxBytes() {
+		t.Fatalf("PIP should not use more set memory: %d vs %d",
+			pip.ApproxBytes(), noPip.ApproxBytes())
+	}
+	if noPip.ApproxBytes() == 0 {
+		t.Fatal("zero memory estimate")
+	}
+}
+
+func TestDumpNamesAndMarkers(t *testing.T) {
+	prob, _ := buildFigure1(t)
+	sol := MustSolve(prob, DefaultConfig())
+	dump := sol.Dump()
+	if !strings.Contains(dump, "<external>") {
+		t.Fatalf("dump missing external marker:\n%s", dump)
+	}
+	if !strings.Contains(dump, "p ->") {
+		t.Fatalf("dump missing named variable:\n%s", dump)
+	}
+}

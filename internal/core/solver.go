@@ -1,0 +1,502 @@
+package core
+
+import (
+	"time"
+
+	"github.com/pip-analysis/pip/internal/bitset"
+	"github.com/pip-analysis/pip/internal/uf"
+)
+
+// funcC is a solver-local function constraint. In EP mode, imported
+// functions carry external=true, standing for Func(f, Ω, ⋯, Ω).
+type funcC struct {
+	ret      VarID
+	args     []VarID
+	external bool
+}
+
+// callC is a solver-local call constraint. In EP mode, the Ω node carries
+// one callC with external=true, standing for Call(Ω, Ω, ⋯): external
+// modules may call every function they can reach.
+type callC struct {
+	ret      VarID
+	args     []VarID
+	external bool
+}
+
+// solver holds all mutable constraint-graph state during a solve.
+type solver struct {
+	cfg Config
+	p   *Problem
+
+	n     int   // variable count, including Ω in EP mode
+	omega VarID // materialized Ω (EP) or NoVar (IP)
+
+	forest *uf.Forest
+	// pts[r] is Sol_e of representative r (nil for pointer-incompatible
+	// variables, which have no points-to sets).
+	pts []*bitset.Set
+	// dif[r] is the difference-propagation delta of representative r.
+	dif []*bitset.Set
+	// succ[r] holds simple-edge successors of r (possibly stale ids).
+	succ []*bitset.Set
+	// loadTo[r] lists p with p ⊇ *r; storeFrom[r] lists q with *r ⊇ q.
+	loadTo    [][]VarID
+	storeFrom [][]VarID
+	// callsAt[r] lists call constraints whose target is r.
+	callsAt [][]callC
+	// funcsAt[x] lists function constraints on the (never-merged pointee
+	// identity) variable x.
+	funcsAt [][]funcC
+
+	// Pointee-side facts, per original variable id.
+	external []bool // Ω ⊒ {x}
+	impFunc  []bool // ImpFunc(x), IP mode
+
+	// Pointer-side flags, per representative.
+	repFlags []Flags
+
+	// fullVisit[r] forces the next visit of r to iterate the full Sol_e
+	// instead of the difference set (used when flags or topology change).
+	fullVisit []bool
+
+	ptrCompat []bool
+
+	wl worklist
+	// progress records whether any constraint was inferred since it was
+	// last reset; the naive solver uses it to detect its fixed point.
+	progress bool
+	stats    SolveStats
+
+	// LCD bookkeeping: edges already considered for lazy cycle detection.
+	lcdDone map[uint64]bool
+	// HCD offline table: hcdRef[p] = r means pointees of p collapse into r.
+	hcdRef map[VarID]VarID
+	// pendingHCDUnions defers unions discovered while merging HCD table
+	// entries during unify; the worklist loop drains them.
+	pendingHCDUnions [][2]VarID
+
+	// scratch for cycle detection.
+	visitMark []uint32
+	markGen   uint32
+}
+
+// Solve runs analysis phase 2 on prob under configuration cfg.
+func Solve(prob *Problem, cfg Config) (*Solution, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s := newSolver(prob, cfg)
+	if cfg.OVS {
+		s.runOVS()
+	}
+	if cfg.HCD {
+		s.runHCDOffline()
+	}
+	s.seed()
+	switch cfg.Solver {
+	case Naive:
+		s.solveNaive()
+	case Wave:
+		s.solveWave()
+	default:
+		s.solveWorklist()
+	}
+	sol := s.finish()
+	sol.Stats.Duration = time.Since(start)
+	return sol, nil
+}
+
+// MustSolve is Solve that panics on error; for tests and examples.
+func MustSolve(prob *Problem, cfg Config) *Solution {
+	sol, err := Solve(prob, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sol
+}
+
+func newSolver(prob *Problem, cfg Config) *solver {
+	n := prob.NumVars()
+	omega := NoVar
+	if cfg.Rep == EP {
+		omega = VarID(n)
+		n++
+	}
+	s := &solver{
+		cfg:       cfg,
+		p:         prob,
+		n:         n,
+		omega:     omega,
+		forest:    uf.New(n),
+		pts:       make([]*bitset.Set, n),
+		succ:      make([]*bitset.Set, n),
+		loadTo:    make([][]VarID, n),
+		storeFrom: make([][]VarID, n),
+		callsAt:   make([][]callC, n),
+		funcsAt:   make([][]funcC, n),
+		external:  make([]bool, n),
+		impFunc:   make([]bool, n),
+		repFlags:  make([]Flags, n),
+		fullVisit: make([]bool, n),
+		ptrCompat: make([]bool, n),
+		visitMark: make([]uint32, n),
+	}
+	if cfg.DP {
+		s.dif = make([]*bitset.Set, n)
+	}
+	copy(s.ptrCompat, prob.PtrCompat)
+	if omega != NoVar {
+		s.ptrCompat[omega] = true
+	}
+	return s
+}
+
+func (s *solver) find(v VarID) VarID { return s.forest.Find(v) }
+
+func (s *solver) ptsOf(r VarID) *bitset.Set {
+	if s.pts[r] == nil {
+		s.pts[r] = &bitset.Set{}
+	}
+	return s.pts[r]
+}
+
+func (s *solver) difOf(r VarID) *bitset.Set {
+	if s.dif[r] == nil {
+		s.dif[r] = &bitset.Set{}
+	}
+	return s.dif[r]
+}
+
+func (s *solver) succOf(r VarID) *bitset.Set {
+	if s.succ[r] == nil {
+		s.succ[r] = &bitset.Set{}
+	}
+	return s.succ[r]
+}
+
+// hasFlag reports a pointer-side flag on v's representative.
+func (s *solver) hasFlag(v VarID, bit Flags) bool {
+	return s.repFlags[s.find(v)]&bit != 0
+}
+
+// setFlag sets a pointer-side flag on v's representative, enqueues it on
+// change, and reports whether anything changed.
+func (s *solver) setFlag(v VarID, bit Flags) bool {
+	r := s.find(v)
+	if s.repFlags[r]&bit == bit {
+		return false
+	}
+	s.repFlags[r] |= bit
+	s.fullVisit[r] = true
+	s.noteProgress()
+	s.enqueue(r)
+	return true
+}
+
+func (s *solver) enqueue(r VarID) {
+	if s.wl != nil {
+		s.wl.push(r)
+	}
+}
+
+// seed loads the problem's constraints into the solver state.
+func (s *solver) seed() {
+	prob := s.p
+	// Base constraints go directly into Sol_e (paper Section V-B).
+	for _, e := range prob.Base {
+		dst := s.find(e.Dst)
+		if !s.ptrCompat[dst] {
+			continue
+		}
+		s.addPointee(dst, e.Src)
+	}
+	for _, e := range prob.Simple {
+		s.addEdgeInit(e.Src, e.Dst)
+	}
+	for _, e := range prob.Load {
+		// Dst ⊇ *Src: attach to the pointer Src.
+		r := s.find(e.Src)
+		s.loadTo[r] = append(s.loadTo[r], e.Dst)
+	}
+	for _, e := range prob.Store {
+		// *Dst ⊇ Src: attach to the pointer Dst.
+		r := s.find(e.Dst)
+		s.storeFrom[r] = append(s.storeFrom[r], e.Src)
+	}
+	for _, fc := range prob.Funcs {
+		s.funcsAt[fc.F] = append(s.funcsAt[fc.F], funcC{ret: fc.Ret, args: fc.Args})
+	}
+	for _, cc := range prob.Calls {
+		r := s.find(cc.Target)
+		s.callsAt[r] = append(s.callsAt[r], callC{ret: cc.Ret, args: cc.Args})
+	}
+
+	if s.cfg.Rep == EP {
+		s.seedEP()
+	} else {
+		s.seedIP()
+	}
+}
+
+// seedIP installs the initial flags and runs MarkExternallyAccessible on
+// every initially external location (Algorithm 1 preamble).
+func (s *solver) seedIP() {
+	prob := s.p
+	for v := VarID(0); v < VarID(prob.NumVars()); v++ {
+		f := prob.Flags[v]
+		if f == 0 {
+			continue
+		}
+		if f&FlagImpFunc != 0 {
+			s.impFunc[v] = true
+		}
+		r := s.find(v)
+		if s.ptrCompat[r] {
+			s.repFlags[r] |= f & (FlagPointsExt | FlagEscapedPointees | FlagStoreScalar | FlagLoadScalar)
+		}
+		if f&FlagExternal != 0 {
+			s.markExternallyAccessible(v)
+		}
+	}
+}
+
+// seedEP materializes the Ω node and translates the flag constraints into
+// the original constraint language (Section III-B, Table II "Old" column).
+func (s *solver) seedEP() {
+	prob := s.p
+	o := s.omega
+	// Ω ⊇ {Ω}: external pointers may target external memory.
+	s.addPointee(s.find(o), o)
+	// Ω ⊇ *Ω and *Ω ⊇ Ω: self load/store edges.
+	s.loadTo[s.find(o)] = append(s.loadTo[s.find(o)], o)
+	s.storeFrom[s.find(o)] = append(s.storeFrom[s.find(o)], o)
+	// Call_e: external modules call everything Ω can reach.
+	s.callsAt[s.find(o)] = append(s.callsAt[s.find(o)], callC{ret: o, external: true})
+	// Func_e on Ω: indirect calls through unknown pointers reach external
+	// functions.
+	s.funcsAt[o] = append(s.funcsAt[o], funcC{ret: o, external: true})
+
+	for v := VarID(0); v < VarID(prob.NumVars()); v++ {
+		f := prob.Flags[v]
+		if f == 0 {
+			continue
+		}
+		if f&FlagExternal != 0 {
+			s.addPointee(s.find(o), v)
+		}
+		if f&FlagImpFunc != 0 {
+			s.funcsAt[v] = append(s.funcsAt[v], funcC{ret: o, external: true})
+		}
+		if s.ptrCompat[s.find(v)] {
+			if f&FlagPointsExt != 0 {
+				s.addEdgeInit(o, v)
+			}
+			if f&FlagEscapedPointees != 0 {
+				s.addEdgeInit(v, o)
+			}
+		}
+		if f&FlagStoreScalar != 0 {
+			r := s.find(v)
+			s.storeFrom[r] = append(s.storeFrom[r], o)
+		}
+		if f&FlagLoadScalar != 0 {
+			r := s.find(v)
+			s.loadTo[r] = append(s.loadTo[r], o)
+		}
+	}
+}
+
+// addPointee inserts x into Sol_e(r) (r must be a representative), keeping
+// the difference set in sync. Reports change.
+func (s *solver) addPointee(r, x VarID) bool {
+	if !s.ptsOf(r).Add(x) {
+		return false
+	}
+	if s.cfg.DP {
+		s.difOf(r).Add(x)
+	}
+	return true
+}
+
+// addEdgeInit installs a phase-1 simple edge src→dst without any online
+// processing (the initial worklist pass propagates everything).
+func (s *solver) addEdgeInit(src, dst VarID) {
+	rs, rd := s.find(src), s.find(dst)
+	if rs == rd {
+		return
+	}
+	// Pointer-incompatible endpoints become pointer-integer conversions
+	// (paper Section V-B).
+	if !s.edgeCompat(&rs, &rd) {
+		return
+	}
+	s.succOf(rs).Add(rd)
+}
+
+// edgeCompat normalizes an edge whose endpoint is pointer incompatible.
+// It reports whether a real edge should still be added (both endpoints
+// compatible after normalization). It may rewrite endpoints to Ω in EP
+// mode.
+func (s *solver) edgeCompat(src, dst *VarID) bool {
+	sOK, dOK := s.ptrCompat[*src], s.ptrCompat[*dst]
+	if sOK && dOK {
+		return true
+	}
+	if s.cfg.Rep == EP {
+		// Treat the incompatible endpoint as Ω itself (Section V-B:
+		// "x is unified with Ω").
+		if !sOK {
+			*src = s.find(s.omega)
+		}
+		if !dOK {
+			*dst = s.find(s.omega)
+		}
+		return *src != *dst
+	}
+	// IP mode: dst ⊇ x becomes dst ⊒ Ω; x ⊇ src becomes Ω ⊒ src.
+	if !sOK && dOK {
+		s.setFlag(*dst, FlagPointsExt)
+	}
+	if sOK && !dOK {
+		s.setFlag(*src, FlagEscapedPointees)
+	}
+	return false
+}
+
+// markExternallyAccessible implements MARKEXTERNALLYACCESSIBLE(x) from
+// Algorithm 1: x joins E, gains x ⊒ Ω and Ω ⊒ x, and if x is a function,
+// its return value escapes and its parameters gain unknown origins.
+// IP mode only.
+func (s *solver) markExternallyAccessible(x VarID) {
+	if s.external[x] {
+		return
+	}
+	s.external[x] = true
+	s.noteProgress()
+	if s.ptrCompat[s.find(x)] {
+		s.setFlag(x, FlagPointsExt)
+		s.setFlag(x, FlagEscapedPointees)
+	}
+	for _, fc := range s.funcsAt[x] {
+		if fc.ret != NoVar && s.ptrCompat[s.find(fc.ret)] {
+			s.setFlag(fc.ret, FlagEscapedPointees)
+		}
+		for _, a := range fc.args {
+			if a != NoVar && s.ptrCompat[s.find(a)] {
+				s.setFlag(a, FlagPointsExt)
+			}
+		}
+	}
+	s.enqueue(s.find(x))
+}
+
+// callToImported implements CALLTOIMPORTED(r, a1..ak) from Algorithm 1:
+// the call's result has unknown origin and its arguments escape. IP mode.
+func (s *solver) callToImported(c callC) {
+	if c.ret != NoVar && s.ptrCompat[s.find(c.ret)] {
+		s.setFlag(c.ret, FlagPointsExt)
+	}
+	for _, a := range c.args {
+		if a != NoVar && s.ptrCompat[s.find(a)] {
+			s.setFlag(a, FlagEscapedPointees)
+		}
+	}
+}
+
+// unify merges the constraint-graph nodes of a and b (cycle elimination,
+// Section II-D). The surviving representative keeps the merged Sol_e,
+// flags, edges, and call constraints, and is re-enqueued.
+func (s *solver) unify(a, b VarID) VarID {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return ra
+	}
+	w := s.forest.Union(ra, rb)
+	l := ra
+	if w == ra {
+		l = rb
+	}
+	s.stats.Unifications++
+	s.noteProgress()
+	if s.pts[l] != nil {
+		if s.pts[w] == nil {
+			s.pts[w] = s.pts[l]
+		} else {
+			s.pts[w].UnionWith(s.pts[l])
+		}
+		s.pts[l] = nil
+	}
+	if s.cfg.DP && s.dif[l] != nil {
+		if s.dif[w] == nil {
+			s.dif[w] = s.dif[l]
+		} else {
+			s.dif[w].UnionWith(s.dif[l])
+		}
+		s.dif[l] = nil
+	}
+	if s.succ[l] != nil {
+		if s.succ[w] == nil {
+			s.succ[w] = s.succ[l]
+		} else {
+			s.succ[w].UnionWith(s.succ[l])
+		}
+		s.succ[l] = nil
+	}
+	s.loadTo[w] = append(s.loadTo[w], s.loadTo[l]...)
+	s.loadTo[l] = nil
+	s.storeFrom[w] = append(s.storeFrom[w], s.storeFrom[l]...)
+	s.storeFrom[l] = nil
+	s.callsAt[w] = append(s.callsAt[w], s.callsAt[l]...)
+	s.callsAt[l] = nil
+	s.repFlags[w] |= s.repFlags[l]
+	s.ptrCompat[w] = s.ptrCompat[w] || s.ptrCompat[l]
+	if s.hcdRef != nil {
+		if rl, ok := s.hcdRef[l]; ok {
+			if rw, ok2 := s.hcdRef[w]; ok2 {
+				// Both halves had HCD partners: they must collapse too.
+				s.pendingHCDUnions = append(s.pendingHCDUnions, [2]VarID{rl, rw})
+			} else {
+				s.hcdRef[w] = rl
+			}
+			delete(s.hcdRef, l)
+		}
+	}
+	s.fullVisit[w] = true
+	s.enqueue(w)
+	return w
+}
+
+// finish assembles the Solution.
+func (s *solver) finish() *Solution {
+	sol := &Solution{
+		p:         s.p,
+		forest:    s.forest,
+		pts:       s.pts,
+		pointsExt: make([]bool, s.n),
+		external:  s.external,
+		omega:     s.omega,
+	}
+	for r := 0; r < s.n; r++ {
+		sol.pointsExt[r] = s.repFlags[r]&FlagPointsExt != 0
+	}
+	sol.Stats = s.stats
+	sol.Stats.ExplicitPointees = sol.CountExplicitPointees()
+	seen := map[VarID]bool{}
+	edges := 0
+	for v := 0; v < s.n; v++ {
+		r := s.find(VarID(v))
+		if !seen[r] {
+			seen[r] = true
+			if s.succ[r] != nil {
+				edges += s.succ[r].Len()
+			}
+		}
+	}
+	sol.Stats.SimpleEdges = edges
+	return sol
+}

@@ -1,0 +1,73 @@
+package core
+
+// Summary is a handwritten points-to summary for an imported function
+// (paper Section III-B: "If the imported function is a common library
+// function, it is also possible to use a handwritten summary function
+// instead of the overly conservative constraint (5)").
+//
+// A summary declares the complete pointer behaviour of the external
+// function; using one for a function that does more than it declares makes
+// the analysis unsound, exactly as in C compilers' builtin handling.
+type Summary struct {
+	// RetFreshHeap: the function returns newly allocated heap memory.
+	// Direct calls get one abstract location per call site; indirect and
+	// external calls share one location per function.
+	RetFreshHeap bool
+	// RetUnknown: the function returns a pointer of unknown origin
+	// (ret ⊒ Ω).
+	RetUnknown bool
+	// RetAliasesArgs lists argument indices whose pointees flow to the
+	// return value (e.g. strchr returns into its first argument).
+	RetAliasesArgs []int
+	// Copies lists {dst, src} argument-index pairs with memcpy semantics:
+	// *dst ⊇ *src.
+	Copies [][2]int
+	// EscapeArgs lists argument indices whose pointees become externally
+	// accessible (the function stashes or publishes them).
+	EscapeArgs []int
+	// UnknownIntoArgs lists argument indices that receive stores of
+	// unknown-origin pointers (*arg ⊒ Ω), e.g. scanf-style out-params.
+	UnknownIntoArgs []int
+}
+
+// maxArgIndex returns the highest argument index the summary references.
+func (s Summary) maxArgIndex() int {
+	maxIdx := -1
+	up := func(i int) {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	for _, i := range s.RetAliasesArgs {
+		up(i)
+	}
+	for _, c := range s.Copies {
+		up(c[0])
+		up(c[1])
+	}
+	for _, i := range s.EscapeArgs {
+		up(i)
+	}
+	for _, i := range s.UnknownIntoArgs {
+		up(i)
+	}
+	return maxIdx
+}
+
+// hasRet reports whether the summary gives the return value any pointees.
+func (s Summary) hasRet() bool {
+	return s.RetFreshHeap || s.RetUnknown || len(s.RetAliasesArgs) > 0
+}
+
+// DefaultSummaries returns the library summaries the paper special-cases
+// (malloc, free, memcpy — Section V-B) plus the obvious allocator family.
+func DefaultSummaries() map[string]Summary {
+	return map[string]Summary{
+		"malloc":  {RetFreshHeap: true},
+		"calloc":  {RetFreshHeap: true},
+		"realloc": {RetFreshHeap: true, RetAliasesArgs: []int{0}},
+		"free":    {},
+		"memcpy":  {Copies: [][2]int{{0, 1}}, RetAliasesArgs: []int{0}},
+		"memmove": {Copies: [][2]int{{0, 1}}, RetAliasesArgs: []int{0}},
+	}
+}

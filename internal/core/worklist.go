@@ -1,0 +1,344 @@
+package core
+
+// This file implements Algorithm 1 from the paper: the worklist solver for
+// the combined inference rules of Figure 2 (TRANS/LOAD/STORE/CALL) and
+// Figure 7 (the Ω rules of the extended language), with the four PIP
+// additions of Section IV. The same visit routine also drives the naive
+// solver (naive.go) and the explicit-Ω (EP) representation, in which the
+// flag branches are inert because Ω is an ordinary constraint variable.
+
+// progress is set by every state mutation; the naive solver polls it.
+func (s *solver) noteProgress() { s.progress = true }
+
+func (s *solver) solveWorklist() {
+	s.wl = newWorklist(s.cfg.Order, s)
+	if s.cfg.LCD {
+		s.lcdDone = map[uint64]bool{}
+	}
+	if s.cfg.OCD {
+		// OCD detects every cycle as soon as it appears; the phase-1
+		// constraints may already contain cycles, so collapse them first.
+		s.collapseAllSCCs()
+	}
+	// W ← P ∪ M: initialize with every node; first visits are full.
+	for v := 0; v < s.n; v++ {
+		r := s.find(VarID(v))
+		s.fullVisit[r] = true
+		s.wl.push(r)
+	}
+	for {
+		for len(s.pendingHCDUnions) > 0 {
+			pair := s.pendingHCDUnions[len(s.pendingHCDUnions)-1]
+			s.pendingHCDUnions = s.pendingHCDUnions[:len(s.pendingHCDUnions)-1]
+			s.unify(pair[0], pair[1])
+		}
+		n, ok := s.wl.pop()
+		if !ok {
+			break
+		}
+		if s.find(n) != n {
+			continue // stale: merged into another representative
+		}
+		s.visit(n)
+	}
+}
+
+// visit processes one node: Algorithm 1 loop body.
+func (s *solver) visit(n VarID) {
+	s.stats.Visits++
+	ip := s.cfg.Rep == IP
+
+	// HCD: pointees of n collapse into the offline-designated partner.
+	if s.hcdRef != nil {
+		if ref, ok := s.hcdRef[n]; ok {
+			rr := s.find(ref)
+			if s.pts[n] != nil {
+				for _, x := range s.pts[n].Slice() {
+					if !s.ptrCompat[s.find(x)] {
+						continue // pointer-incompatible pointees keep Ω semantics
+					}
+					rr = s.unify(rr, x)
+				}
+			}
+			n = s.find(n)
+		}
+	}
+
+	// PIP addition 1: backpropagate Ω ⊒ n from simple-edge successors.
+	if s.cfg.pipRule(1) && !s.hasFlag(n, FlagEscapedPointees) && s.succ[n] != nil {
+		found := false
+		s.succ[n].ForEach(func(q uint32) {
+			if !found && s.repFlags[s.find(q)]&FlagEscapedPointees != 0 {
+				found = true
+			}
+		})
+		if found {
+			s.setFlag(n, FlagEscapedPointees)
+		}
+	}
+
+	flags := s.repFlags[n]
+	full := !s.cfg.DP || s.fullVisit[n]
+	// PIP addition 2 requires marking every current pointee before the
+	// set is cleared, so force a full iteration in that case.
+	pip2 := s.cfg.pipRule(2) && flags&FlagEscapedPointees != 0 && flags&FlagPointsExt != 0
+	if pip2 {
+		full = true
+	}
+	s.fullVisit[n] = false
+
+	var iter []uint32
+	if full {
+		if s.pts[n] != nil {
+			iter = s.pts[n].Slice()
+		}
+		if s.cfg.DP && s.dif[n] != nil {
+			s.dif[n].Clear()
+		}
+	} else if s.dif[n] != nil {
+		iter = s.dif[n].Slice()
+		s.dif[n].Clear()
+	}
+
+	// Escape processing: if Ω ⊒ n, every pointee becomes externally
+	// accessible (IP mode; in EP mode the Ω self-edges achieve this).
+	if ip && flags&FlagEscapedPointees != 0 {
+		for _, x := range iter {
+			if !s.external[x] {
+				s.markExternallyAccessible(x)
+			}
+		}
+	}
+
+	// PIP addition 2: with both n ⊒ Ω and Ω ⊒ n, Sol(n) = Sol_i(n); all
+	// explicit pointees are doubled-up and can be dropped, and the
+	// complex-constraint work below is subsumed by the flag branches.
+	if pip2 {
+		if s.pts[n] != nil && s.pts[n].Len() > 0 {
+			s.pts[n].Clear()
+			s.noteProgress()
+		}
+		if s.cfg.DP && s.dif[n] != nil {
+			s.dif[n].Clear()
+		}
+		iter = nil
+	}
+
+	// Simple edges n → p: TRANS / TRANSΩ.
+	if s.succ[n] != nil && s.succ[n].Len() > 0 {
+		for _, q := range s.succ[n].Slice() {
+			rq := s.find(q)
+			if rq == n {
+				s.succ[n].Remove(q)
+				continue
+			}
+			// PIP addition 4: with p ⊒ Ω on the target and Ω ⊒ n here,
+			// the edge can never contribute; remove it.
+			if s.cfg.pipRule(4) && s.repFlags[n]&FlagEscapedPointees != 0 && s.repFlags[rq]&FlagPointsExt != 0 {
+				s.succ[n].Remove(q)
+				s.noteProgress()
+				continue
+			}
+			s.propagate(n, rq, iter, full)
+			n = s.find(n) // LCD may have merged n into a cycle
+		}
+	}
+	n = s.find(n)
+	flags = s.repFlags[n]
+
+	// Store edges *n ⊇ p: STORE / STORETOΩ.
+	for _, p := range s.storeFrom[n] {
+		rp := s.find(p)
+		for _, x := range iter {
+			s.addEdgeOnline(rp, x)
+			rp = s.find(rp)
+		}
+		if ip && flags&FlagPointsExt != 0 && s.ptrCompat[rp] {
+			// Storing through a pointer that may target external memory:
+			// the stored value escapes (Ω ⊒ p).
+			s.setFlag(rp, FlagEscapedPointees)
+		}
+	}
+	// Scalar store *n ⊒ Ω: every pointee may receive a smuggled pointer.
+	if ip && flags&FlagStoreScalar != 0 {
+		for _, x := range iter {
+			if s.ptrCompat[s.find(x)] {
+				s.setFlag(x, FlagPointsExt)
+			}
+		}
+	}
+
+	// Load edges p ⊇ *n: LOAD / LOADFROMΩ.
+	for _, p := range s.loadTo[n] {
+		rp := s.find(p)
+		for _, x := range iter {
+			s.addEdgeOnline(x, rp)
+			rp = s.find(rp)
+		}
+		if ip && flags&FlagPointsExt != 0 && s.ptrCompat[rp] {
+			// Loading through an unknown pointer yields an unknown pointer.
+			s.setFlag(rp, FlagPointsExt)
+		}
+	}
+	// Scalar load Ω ⊒ *n: every pointee's content is exposed.
+	if ip && flags&FlagLoadScalar != 0 {
+		for _, x := range iter {
+			if s.ptrCompat[s.find(x)] {
+				s.setFlag(x, FlagEscapedPointees)
+			}
+		}
+	}
+
+	// Calls Call(n, r, a…): CALL and the Ω call rules.
+	n = s.find(n)
+	if len(s.callsAt[n]) > 0 {
+		calls := s.callsAt[n]
+		for ci := range calls {
+			c := calls[ci]
+			for _, x := range iter {
+				for fi := range s.funcsAt[x] {
+					s.applyCall(c, s.funcsAt[x][fi])
+				}
+				if ip && s.impFunc[x] {
+					s.callToImported(c)
+				}
+			}
+			if ip && flags&FlagPointsExt != 0 && !c.external {
+				// Indirect call through a pointer of unknown origin: it
+				// may target functions in external modules.
+				s.callToImported(c)
+			}
+		}
+	}
+}
+
+// applyCall applies the CALL inference rule for one (call, func) pair,
+// including the external variants used by the EP representation.
+func (s *solver) applyCall(c callC, fc funcC) {
+	switch {
+	case c.external && fc.external:
+		return // Ω calling Ω: self-edges only
+	case c.external:
+		// External modules call function fc: its return value escapes and
+		// its parameters receive unknown-origin pointers.
+		if fc.ret != NoVar {
+			s.addEdgeOnline(s.find(fc.ret), s.find(s.omega))
+		}
+		for _, a := range fc.args {
+			if a != NoVar {
+				s.addEdgeOnline(s.find(s.omega), s.find(a))
+			}
+		}
+	case fc.external:
+		// Call to an imported function: the result has unknown origin and
+		// the arguments escape.
+		if c.ret != NoVar {
+			s.addEdgeOnline(s.find(s.omega), s.find(c.ret))
+		}
+		for _, a := range c.args {
+			if a != NoVar {
+				s.addEdgeOnline(s.find(a), s.find(s.omega))
+			}
+		}
+	default:
+		if c.ret != NoVar && fc.ret != NoVar {
+			s.addEdgeOnline(s.find(fc.ret), s.find(c.ret))
+		}
+		k := len(c.args)
+		if len(fc.args) < k {
+			k = len(fc.args)
+		}
+		for i := 0; i < k; i++ {
+			if c.args[i] != NoVar && fc.args[i] != NoVar {
+				s.addEdgeOnline(s.find(c.args[i]), s.find(fc.args[i]))
+			}
+		}
+	}
+}
+
+// propagate implements PROPAGATEPOINTEES(f, t): copy pointees (the full set
+// or the difference-propagation delta) and the p ⊒ Ω flag from f to t.
+func (s *solver) propagate(from, to VarID, iter []uint32, full bool) {
+	changed := false
+	if len(iter) > 0 {
+		tp := s.ptsOf(to)
+		if s.cfg.DP {
+			td := s.difOf(to)
+			for _, x := range iter {
+				if tp.Add(x) {
+					td.Add(x)
+					changed = true
+				}
+			}
+		} else {
+			for _, x := range iter {
+				if tp.Add(x) {
+					changed = true
+				}
+			}
+		}
+	}
+	if s.repFlags[from]&FlagPointsExt != 0 && s.repFlags[to]&FlagPointsExt == 0 {
+		s.repFlags[to] |= FlagPointsExt
+		s.fullVisit[to] = true
+		changed = true
+	}
+	if changed {
+		s.noteProgress()
+		s.enqueue(to)
+		return
+	}
+	// Lazy cycle detection: propagation added nothing and the sets are
+	// equal — a strong hint that from and to sit on a cycle.
+	if s.cfg.LCD && full && s.pts[from] != nil && s.pts[from].Len() > 0 {
+		key := uint64(from)<<32 | uint64(to)
+		if !s.lcdDone[key] {
+			s.lcdDone[key] = true
+			if s.pts[to] != nil && s.pts[from].Equal(s.pts[to]) {
+				s.detectAndCollapse(to, from)
+			}
+		}
+	}
+}
+
+// addEdgeOnline inserts a simple edge src→dst discovered during solving,
+// applying PIP addition 3, full propagation across the new edge, and
+// online cycle detection.
+func (s *solver) addEdgeOnline(src, dst VarID) {
+	rs, rd := s.find(src), s.find(dst)
+	if rs == rd {
+		return
+	}
+	if !s.edgeCompat(&rs, &rd) {
+		return
+	}
+	if rs == rd {
+		return
+	}
+	if s.succ[rs] != nil && s.succ[rs].Contains(rd) {
+		return
+	}
+	if s.cfg.pipRule(3) {
+		// PIP addition 3: if the destination's pointees all escape,
+		// backpropagate Ω ⊒ src; if additionally dst ⊒ Ω, the edge is
+		// redundant and is never added.
+		if s.repFlags[rd]&FlagEscapedPointees != 0 {
+			s.setFlag(rs, FlagEscapedPointees)
+			rs = s.find(rs)
+		}
+		if s.repFlags[rs]&FlagEscapedPointees != 0 && s.repFlags[rd]&FlagPointsExt != 0 {
+			return
+		}
+	}
+	s.succOf(rs).Add(rd)
+	s.noteProgress()
+	// New edges always propagate the full source set.
+	var iter []uint32
+	if s.pts[rs] != nil {
+		iter = s.pts[rs].Slice()
+	}
+	s.propagate(rs, rd, iter, true)
+	if s.cfg.OCD {
+		s.ocdCheck(rs, rd)
+	}
+}

@@ -1,0 +1,416 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/cfront"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+func machine(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := cfront.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func mustCall(t *testing.T, mc *Machine, name string, args ...Value) Value {
+	t.Helper()
+	v, err := mc.Call(name, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	mc := machine(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int sum(int n) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= n; i++) s += i;
+    return s;
+}
+int sw(int k) {
+    switch (k) {
+    case 1: return 10;
+    case 2: return 20;
+    default: return 30;
+    }
+}
+`)
+	if v := mustCall(t, mc, "fib", IntVal(10)); v.Int != 55 {
+		t.Fatalf("fib(10) = %v", v)
+	}
+	if v := mustCall(t, mc, "sum", IntVal(100)); v.Int != 5050 {
+		t.Fatalf("sum(100) = %v", v)
+	}
+	for k, want := range map[int64]int64{1: 10, 2: 20, 7: 30} {
+		if v := mustCall(t, mc, "sw", IntVal(k)); v.Int != want {
+			t.Fatalf("sw(%d) = %v, want %d", k, v, want)
+		}
+	}
+}
+
+func TestPointersAndMemory(t *testing.T) {
+	mc := machine(t, `
+static int cell;
+
+int roundtrip(int v) {
+    int *p = &cell;
+    *p = v;
+    int **pp = &p;
+    return **pp;
+}
+
+int swap(int a, int b) {
+    int x = a, y = b;
+    int *px = &x, *py = &y;
+    int tmp = *px;
+    *px = *py;
+    *py = tmp;
+    return x * 100 + y;
+}
+`)
+	if v := mustCall(t, mc, "roundtrip", IntVal(42)); v.Int != 42 {
+		t.Fatalf("roundtrip = %v", v)
+	}
+	if v := mustCall(t, mc, "swap", IntVal(3), IntVal(7)); v.Int != 703 {
+		t.Fatalf("swap = %v", v)
+	}
+}
+
+func TestStructsArraysHeap(t *testing.T) {
+	mc := machine(t, `
+extern void *malloc(long);
+
+struct node { int v; struct node *next; };
+
+int listSum(int n) {
+    struct node *head = NULL;
+    int i;
+    for (i = 1; i <= n; i++) {
+        struct node *nn = (struct node*)malloc(sizeof(struct node));
+        nn->v = i;
+        nn->next = head;
+        head = nn;
+    }
+    int s = 0;
+    while (head != NULL) { s += head->v; head = head->next; }
+    return s;
+}
+
+int arrays() {
+    int a[8];
+    int i;
+    for (i = 0; i < 8; i++) a[i] = i * i;
+    return a[3] + a[7];
+}
+`)
+	if v := mustCall(t, mc, "listSum", IntVal(10)); v.Int != 55 {
+		t.Fatalf("listSum = %v", v)
+	}
+	if v := mustCall(t, mc, "arrays"); v.Int != 9+49 {
+		t.Fatalf("arrays = %v", v)
+	}
+}
+
+func TestFunctionPointersAndGlobals(t *testing.T) {
+	mc := machine(t, `
+static int twice(int v) { return v + v; }
+static int thrice(int v) { return v + v + v; }
+static int (*ops[2])(int) = { twice, thrice };
+
+int apply(int which, int v) {
+    return ops[which](v);
+}
+
+static int counter = 5;
+int bump() { counter++; return counter; }
+`)
+	if v := mustCall(t, mc, "apply", IntVal(0), IntVal(21)); v.Int != 42 {
+		t.Fatalf("apply(0) = %v", v)
+	}
+	if v := mustCall(t, mc, "apply", IntVal(1), IntVal(10)); v.Int != 30 {
+		t.Fatalf("apply(1) = %v", v)
+	}
+	if v := mustCall(t, mc, "bump"); v.Int != 6 {
+		t.Fatalf("bump = %v", v)
+	}
+	if v := mustCall(t, mc, "bump"); v.Int != 7 {
+		t.Fatalf("bump again = %v", v)
+	}
+}
+
+func TestPointerIntegerRoundTrip(t *testing.T) {
+	mc := machine(t, `
+static int target = 99;
+
+int launder() {
+    int *p = &target;
+    long raw = (long)p;
+    int *q = (int*)raw;
+    return *q;
+}
+`)
+	if v := mustCall(t, mc, "launder"); v.Int != 99 {
+		t.Fatalf("launder = %v", v)
+	}
+}
+
+func TestMemcpyIntrinsic(t *testing.T) {
+	mc := machine(t, `
+struct blob { int a; int b; int *p; };
+static int shared = 7;
+static struct blob src;
+static struct blob dst;
+
+int copyBlob() {
+    src.a = 1; src.b = 2; src.p = &shared;
+    dst = src;
+    return dst.a + dst.b + *dst.p;
+}
+`)
+	if v := mustCall(t, mc, "copyBlob"); v.Int != 10 {
+		t.Fatalf("copyBlob = %v", v)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	mc := machine(t, `
+int spin() { while (1) { } return 0; }
+`)
+	mc.MaxSteps = 10_000
+	if _, err := mc.Call("spin"); err == nil {
+		t.Fatal("infinite loop terminated?")
+	}
+}
+
+func TestErrorsOnExternalCall(t *testing.T) {
+	mc := machine(t, `
+extern int mystery();
+int go_() { return mystery(); }
+`)
+	if _, err := mc.Call("go_"); err == nil {
+		t.Fatal("external call must fail in the interpreter")
+	}
+}
+
+// TestDynamicSoundness: every pointer value observed at runtime must be in
+// the analyzed points-to set of the producing instruction — the dynamic
+// counterpart of the paper's soundness claim.
+func TestDynamicSoundness(t *testing.T) {
+	src := `
+extern void *malloc(long);
+
+struct node { int v; struct node *next; };
+static struct node *stack_;
+static int slot;
+
+static void push(int v) {
+    struct node *nn = (struct node*)malloc(sizeof(struct node));
+    nn->v = v;
+    nn->next = stack_;
+    stack_ = nn;
+}
+
+static int pop() {
+    struct node *top = stack_;
+    if (top == NULL) return -1;
+    stack_ = top->next;
+    return top->v;
+}
+
+int churn(int n) {
+    int i;
+    for (i = 0; i < n; i++) push(i);
+    int s = 0;
+    int *acc = &slot;
+    while (1) {
+        int v = pop();
+        if (v < 0) break;
+        *acc = *acc + v;
+        s = *acc;
+    }
+    return s;
+}
+`
+	m, err := cfront.Compile("dyn.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := core.Generate(m)
+	sol := core.MustSolve(gen.Problem, core.DefaultConfig())
+
+	// Map runtime objects back to abstract locations via their origin.
+	memFor := func(o *Object) (core.VarID, bool) {
+		if o.Origin == nil {
+			// Heap object from the interpreter's malloc: the analysis
+			// models it via the call site; match by any heap var. Find
+			// the producing call dynamically below instead.
+			return core.NoVar, false
+		}
+		id, ok := gen.MemOf[o.Origin]
+		return id, ok
+	}
+
+	mc, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	mc.Observe = func(at ir.Value, ptr Value) {
+		var pv core.VarID
+		var ok bool
+		pv, ok = gen.VarOf[at]
+		if !ok {
+			return
+		}
+		objVar, known := memFor(ptr.Obj)
+		if !known {
+			// Heap object: accept any heap.* pointee or external.
+			for _, x := range sol.PointsTo(pv) {
+				if x == core.OmegaPointee {
+					return
+				}
+				name := gen.Problem.Names[x]
+				if len(name) >= 4 && name[:4] == "heap" {
+					return
+				}
+			}
+			violations++
+			t.Errorf("value %v held heap pointer %v, not covered by Sol", at, ptr)
+			return
+		}
+		for _, x := range sol.PointsTo(pv) {
+			if x == objVar {
+				return
+			}
+			if x == core.OmegaPointee && sol.Escaped(objVar) {
+				return
+			}
+		}
+		violations++
+		t.Errorf("value %v held pointer to %s, missing from Sol", at, ptr.Obj.Name)
+	}
+	if v := mustCall(t, mc, "churn", IntVal(25)); v.Int != 300 {
+		t.Fatalf("churn(25) = %v, want 300", v)
+	}
+	if violations > 0 {
+		t.Fatalf("%d dynamic soundness violations", violations)
+	}
+}
+
+func TestFloatsSelectAndComparisons(t *testing.T) {
+	mc := machine(t, `
+double mix(double a, double b) {
+    return (a + b) * 2.0 - a / b;
+}
+int pick(int c, int x, int y) {
+    return c ? x : y;
+}
+int ptrOrder(int n) {
+    int arr[4];
+    int *lo = &arr[0];
+    int *hi = &arr[3];
+    int r = 0;
+    if (lo < hi) r += 1;
+    if (hi <= lo) r += 10;
+    if (lo == &arr[0]) r += 100;
+    if (lo != hi) r += 1000;
+    return r;
+}
+`)
+	v, err := mc.Call("mix", Value{Kind: KFloat, Float: 3}, Value{Kind: KFloat, Float: 2})
+	if err != nil || v.Kind != KFloat || v.Float != (3+2)*2-1.5 {
+		t.Fatalf("mix = %v, %v", v, err)
+	}
+	if v := mustCall(t, mc, "pick", IntVal(1), IntVal(7), IntVal(9)); v.Int != 7 {
+		t.Fatalf("pick(1) = %v", v)
+	}
+	if v := mustCall(t, mc, "pick", IntVal(0), IntVal(7), IntVal(9)); v.Int != 9 {
+		t.Fatalf("pick(0) = %v", v)
+	}
+	if v := mustCall(t, mc, "ptrOrder", IntVal(0)); v.Int != 1101 {
+		t.Fatalf("ptrOrder = %v", v)
+	}
+}
+
+func TestCallocFreeAndDivByZero(t *testing.T) {
+	mc := machine(t, `
+extern void *calloc(long n, long sz);
+extern void free(void *p);
+
+long zeroed() {
+    long *p = (long*)calloc(4, 8);
+    long v = p[2];    /* calloc memory reads as zero */
+    free(p);
+    return v;
+}
+long divz(long a) { return a / 0 + a % 0; }
+`)
+	if v := mustCall(t, mc, "zeroed"); v.Int != 0 {
+		t.Fatalf("zeroed = %v", v)
+	}
+	// Division by zero is defined as 0 in the interpreter (no trap model).
+	if v := mustCall(t, mc, "divz", IntVal(9)); v.Int != 0 {
+		t.Fatalf("divz = %v", v)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	mc := machine(t, `
+int badLoad() {
+    int *p = NULL;
+    return *p;
+}
+int badStore() {
+    int *p = NULL;
+    *p = 1;
+    return 0;
+}
+`)
+	if _, err := mc.Call("badLoad"); err == nil {
+		t.Fatal("load through null succeeded")
+	}
+	if _, err := mc.Call("badStore"); err == nil {
+		t.Fatal("store through null succeeded")
+	}
+	if _, err := mc.Call("nonexistent"); err == nil {
+		t.Fatal("call to missing function succeeded")
+	}
+}
+
+func TestExternGlobalRejected(t *testing.T) {
+	m, err := cfront.Compile("x.c", "extern int shared; int f() { return shared; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m); err == nil {
+		t.Fatal("module with external global accepted")
+	}
+}
+
+func TestShiftAndBitwise(t *testing.T) {
+	mc := machine(t, `
+long bits(long a, long b) {
+    return ((a << 3) >> 1) ^ (a & b) | (a % 7);
+}
+`)
+	a, b := int64(13), int64(6)
+	want := ((a << 3) >> 1) ^ (a & b) | (a % 7)
+	if v := mustCall(t, mc, "bits", IntVal(a), IntVal(b)); v.Int != want {
+		t.Fatalf("bits = %v, want %d", v, want)
+	}
+}

@@ -1,0 +1,42 @@
+package ir
+
+import "testing"
+
+// FuzzParse checks that the MIR parser never panics and that anything it
+// accepts verifies, prints, and round-trips.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure1,
+		`module "x"`,
+		"global @g : i32 = 7:i32 export",
+		"declare func @f(ptr, ...) -> ptr",
+		"struct %S = { i32, ptr }\nglobal @s : %S internal",
+		"func @f(%p: ptr) export {\nentry:\n  %v = load ptr, %p\n  ret %v\n}",
+		"func @f() export {\nentry:\n  condbr 1:i1, a, b\na:\n  br b\nb:\n  ret\n}",
+		"global @a : [3 x { ptr, i8 }] internal",
+		"func @f() export {\nentry:\n  %c = call void, @f()\n  ret\n}",
+		"; comment only",
+		"module \"é\"",
+		"global @a : i32 = 0:i32 internal\nglobal @t : [2 x ptr] = { @a, null } internal",
+		"global @n : [2 x [2 x i64]] = { { 1:i64 }, { } } internal",
+		"func @f() export {\nentry:\n  %x = phi ptr, [null, entry]\n  ret\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must print and reparse to the same text.
+		text := Print(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, text)
+		}
+		if Print(m2) != text {
+			t.Fatalf("round-trip not a fixed point:\n%s\nvs\n%s", text, Print(m2))
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates MIR token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tLocal    // %name
+	tGlobalID // @name
+	tInt
+	tFloat
+	tString
+	tPunct // single punctuation or "->"
+)
+
+type token struct {
+	kind tokKind
+	text string // for idents/locals/globals: without sigil; for punct: the glyph(s)
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tLocal:
+		return "%" + t.text
+	case tGlobalID:
+		return "@" + t.text
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func isIdentStart(r byte) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(rune(r))
+}
+
+func isIdentPart(r byte) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+// lex tokenizes src into tokens, returning an error with line information on
+// an invalid byte.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '%' || c == '@':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start {
+				return nil, fmt.Errorf("line %d: dangling %q", l.line, string(c))
+			}
+			kind := tLocal
+			if c == '@' {
+				kind = tGlobalID
+			}
+			l.toks = append(l.toks, token{kind, l.src[start:l.pos], l.line})
+		case c == '"':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\n' {
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) || l.src[l.pos] != '"' {
+				return nil, fmt.Errorf("line %d: unterminated string", l.line)
+			}
+			l.pos++
+			text, err := strconv.Unquote(l.src[start:l.pos])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad string literal: %v", l.line, err)
+			}
+			l.toks = append(l.toks, token{tString, text, l.line})
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+			l.toks = append(l.toks, token{tPunct, "->", l.line})
+			l.pos += 2
+		case c == '-' || c >= '0' && c <= '9':
+			start := l.pos
+			if c == '-' {
+				l.pos++
+			}
+			isFloat := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d >= '0' && d <= '9' {
+					l.pos++
+				} else if d == '.' && !isFloat && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+					isFloat = true
+					l.pos++
+				} else if (d == 'e' || d == 'E') && l.pos+1 < len(l.src) &&
+					(l.src[l.pos+1] == '-' || l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9') {
+					isFloat = true
+					l.pos += 2
+				} else {
+					break
+				}
+			}
+			text := l.src[start:l.pos]
+			if text == "-" {
+				return nil, fmt.Errorf("line %d: dangling '-'", l.line)
+			}
+			kind := tInt
+			if isFloat {
+				kind = tFloat
+			}
+			l.toks = append(l.toks, token{kind, text, l.line})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tIdent, l.src[start:l.pos], l.line})
+		case strings.ContainsRune("(){}[],:=x", rune(c)):
+			// 'x' appears only inside array types "[4 x i32]" and is
+			// lexed as an ident above; remaining single glyphs:
+			l.toks = append(l.toks, token{tPunct, string(c), l.line})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.line})
+	return l.toks, nil
+}

@@ -1,0 +1,97 @@
+package ir
+
+import "fmt"
+
+// Module is a single translation unit: the "current module" of the paper's
+// incomplete-program model. Everything outside it is an external module.
+type Module struct {
+	Name    string
+	Structs []*StructType // named struct types, in declaration order
+	Globals []*Global
+	Funcs   []*Function
+
+	structsByName map[string]*StructType
+	globalsByName map[string]*Global
+	funcsByName   map[string]*Function
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:          name,
+		structsByName: map[string]*StructType{},
+		globalsByName: map[string]*Global{},
+		funcsByName:   map[string]*Function{},
+	}
+}
+
+// Struct returns the named struct type, or nil.
+func (m *Module) Struct(name string) *StructType { return m.structsByName[name] }
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global { return m.globalsByName[name] }
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Function { return m.funcsByName[name] }
+
+// AddStruct registers a named struct type.
+func (m *Module) AddStruct(s *StructType) error {
+	if s.Name == "" {
+		return fmt.Errorf("cannot register anonymous struct")
+	}
+	if _, dup := m.structsByName[s.Name]; dup {
+		return fmt.Errorf("duplicate struct %%%s", s.Name)
+	}
+	m.Structs = append(m.Structs, s)
+	m.structsByName[s.Name] = s
+	return nil
+}
+
+// AddGlobal registers a global variable.
+func (m *Module) AddGlobal(g *Global) error {
+	if _, dup := m.globalsByName[g.GName]; dup {
+		return fmt.Errorf("duplicate global @%s", g.GName)
+	}
+	if _, dup := m.funcsByName[g.GName]; dup {
+		return fmt.Errorf("global @%s collides with function", g.GName)
+	}
+	m.Globals = append(m.Globals, g)
+	m.globalsByName[g.GName] = g
+	return nil
+}
+
+// AddFunc registers a function definition or declaration.
+func (m *Module) AddFunc(f *Function) error {
+	if _, dup := m.funcsByName[f.FName]; dup {
+		return fmt.Errorf("duplicate function @%s", f.FName)
+	}
+	if _, dup := m.globalsByName[f.FName]; dup {
+		return fmt.Errorf("function @%s collides with global", f.FName)
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcsByName[f.FName] = f
+	return nil
+}
+
+// NumInstrs returns the total instruction count across all functions, the
+// size metric of the paper's Table III.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// ForEachInstr calls fn for every instruction in the module.
+func (m *Module) ForEachInstr(fn func(*Function, *Block, *Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				fn(f, b, in)
+			}
+		}
+	}
+}

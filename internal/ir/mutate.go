@@ -1,0 +1,50 @@
+package ir
+
+// Mutation helpers for transformation passes.
+
+// ReplaceUses rewrites every operand in f that references old to new.
+func ReplaceUses(f *Function, old, new Value) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// RemoveInstr deletes in from its block and reports whether it was found.
+// The caller must ensure the instruction has no remaining uses.
+func RemoveInstr(in *Instr) bool {
+	b := in.Parent
+	if b == nil {
+		return false
+	}
+	for i, cur := range b.Instrs {
+		if cur == in {
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			in.Parent = nil
+			return true
+		}
+	}
+	return false
+}
+
+// HasUses reports whether any instruction in f uses v as an operand.
+func HasUses(f *Function, v Value) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in MIR textual syntax. The output round-trips
+// through Parse.
+func Print(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %q\n", m.Name)
+	for _, s := range m.Structs {
+		fields := make([]string, len(s.Fields))
+		for i, f := range s.Fields {
+			fields[i] = f.String()
+		}
+		fmt.Fprintf(&b, "struct %%%s = { %s }\n", s.Name, strings.Join(fields, ", "))
+	}
+	for _, g := range m.Globals {
+		if g.Linkage == Declared {
+			fmt.Fprintf(&b, "declare global @%s : %s\n", g.GName, g.Elem)
+			continue
+		}
+		fmt.Fprintf(&b, "global @%s : %s", g.GName, g.Elem)
+		if g.Init != nil {
+			fmt.Fprintf(&b, " = %s", g.Init.Ident())
+		}
+		fmt.Fprintf(&b, " %s\n", g.Linkage)
+	}
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			fmt.Fprintf(&b, "declare func @%s%s\n", f.FName, sigString(f.Sig, nil))
+			continue
+		}
+		fmt.Fprintf(&b, "\nfunc @%s%s %s {\n", f.FName, sigString(f.Sig, f.Params), f.Linkage)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.BName)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func sigString(sig *FuncType, params []*Param) string {
+	var parts []string
+	for i, pt := range sig.Params {
+		if params != nil {
+			parts = append(parts, fmt.Sprintf("%%%s: %s", params[i].PName, pt))
+		} else {
+			parts = append(parts, pt.String())
+		}
+	}
+	if sig.Variadic {
+		parts = append(parts, "...")
+	}
+	s := "(" + strings.Join(parts, ", ") + ")"
+	if _, isVoid := sig.Ret.(VoidType); !isVoid {
+		s += " -> " + sig.Ret.String()
+	}
+	return s
+}

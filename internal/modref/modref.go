@@ -1,0 +1,195 @@
+// Package modref computes sound per-function mod/ref summaries from a
+// points-to solution and call graph — the second client the paper names
+// (Section I). A function's summary lists the abstract memory locations it
+// may write (Mod) and read (Ref), transitively through callees, with
+// explicit bits for "may touch external / escaped memory", which keeps the
+// summaries sound when calls reach external modules.
+package modref
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pip-analysis/pip/internal/bitset"
+	"github.com/pip-analysis/pip/internal/callgraph"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+// Summary is one function's memory behaviour.
+type Summary struct {
+	mod, ref bitset.Set
+	// ModExternal/RefExternal report that the function may additionally
+	// write/read externally accessible memory (because it calls external
+	// code, or dereferences pointers of unknown origin).
+	ModExternal bool
+	RefExternal bool
+}
+
+// MayMod reports whether the function may write location x.
+func (s *Summary) MayMod(sol *core.Solution, x core.VarID) bool {
+	if s.mod.Contains(x) {
+		return true
+	}
+	return s.ModExternal && sol.Escaped(x)
+}
+
+// MayRef reports whether the function may read location x.
+func (s *Summary) MayRef(sol *core.Solution, x core.VarID) bool {
+	if s.ref.Contains(x) {
+		return true
+	}
+	return s.RefExternal && sol.Escaped(x)
+}
+
+// ModSet returns the explicit mod set, sorted.
+func (s *Summary) ModSet() []core.VarID { return s.mod.Slice() }
+
+// RefSet returns the explicit ref set, sorted.
+func (s *Summary) RefSet() []core.VarID { return s.ref.Slice() }
+
+// Analysis holds mod/ref summaries for a module.
+type Analysis struct {
+	gen       *core.Gen
+	sol       *core.Solution
+	Summaries map[*ir.Function]*Summary
+}
+
+// Compute builds summaries for every defined function, iterating over the
+// call graph to a fixed point (mutual recursion converges because the sets
+// only grow).
+func Compute(m *ir.Module, gen *core.Gen, sol *core.Solution, cg *callgraph.Graph) *Analysis {
+	a := &Analysis{gen: gen, sol: sol, Summaries: map[*ir.Function]*Summary{}}
+	for f := range cg.Nodes {
+		a.Summaries[f] = &Summary{}
+	}
+	// Local effects.
+	for f := range cg.Nodes {
+		sum := a.Summaries[f]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					a.addTargets(&sum.ref, &sum.RefExternal, in.Args[0])
+				case ir.OpStore:
+					a.addTargets(&sum.mod, &sum.ModExternal, in.Args[1])
+				case ir.OpMemcpy:
+					a.addTargets(&sum.mod, &sum.ModExternal, in.Args[0])
+					a.addTargets(&sum.ref, &sum.RefExternal, in.Args[1])
+				}
+			}
+		}
+	}
+	// Transitive closure over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for f, node := range cg.Nodes {
+			sum := a.Summaries[f]
+			for _, e := range node.Calls {
+				if e.External {
+					// External code may touch anything escaped.
+					if !sum.ModExternal {
+						sum.ModExternal = true
+						changed = true
+					}
+					if !sum.RefExternal {
+						sum.RefExternal = true
+						changed = true
+					}
+				}
+				for _, callee := range e.Targets {
+					cs := a.Summaries[callee]
+					if cs == nil {
+						continue
+					}
+					if sum.mod.UnionWith(&cs.mod) {
+						changed = true
+					}
+					if sum.ref.UnionWith(&cs.ref) {
+						changed = true
+					}
+					if cs.ModExternal && !sum.ModExternal {
+						sum.ModExternal = true
+						changed = true
+					}
+					if cs.RefExternal && !sum.RefExternal {
+						sum.RefExternal = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// addTargets folds the points-to set of a pointer operand into dst.
+func (a *Analysis) addTargets(dst *bitset.Set, external *bool, ptr ir.Value) {
+	// Direct object addresses.
+	switch v := ptr.(type) {
+	case *ir.Global:
+		dst.Add(a.gen.MemOf[v])
+		return
+	case *ir.Instr:
+		if v.Op == ir.OpAlloca {
+			if mem, ok := a.gen.MemOf[v]; ok {
+				dst.Add(mem)
+				return
+			}
+		}
+	}
+	id, ok := a.gen.VarOf[stripDerived(ptr)]
+	if !ok {
+		return
+	}
+	for _, x := range a.sol.PointsTo(id) {
+		if x == core.OmegaPointee {
+			*external = true
+			continue
+		}
+		dst.Add(x)
+	}
+}
+
+// stripDerived walks through geps and bitcasts to the underlying pointer.
+func stripDerived(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || (in.Op != ir.OpGEP && in.Op != ir.OpBitcast) {
+			return v
+		}
+		v = in.Args[0]
+	}
+}
+
+// Report renders a human-readable summary table.
+func (a *Analysis) Report() string {
+	var funcs []*ir.Function
+	for f := range a.Summaries {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].FName < funcs[j].FName })
+	var b strings.Builder
+	names := func(set []core.VarID) string {
+		out := make([]string, len(set))
+		for i, x := range set {
+			out[i] = a.gen.Problem.Names[x]
+		}
+		return strings.Join(out, " ")
+	}
+	for _, f := range funcs {
+		s := a.Summaries[f]
+		fmt.Fprintf(&b, "@%s:\n", f.FName)
+		fmt.Fprintf(&b, "  mod: %s", names(s.ModSet()))
+		if s.ModExternal {
+			b.WriteString(" +<external>")
+		}
+		fmt.Fprintf(&b, "\n  ref: %s", names(s.RefSet()))
+		if s.RefExternal {
+			b.WriteString(" +<external>")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

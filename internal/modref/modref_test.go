@@ -1,0 +1,203 @@
+package modref
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/callgraph"
+	"github.com/pip-analysis/pip/internal/cfront"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+func analyze(t *testing.T, src string) (*Analysis, *ir.Module, *core.Gen, *core.Solution) {
+	t.Helper()
+	m, err := cfront.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := core.Generate(m)
+	sol := core.MustSolve(gen.Problem, core.DefaultConfig())
+	cg := callgraph.Build(m, gen, sol)
+	return Compute(m, gen, sol, cg), m, gen, sol
+}
+
+const src = `
+static int counter;
+static int config;
+static int scratch;
+
+static void bump() {
+    counter = counter + 1;
+}
+
+int read_config() {
+    return config;
+}
+
+int tick() {
+    bump();
+    return read_config();
+}
+
+void touch_scratch() {
+    scratch = 7;
+}
+`
+
+func TestLocalModRef(t *testing.T) {
+	a, m, gen, sol := analyze(t, src)
+	counter := gen.MemOf[m.Global("counter")]
+	config := gen.MemOf[m.Global("config")]
+	scratch := gen.MemOf[m.Global("scratch")]
+
+	bump := a.Summaries[m.Func("bump")]
+	if !bump.MayMod(sol, counter) || !bump.MayRef(sol, counter) {
+		t.Fatal("bump must mod+ref counter")
+	}
+	if bump.MayMod(sol, config) || bump.MayRef(sol, config) {
+		t.Fatal("bump must not touch config")
+	}
+
+	rc := a.Summaries[m.Func("read_config")]
+	if rc.MayMod(sol, config) {
+		t.Fatal("read_config must not mod config")
+	}
+	if !rc.MayRef(sol, config) {
+		t.Fatal("read_config must ref config")
+	}
+	_ = scratch
+}
+
+func TestTransitiveModRef(t *testing.T) {
+	a, m, gen, sol := analyze(t, src)
+	counter := gen.MemOf[m.Global("counter")]
+	config := gen.MemOf[m.Global("config")]
+	scratch := gen.MemOf[m.Global("scratch")]
+
+	tick := a.Summaries[m.Func("tick")]
+	if !tick.MayMod(sol, counter) {
+		t.Fatal("tick modifies counter via bump")
+	}
+	if !tick.MayRef(sol, config) {
+		t.Fatal("tick reads config via read_config")
+	}
+	if tick.MayMod(sol, scratch) || tick.MayRef(sol, scratch) {
+		t.Fatal("tick never touches scratch")
+	}
+	if tick.ModExternal || tick.RefExternal {
+		t.Fatal("tick calls no external code")
+	}
+}
+
+func TestExternalCallsTaintSummaries(t *testing.T) {
+	src := `
+extern void mystery(int *p);
+
+int exposed;
+static int hidden;
+
+void call_out() {
+    mystery(&exposed);
+}
+`
+	a, m, gen, sol := analyze(t, src)
+	co := a.Summaries[m.Func("call_out")]
+	if !co.ModExternal || !co.RefExternal {
+		t.Fatal("calling external code must set the external mod/ref bits")
+	}
+	exposed := gen.MemOf[m.Global("exposed")]
+	hidden := gen.MemOf[m.Global("hidden")]
+	if !co.MayMod(sol, exposed) {
+		t.Fatal("external call may modify the escaped exposed")
+	}
+	if co.MayMod(sol, hidden) {
+		t.Fatal("external call cannot modify the private hidden")
+	}
+}
+
+func TestIndirectStores(t *testing.T) {
+	src := `
+static int a, b;
+static int *sel;
+
+void pick(int which) {
+    if (which) { sel = &a; } else { sel = &b; }
+}
+
+void write_selected(int v) {
+    *sel = v;
+}
+`
+	an, m, gen, sol := analyze(t, src)
+	ws := an.Summaries[m.Func("write_selected")]
+	aMem := gen.MemOf[m.Global("a")]
+	bMem := gen.MemOf[m.Global("b")]
+	if !ws.MayMod(sol, aMem) || !ws.MayMod(sol, bMem) {
+		t.Fatal("indirect store must mod both possible targets")
+	}
+	pick := an.Summaries[m.Func("pick")]
+	if pick.MayMod(sol, aMem) {
+		t.Fatal("pick only writes the selector, not a")
+	}
+	if !pick.MayMod(sol, gen.MemOf[m.Global("sel")]) {
+		t.Fatal("pick must mod sel")
+	}
+}
+
+func TestMutualRecursionConverges(t *testing.T) {
+	src := `
+static int x, y;
+
+static void even(int n);
+
+static void odd(int n) {
+    y = n;
+    if (n > 0) even(n - 1);
+}
+
+static void even(int n) {
+    x = n;
+    if (n > 0) odd(n - 1);
+}
+
+void start(int n) { even(n); }
+`
+	a, m, gen, sol := analyze(t, src)
+	start := a.Summaries[m.Func("start")]
+	if !start.MayMod(sol, gen.MemOf[m.Global("x")]) || !start.MayMod(sol, gen.MemOf[m.Global("y")]) {
+		t.Fatal("mutual recursion: start must mod both x and y")
+	}
+}
+
+func TestReport(t *testing.T) {
+	a, _, _, _ := analyze(t, src)
+	out := a.Report()
+	for _, frag := range []string{"@tick:", "mod:", "ref:", "@counter"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMemcpyModRef(t *testing.T) {
+	src := `
+struct blob { int data[4]; };
+static struct blob a, b;
+
+void clone() {
+    a = b;
+}
+`
+	an, m, gen, sol := analyze(t, src)
+	cl := an.Summaries[m.Func("clone")]
+	if !cl.MayMod(sol, gen.MemOf[m.Global("a")]) {
+		t.Fatal("struct copy must mod the destination")
+	}
+	if !cl.MayRef(sol, gen.MemOf[m.Global("b")]) {
+		t.Fatal("struct copy must ref the source")
+	}
+	if cl.MayMod(sol, gen.MemOf[m.Global("b")]) {
+		t.Fatal("struct copy must not mod the source")
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats provides the summary statistics, distribution quantiles, and
+// text-table rendering used to regenerate the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the distribution statistics reported in the paper's
+// Tables V and VI: quantiles p10/p25/p50/p90/p99, the maximum, and the mean.
+type Summary struct {
+	P10, P25, P50, P90, P99 float64
+	Max                     float64
+	Mean                    float64
+	N                       int
+}
+
+// Summarize computes a Summary of xs. It copies and sorts the input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		P10:  Quantile(s, 0.10),
+		P25:  Quantile(s, 0.25),
+		P50:  Quantile(s, 0.50),
+		P90:  Quantile(s, 0.90),
+		P99:  Quantile(s, 0.99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		N:    len(s),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted slice,
+// using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive values are skipped;
+// if none remain, it returns 0.
+func GeoMean(xs []float64) float64 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// FormatCount renders a non-negative number with thin thousands separators
+// in the paper's style, e.g. 43437029 -> "43 437 029".
+func FormatCount(v float64) string {
+	n := int64(math.Round(v))
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, " ")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Table is a simple right-aligned text table with a left-aligned first
+// column, matching the layout of the paper's tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells to the table.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Scatter renders an ASCII log-log style scatter summary of a ratio series,
+// standing in for the paper's Figure 10 plots: each line is a decile of the
+// x-axis metric with the distribution of ratios in that decile.
+func Scatter(title string, x, ratio []float64) string {
+	if len(x) != len(ratio) || len(x) == 0 {
+		return title + ": (no data)\n"
+	}
+	type pt struct{ x, r float64 }
+	pts := make([]pt, len(x))
+	for i := range x {
+		pts[i] = pt{x[i], ratio[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %10s\n", "x-decile", "min", "median", "geomean", "max")
+	const buckets = 10
+	for bi := 0; bi < buckets; bi++ {
+		lo := bi * len(pts) / buckets
+		hi := (bi + 1) * len(pts) / buckets
+		if lo >= hi {
+			continue
+		}
+		rs := make([]float64, 0, hi-lo)
+		for _, p := range pts[lo:hi] {
+			rs = append(rs, p.r)
+		}
+		sort.Float64s(rs)
+		label := fmt.Sprintf("[%.3g, %.3g]", pts[lo].x, pts[hi-1].x)
+		fmt.Fprintf(&b, "%-24s %10.3g %10.3g %10.3g %10.3g\n",
+			label, rs[0], Quantile(rs, 0.5), GeoMean(rs), rs[len(rs)-1])
+	}
+	return b.String()
+}
+
+// CSV renders columns as comma-separated values with a header, used to dump
+// figure series for external plotting.
+func CSV(header []string, cols ...[]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	n := 0
+	for _, c := range cols {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j, c := range cols {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if i < len(c) {
+				fmt.Fprintf(&b, "%g", c[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

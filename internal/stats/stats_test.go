@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0); !approx(got, 1) {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); !approx(got, 10) {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !approx(got, 5.5) {
+		t.Fatalf("median = %v, want 5.5", got)
+	}
+	if got := Quantile([]float64{42}, 0.9); !approx(got, 42) {
+		t.Fatalf("single-element quantile = %v", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !approx(s.Max, 100) {
+		t.Fatalf("Max = %v", s.Max)
+	}
+	if !approx(s.Mean, 50.5) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.P10 < 10 || s.P10 > 12 {
+		t.Fatalf("P10 = %v", s.P10)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.P25 > s.P50 || s.P50 > s.P90 || s.P90 > s.P99 {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestMeanSumGeoMean(t *testing.T) {
+	if !approx(Mean([]float64{2, 4}), 3) {
+		t.Fatal("Mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if !approx(Sum([]float64{1, 2, 3}), 6) {
+		t.Fatal("Sum")
+	}
+	if !approx(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("GeoMean")
+	}
+	if GeoMean([]float64{0, -1}) != 0 {
+		t.Fatal("GeoMean of non-positive values")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1 000",
+		43437029: "43 437 029",
+		-1234:    "-1 234",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Fatalf("FormatCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "Demo",
+		Header: []string{"Name", "p50", "Max"},
+	}
+	tab.AddRow("alpha", "10", "100")
+	tab.AddRow("beta-long-name", "7", "9999")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines equal width (right-aligned numeric columns).
+	if len(lines[1]) == 0 || !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	x := make([]float64, 50)
+	r := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i + 1)
+		r[i] = 2.0
+	}
+	out := Scatter("fig", x, r)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "geomean") {
+		t.Fatalf("scatter output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Fatalf("scatter too short:\n%s", out)
+	}
+	if got := Scatter("empty", nil, nil); !strings.Contains(got, "no data") {
+		t.Fatalf("empty scatter: %q", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, []float64{1, 2}, []float64{3})
+	want := "a,b\n1,3\n2,\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := Quantile(xs, q1), Quantile(xs, q2)
+		return a <= b+1e-9 && a >= xs[0]-1e-9 && b <= xs[len(xs)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

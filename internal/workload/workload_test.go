@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+func TestDeterministic(t *testing.T) {
+	opts := Options{Seed: 7, Scale: 0.02, SizeScale: 0.05}
+	a := GenerateSuite(Suites[2], opts) // 505.mcf, small
+	b := GenerateSuite(Suites[2], opts)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic file counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if ir.Print(a[i].Module) != ir.Print(b[i].Module) {
+			t.Fatalf("file %d differs between runs", i)
+		}
+	}
+}
+
+func TestModulesVerifyAndAnalyze(t *testing.T) {
+	opts := Options{Seed: 3, Scale: 0.02, SizeScale: 0.05}
+	files := GenerateCorpus(opts)
+	if len(files) < len(Suites) {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	sawPath := false
+	for _, f := range files {
+		if err := ir.Verify(f.Module); err != nil {
+			t.Fatalf("%s does not verify: %v", f.Name, err)
+		}
+		g := core.Generate(f.Module)
+		if err := g.Problem.Validate(); err != nil {
+			t.Fatalf("%s: invalid problem: %v", f.Name, err)
+		}
+		sol := core.MustSolve(g.Problem, core.DefaultConfig())
+		if sol.Stats.Duration <= 0 {
+			t.Fatalf("%s: no duration", f.Name)
+		}
+		if f.Pathological {
+			sawPath = true
+		}
+	}
+	if !sawPath {
+		t.Fatal("corpus must include pathological files")
+	}
+}
+
+func TestSizeDistributionRoughlyMatchesSpec(t *testing.T) {
+	spec := Suites[8] // 557.xz: 89 files, mean 1448
+	files := GenerateSuite(spec, Options{Seed: 1, Scale: 1, SizeScale: 1})
+	if len(files) != spec.Files {
+		t.Fatalf("file count = %d, want %d", len(files), spec.Files)
+	}
+	total := 0
+	maxn := 0
+	for _, f := range files {
+		n := f.Module.NumInstrs()
+		total += n
+		if n > maxn {
+			maxn = n
+		}
+	}
+	mean := float64(total) / float64(len(files))
+	if math.Abs(mean-float64(spec.MeanInstrs)) > 0.6*float64(spec.MeanInstrs) {
+		t.Fatalf("mean instrs = %.0f, spec %d (off by more than 60%%)", mean, spec.MeanInstrs)
+	}
+	if maxn > 3*spec.MaxInstrs {
+		t.Fatalf("max instrs = %d, spec max %d", maxn, spec.MaxInstrs)
+	}
+}
+
+func TestConstraintDensityMatchesPaper(t *testing.T) {
+	// Table III: |V| is roughly 15-30% of instructions and |C| roughly
+	// 25-50%. Check our generator lands in a sane band.
+	spec := Suites[7] // 544.nab
+	files := GenerateSuite(spec, Options{Seed: 2, Scale: 1, SizeScale: 0.5})
+	var instrs, vars, cons int
+	for _, f := range files {
+		g := core.Generate(f.Module)
+		instrs += f.Module.NumInstrs()
+		vars += g.Problem.NumVars()
+		cons += g.Problem.NumConstraints()
+	}
+	vr := float64(vars) / float64(instrs)
+	cr := float64(cons) / float64(instrs)
+	if vr < 0.08 || vr > 0.8 {
+		t.Fatalf("|V|/instrs = %.2f out of band", vr)
+	}
+	if cr < 0.1 || cr > 1.2 {
+		t.Fatalf("|C|/instrs = %.2f out of band", cr)
+	}
+}
+
+func TestPathologicalShowsPIPBenefit(t *testing.T) {
+	files := GenerateSuite(Suites[11], Options{Seed: 1, Scale: 0.003, SizeScale: 0.02}) // ghostscript
+	var path *File
+	for i := range files {
+		if files[i].Pathological {
+			path = &files[i]
+			break
+		}
+	}
+	if path == nil {
+		t.Fatal("no pathological file generated")
+	}
+	g := core.Generate(path.Module)
+	noPip := core.MustSolve(g.Problem, core.MustParseConfig("IP+WL(FIFO)"))
+	pip := core.MustSolve(g.Problem, core.MustParseConfig("IP+WL(FIFO)+PIP"))
+	if pip.Canonical() != noPip.Canonical() {
+		t.Fatal("PIP changed the solution on a pathological file")
+	}
+	if noPip.Stats.ExplicitPointees < 4*pip.Stats.ExplicitPointees {
+		t.Fatalf("pathological file should show a large explicit-pointee gap: %d vs %d",
+			noPip.Stats.ExplicitPointees, pip.Stats.ExplicitPointees)
+	}
+}
+
+func TestFitLogNormal(t *testing.T) {
+	mu, sigma := fitLogNormal(1000, 50000, 100)
+	if sigma <= 0 || sigma > 2.5 {
+		t.Fatalf("sigma = %v", sigma)
+	}
+	// Mean of the fitted log-normal must be close to the requested mean.
+	mean := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(mean-1000) > 1 {
+		t.Fatalf("fitted mean = %v", mean)
+	}
+	// Degenerate cases.
+	if _, s := fitLogNormal(100, 100, 1); s <= 0 {
+		t.Fatal("single-file fit")
+	}
+}
+
+func TestTotalFiles(t *testing.T) {
+	if TotalFiles() != 3659 {
+		t.Fatalf("TotalFiles = %d, want the paper's 3659", TotalFiles())
+	}
+}
+
+func TestIndirectCallsResolveToFunctions(t *testing.T) {
+	// The generator publishes function addresses through globals and
+	// calls through loaded pointers, so some indirect calls must resolve
+	// to defined functions (exercising the CALL inference rule).
+	opts := Options{Seed: 11, Scale: 0.05, SizeScale: 0.2, MaxInstrs: 3000}
+	files := GenerateSuite(Suites[10], opts) // gdb: high FnPtrRate
+	resolved := 0
+	for _, f := range files {
+		g := core.Generate(f.Module)
+		sol := core.MustSolve(g.Problem, core.DefaultConfig())
+		funcMems := map[core.VarID]bool{}
+		for _, fn := range f.Module.Funcs {
+			if !fn.IsDecl() {
+				funcMems[g.MemOf[fn]] = true
+			}
+		}
+		f.Module.ForEachInstr(func(_ *ir.Function, _ *ir.Block, in *ir.Instr) {
+			if in.Op != ir.OpCall {
+				return
+			}
+			if _, direct := in.Callee().(*ir.Function); direct {
+				return
+			}
+			id, ok := g.VarOf[in.Callee()]
+			if !ok {
+				return
+			}
+			for _, x := range sol.PointsTo(id) {
+				if funcMems[x] {
+					resolved++
+					return
+				}
+			}
+		})
+	}
+	if resolved == 0 {
+		t.Fatal("no indirect call resolved to a defined function across the suite")
+	}
+}
+
+func TestNoPathologicalOption(t *testing.T) {
+	opts := Options{Seed: 1, Scale: 0.01, SizeScale: 0.05, NoPathological: true}
+	for _, f := range GenerateCorpus(opts) {
+		if f.Pathological {
+			t.Fatalf("%s is pathological despite NoPathological", f.Name)
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Package pip is the public API of this reproduction of "PIP: Making
+// Andersen's Points-to Analysis Sound and Practical for Incomplete C
+// Programs" (CGO 2026).
+//
+// The library analyzes a single translation unit (an incomplete program)
+// and produces a points-to solution that is sound no matter what external
+// modules the unit is eventually linked with. Inputs can be mini-C source
+// (compiled by the built-in frontend) or MIR, the library's LLVM-like
+// textual IR.
+//
+// Basic use:
+//
+//	res, err := pip.AnalyzeC("file.c", src, pip.DefaultConfig())
+//	targets, external, _ := res.PointsTo("callMe.r")
+//
+// The Config type selects among the paper's solver configurations, e.g.
+// pip.MustParseConfig("IP+WL(FIFO)+PIP").
+package pip
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/pip-analysis/pip/internal/alias"
+	"github.com/pip-analysis/pip/internal/callgraph"
+	"github.com/pip-analysis/pip/internal/cfront"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+	"github.com/pip-analysis/pip/internal/modref"
+	"github.com/pip-analysis/pip/internal/opt"
+)
+
+// Config selects a solver configuration (paper Table IV). Use
+// DefaultConfig, ParseConfig, or AllConfigs to obtain one.
+type Config = core.Config
+
+// DefaultConfig returns the fastest configuration overall:
+// IP+WL(FIFO)+PIP.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ParseConfig parses the paper's configuration notation, for example
+// "EP+OVS+WL(LRF)+OCD" or "IP+WL(FIFO)+PIP".
+func ParseConfig(s string) (Config, error) { return core.ParseConfig(s) }
+
+// MustParseConfig is ParseConfig that panics on error.
+func MustParseConfig(s string) Config { return core.MustParseConfig(s) }
+
+// AllConfigs enumerates every valid solver configuration.
+func AllConfigs() []Config { return core.AllConfigs() }
+
+// Module is a parsed or compiled translation unit.
+type Module = ir.Module
+
+// CompileC compiles mini-C source into a module.
+func CompileC(name, src string) (*Module, error) { return cfront.Compile(name, src) }
+
+// ParseIR parses MIR textual IR into a module.
+func ParseIR(src string) (*Module, error) { return ir.Parse(src) }
+
+// PrintIR renders a module in MIR textual syntax.
+func PrintIR(m *Module) string { return ir.Print(m) }
+
+// AliasResult is an alias query answer.
+type AliasResult = alias.Result
+
+// Alias query answers.
+const (
+	NoAlias   = alias.NoAlias
+	MayAlias  = alias.MayAlias
+	MustAlias = alias.MustAlias
+)
+
+// Summary is a handwritten points-to summary for an imported library
+// function (paper Section III-B). Passing summaries to
+// AnalyzeWithSummaries improves precision over the generic conservative
+// treatment of imported functions; malloc/free/memcpy summaries are built
+// in.
+type Summary = core.Summary
+
+// Result is a completed analysis of one module.
+type Result struct {
+	Module *Module
+	gen    *core.Gen
+	sol    *core.Solution
+}
+
+// Analyze runs both analysis phases on a module.
+func Analyze(m *Module, cfg Config) (*Result, error) {
+	return AnalyzeWithSummaries(m, cfg, nil)
+}
+
+// AnalyzeWithSummaries is Analyze with extra handwritten summaries for
+// imported functions (entries override the built-in defaults).
+func AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) (*Result, error) {
+	gen := core.GenerateWith(m, summaries)
+	sol, err := core.Solve(gen.Problem, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Module: m, gen: gen, sol: sol}, nil
+}
+
+// AnalyzeC compiles and analyzes mini-C source.
+func AnalyzeC(name, src string, cfg Config) (*Result, error) {
+	m, err := CompileC(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(m, cfg)
+}
+
+// AnalyzeIR parses and analyzes MIR text.
+func AnalyzeIR(src string, cfg Config) (*Result, error) {
+	m, err := ParseIR(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(m, cfg)
+}
+
+// lookupValue resolves a user-facing name to an IR value:
+//
+//	"g"        a global or function symbol
+//	"f.x"      local value %x (parameter or instruction result) in @f
+func (r *Result) lookupValue(name string) (ir.Value, error) {
+	if fn, local, ok := strings.Cut(name, "."); ok {
+		f := r.Module.Func(fn)
+		if f == nil {
+			return nil, fmt.Errorf("no function %q", fn)
+		}
+		for _, p := range f.Params {
+			if p.PName == local {
+				return p, nil
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.IName == local {
+					return in, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("no value %%%s in @%s", local, fn)
+	}
+	if g := r.Module.Global(name); g != nil {
+		return g, nil
+	}
+	if f := r.Module.Func(name); f != nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("no symbol @%s", name)
+}
+
+// varFor maps a value to the constraint variable holding its points-to set.
+// For globals this is the memory cell (what the global contains), matching
+// the paper's Figure 1 discussion of the pointer variable p.
+func (r *Result) varFor(v ir.Value) (core.VarID, error) {
+	switch val := v.(type) {
+	case *ir.Global:
+		if id, ok := r.gen.MemOf[val]; ok && r.gen.Problem.PtrCompat[id] {
+			return id, nil
+		}
+		return core.NoVar, fmt.Errorf("@%s holds no pointers", val.GName)
+	case *ir.Instr:
+		if val.Op == ir.OpAlloca {
+			// A named C local: report what the stack slot contains, not
+			// the (trivial) address value.
+			if id, ok := r.gen.MemOf[val]; ok && r.gen.Problem.PtrCompat[id] {
+				return id, nil
+			}
+			return core.NoVar, fmt.Errorf("%%%s holds no pointers", val.IName)
+		}
+		if id, ok := r.gen.VarOf[v]; ok {
+			return id, nil
+		}
+		return core.NoVar, fmt.Errorf("%s has no points-to set", v.Ident())
+	default:
+		if id, ok := r.gen.VarOf[v]; ok {
+			return id, nil
+		}
+		return core.NoVar, fmt.Errorf("%s has no points-to set", v.Ident())
+	}
+}
+
+// varForName resolves a query name to a constraint variable. In addition
+// to "global" and "func.local", the pseudo-local "func.$ret" names a
+// function's return-value variable.
+func (r *Result) varForName(name string) (core.VarID, error) {
+	if fn, local, ok := strings.Cut(name, "."); ok && local == "$ret" {
+		f := r.Module.Func(fn)
+		if f == nil {
+			return core.NoVar, fmt.Errorf("no function %q", fn)
+		}
+		if id, ok := r.gen.RetOf[f]; ok {
+			return id, nil
+		}
+		return core.NoVar, fmt.Errorf("@%s returns no pointers", fn)
+	}
+	v, err := r.lookupValue(name)
+	if err != nil {
+		return core.NoVar, err
+	}
+	return r.varFor(v)
+}
+
+// PointsTo returns the named memory locations the value may target, plus
+// whether it may additionally target external (unknown) memory. Names take
+// the form "global", "func.local", or "func.$ret".
+func (r *Result) PointsTo(name string) (targets []string, external bool, err error) {
+	id, err := r.varForName(name)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, x := range r.sol.PointsTo(id) {
+		if x == core.OmegaPointee {
+			external = true
+			continue
+		}
+		targets = append(targets, r.gen.Problem.Names[x])
+	}
+	sort.Strings(targets)
+	return targets, external, nil
+}
+
+// PointsToExternal reports whether the named value may hold a pointer of
+// unknown origin (p ⊒ Ω).
+func (r *Result) PointsToExternal(name string) (bool, error) {
+	id, err := r.varForName(name)
+	if err != nil {
+		return false, err
+	}
+	return r.sol.PointsToExternal(id), nil
+}
+
+// Escaped reports whether the named object is externally accessible
+// (Ω ⊒ {x}).
+func (r *Result) Escaped(name string) (bool, error) {
+	v, err := r.lookupValue(name)
+	if err != nil {
+		return false, err
+	}
+	switch val := v.(type) {
+	case *ir.Global:
+		return r.sol.Escaped(r.gen.MemOf[val]), nil
+	case *ir.Function:
+		return r.sol.Escaped(r.gen.MemOf[val]), nil
+	case *ir.Instr:
+		if val.Op == ir.OpAlloca {
+			return r.sol.Escaped(r.gen.MemOf[val]), nil
+		}
+	}
+	return false, fmt.Errorf("%q does not name a memory object", name)
+}
+
+// ExternallyAccessible lists every escaped memory location by name.
+func (r *Result) ExternallyAccessible() []string {
+	var out []string
+	for _, x := range r.sol.ExternalSet() {
+		out = append(out, r.gen.Problem.Names[x])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump renders the complete points-to solution.
+func (r *Result) Dump() string { return r.sol.Dump() }
+
+// ConstraintGraphDOT renders the solved constraint graph in Graphviz
+// format, following the paper's drawing conventions (registers as circles,
+// memory locations as squares, complex edges dashed).
+func (r *Result) ConstraintGraphDOT() string {
+	return core.SolutionDOT(r.gen.Problem, r.sol)
+}
+
+// Stats returns solver statistics for the run.
+func (r *Result) Stats() core.SolveStats { return r.sol.Stats }
+
+// AliasAnalysis constructs the combined Andersen+BasicAA alias analysis of
+// the paper's precision evaluation (Figure 9).
+func (r *Result) AliasAnalysis() AliasAnalysis {
+	basic := alias.NewBasicAA(r.Module)
+	and := alias.NewAndersen(r.gen, r.sol)
+	return AliasAnalysis{
+		Basic:    basic,
+		Andersen: and,
+		Combined: alias.Combined{basic, and},
+	}
+}
+
+// AliasAnalysis bundles the three analysis configurations of Figure 9.
+type AliasAnalysis struct {
+	Basic    alias.Analysis
+	Andersen alias.Analysis
+	Combined alias.Analysis
+}
+
+// MayAliasRate runs the paper's load/store conflict-rate client over the
+// module with the given analysis and returns the fraction of MayAlias
+// answers (lower is more precise).
+func (r *Result) MayAliasRate(an alias.Analysis) float64 {
+	return alias.ConflictRate(r.Module, an).MayRate()
+}
+
+// OptStats counts the transformations applied by Optimize.
+type OptStats = opt.Stats
+
+// Optimize applies the alias-driven optimizations (redundant-load and
+// dead-store elimination) to the module in place, using the combined
+// Andersen+BasicAA analysis. The Result's points-to information remains
+// valid: removing instructions only shrinks the program's behaviours.
+func (r *Result) Optimize() OptStats {
+	aa := r.AliasAnalysis()
+	return opt.Run(r.Module, aa.Combined)
+}
+
+// OptimizeInterprocedural is Optimize with call effects resolved through
+// the call graph and mod/ref summaries instead of treated conservatively.
+func (r *Result) OptimizeInterprocedural() (OptStats, error) {
+	ctx, err := opt.NewContext(r.Module, core.DefaultConfig())
+	if err != nil {
+		return OptStats{}, err
+	}
+	return opt.RunInterproc(r.Module, ctx), nil
+}
+
+// CallGraph builds a sound call graph from the points-to solution:
+// indirect calls resolve through points-to sets; calls that may reach (or
+// arrive from) external modules are represented explicitly.
+func (r *Result) CallGraph() *CallGraph {
+	return callgraph.Build(r.Module, r.gen, r.sol)
+}
+
+// CallGraph is a sound call graph for an incomplete program.
+type CallGraph = callgraph.Graph
+
+// ModRef computes sound per-function mod/ref summaries, transitively
+// through the call graph.
+func (r *Result) ModRef(cg *CallGraph) *ModRefAnalysis {
+	return modref.Compute(r.Module, r.gen, r.sol, cg)
+}
+
+// ModRefAnalysis holds per-function memory summaries.
+type ModRefAnalysis = modref.Analysis
+
+// FunctionMayModify reports whether calling the named function may modify
+// the named global (including modification by external code the function
+// may call).
+func (r *Result) FunctionMayModify(mr *ModRefAnalysis, fn, global string) (bool, error) {
+	f := r.Module.Func(fn)
+	if f == nil {
+		return false, fmt.Errorf("no function %q", fn)
+	}
+	g := r.Module.Global(global)
+	if g == nil {
+		return false, fmt.Errorf("no global %q", global)
+	}
+	sum := mr.Summaries[f]
+	if sum == nil {
+		return false, fmt.Errorf("no summary for %q (declaration?)", fn)
+	}
+	return sum.MayMod(r.sol, r.gen.MemOf[g]), nil
+}

@@ -1,0 +1,297 @@
+package pip
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure1C = `
+static int x, y;
+int z;
+extern int* getPtr();
+
+int* p = &x;
+
+void callMe(int* q) {
+    int w;
+    int* r = getPtr();
+    if (r == NULL)
+        r = &w;
+}
+`
+
+func TestAnalyzeCFigure1(t *testing.T) {
+	res, err := AnalyzeC("figure1.c", figure1C, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, ext, err := res.PointsTo("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(targets, " ")
+	if !strings.Contains(joined, "@x") || !strings.Contains(joined, "@z") || !ext {
+		t.Fatalf("PointsTo(p) = %v ext=%v, want x, z, external", targets, ext)
+	}
+	if strings.Contains(joined, "@y") {
+		t.Fatalf("PointsTo(p) includes private y: %v", targets)
+	}
+	// q is a parameter of an exported function.
+	if ext, err := res.PointsToExternal("callMe.q"); err != nil || !ext {
+		t.Fatalf("callMe.q external = %v, %v", ext, err)
+	}
+	if esc, err := res.Escaped("y"); err != nil || esc {
+		t.Fatalf("y escaped = %v, %v", esc, err)
+	}
+	if esc, err := res.Escaped("z"); err != nil || !esc {
+		t.Fatalf("z escaped = %v, %v", esc, err)
+	}
+	ext2 := res.ExternallyAccessible()
+	if len(ext2) == 0 {
+		t.Fatal("no externally accessible objects")
+	}
+	if res.Stats().Duration <= 0 {
+		t.Fatal("missing stats")
+	}
+	if !strings.Contains(res.Dump(), "@p") {
+		t.Fatal("dump missing p")
+	}
+}
+
+func TestAnalyzeIR(t *testing.T) {
+	src := `
+module "m"
+global @a : ptr = null internal
+func @f() internal {
+entry:
+  %x = alloca i64
+  store %x, @a
+  ret
+}
+`
+	res, err := AnalyzeIR(src, MustParseConfig("EP+Naive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, ext, err := res.PointsTo("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext || len(targets) != 1 {
+		t.Fatalf("PointsTo(a) = %v ext=%v", targets, ext)
+	}
+}
+
+func TestConfigAPI(t *testing.T) {
+	if len(AllConfigs()) != 304 {
+		t.Fatalf("AllConfigs = %d", len(AllConfigs()))
+	}
+	c, err := ParseConfig("IP+WL(FIFO)+PIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != DefaultConfig() {
+		t.Fatal("default config mismatch")
+	}
+	if _, err := ParseConfig("EP+WL(FIFO)+PIP"); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAliasAnalysisAPI(t *testing.T) {
+	src := `
+extern void *malloc(long);
+
+void work(int *in) {
+    int *a = (int*)malloc(4);
+    int *b = (int*)malloc(4);
+    *a = 1;
+    *b = 2;
+    *in = 3;
+}
+`
+	res, err := AnalyzeC("alias.c", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := res.AliasAnalysis()
+	basic := res.MayAliasRate(aa.Basic)
+	comb := res.MayAliasRate(aa.Combined)
+	if comb > basic {
+		t.Fatalf("combined (%v) worse than BasicAA (%v)", comb, basic)
+	}
+	if comb >= 1 || comb < 0 {
+		t.Fatalf("rate out of range: %v", comb)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	res, err := AnalyzeC("t.c", "int g; int f(int v) { return v; }", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := res.PointsTo("missing"); err == nil {
+		t.Fatal("missing symbol accepted")
+	}
+	if _, _, err := res.PointsTo("f.nope"); err == nil {
+		t.Fatal("missing local accepted")
+	}
+	if _, _, err := res.PointsTo("nofn.x"); err == nil {
+		t.Fatal("missing function accepted")
+	}
+	if _, _, err := res.PointsTo("g"); err == nil {
+		t.Fatal("scalar global should have no points-to set")
+	}
+	if _, err := res.Escaped("f.v"); err == nil {
+		t.Fatal("parameter is not a memory object")
+	}
+}
+
+func TestCompileAndPrintIR(t *testing.T) {
+	m, err := CompileC("x.c", "int* id(int* p) { return p; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := PrintIR(m)
+	m2, err := ParseIR(text)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if PrintIR(m2) != text {
+		t.Fatal("IR text round-trip mismatch")
+	}
+}
+
+func TestCallGraphAndModRefAPI(t *testing.T) {
+	src := `
+static int hits;
+static void record() { hits = hits + 1; }
+static void (*hook)() = record;
+
+void fire() { hook(); }
+int peek() { return hits; }
+`
+	res, err := AnalyzeC("hooks.c", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := res.CallGraph()
+	fire := res.Module.Func("fire")
+	callees, external := cg.Callees(fire)
+	if len(callees) != 1 || callees[0].FName != "record" || external {
+		t.Fatalf("fire should call exactly record: %v external=%v", callees, external)
+	}
+	mr := res.ModRef(cg)
+	may, err := res.FunctionMayModify(mr, "fire", "hits")
+	if err != nil || !may {
+		t.Fatalf("fire must modify hits: %v %v", may, err)
+	}
+	may, err = res.FunctionMayModify(mr, "peek", "hits")
+	if err != nil || may {
+		t.Fatalf("peek must not modify hits: %v %v", may, err)
+	}
+	if _, err := res.FunctionMayModify(mr, "missing", "hits"); err == nil {
+		t.Fatal("missing function accepted")
+	}
+	if _, err := res.FunctionMayModify(mr, "fire", "missing"); err == nil {
+		t.Fatal("missing global accepted")
+	}
+	if !strings.Contains(cg.DOT(), "digraph") {
+		t.Fatal("DOT output broken")
+	}
+}
+
+func TestAnalyzeWithSummariesAPI(t *testing.T) {
+	src := `
+extern char *strdup(char *s);
+static char buf[8];
+static char *copy;
+void dup() { copy = strdup(buf); }
+`
+	m, err := CompileC("dup.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeWithSummaries(m, DefaultConfig(), map[string]Summary{
+		"strdup": {RetFreshHeap: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, external, err := res.PointsTo("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if external || len(targets) != 1 || !strings.Contains(targets[0], "heap") {
+		t.Fatalf("summarized strdup should return fresh heap: %v ext=%v", targets, external)
+	}
+	if esc, _ := res.Escaped("buf"); esc {
+		t.Fatal("buf must not escape under the summary")
+	}
+}
+
+func TestRetQueryAPI(t *testing.T) {
+	res, err := AnalyzeC("r.c", "static int g; int *addr() { return &g; }", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, external, err := res.PointsTo("addr.$ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if external || len(targets) != 1 || targets[0] != "@g" {
+		t.Fatalf("addr.$ret = %v ext=%v", targets, external)
+	}
+	if _, _, err := res.PointsTo("missing.$ret"); err == nil {
+		t.Fatal("missing function accepted")
+	}
+}
+
+func TestConstraintGraphDOTAPI(t *testing.T) {
+	res, err := AnalyzeC("d.c", "static int x; int *p = &x;", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dot := res.ConstraintGraphDOT(); !strings.Contains(dot, "digraph constraints") {
+		t.Fatalf("bad dot: %q", dot[:40])
+	}
+}
+
+func TestOptimizeAPI(t *testing.T) {
+	res, err := AnalyzeC("o.c", `
+static long a = 1, b = 2;
+long f() {
+    long x = a;
+    b = 9;
+    long y = a;
+    return x + y;
+}
+`, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res.Optimize()
+	if stats.LoadsEliminated == 0 {
+		t.Fatalf("no loads eliminated: %+v", stats)
+	}
+	res2, err := AnalyzeC("o2.c", `
+static long g;
+static void note() { }
+long h() {
+    long x = g;
+    note();
+    long y = g;
+    return x + y;
+}
+`, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := res2.OptimizeInterprocedural()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.LoadsEliminated == 0 {
+		t.Fatalf("interprocedural elimination failed: %+v", stats2)
+	}
+}
