@@ -1,0 +1,29 @@
+# Build/test/benchmark entry points. The race and smoke targets are part
+# of the engine's verification story (see README "Parallel batch-analysis
+# engine"): test-race is the dedicated data-race target over the
+# concurrent engine and the solver core; bench-smoke is the checked-in
+# small-corpus engine pass that verifies the parallel path is
+# solution-identical to the sequential one and reports the wall-clock
+# speedup.
+
+GO ?= go
+
+.PHONY: build test test-race bench-smoke bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) run ./cmd/pipbench -scale 0.04 -sizescale 0.12 -reps 1 -run smoke
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,102 @@
+package pip
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// batchSources builds n small distinct mini-C modules.
+func batchModules(t *testing.T, n int) []*Module {
+	t.Helper()
+	mods := make([]*Module, n)
+	for i := range mods {
+		src := fmt.Sprintf(`
+static int a%d, b%d;
+int *shared%d;
+extern int *fetch%d(int *p);
+int *get%d() {
+    shared%d = &a%d;
+    return fetch%d(&b%d);
+}
+`, i, i, i, i, i, i, i, i, i)
+		m, err := CompileC(fmt.Sprintf("m%d.c", i), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods[i] = m
+	}
+	return mods
+}
+
+// TestAnalyzeBatchMatchesAnalyze: the batch facade must return, per module
+// and in input order, exactly what the one-at-a-time path returns.
+func TestAnalyzeBatchMatchesAnalyze(t *testing.T) {
+	mods := batchModules(t, 10)
+	cfg := DefaultConfig()
+	batch := AnalyzeBatch(mods, cfg, BatchOptions{Workers: 4})
+	if len(batch) != len(mods) {
+		t.Fatalf("got %d results for %d modules", len(batch), len(mods))
+	}
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("module %d: %v", i, br.Err)
+		}
+		want, err := Analyze(mods[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Result.Dump() != want.Dump() {
+			t.Fatalf("module %d: batch solution differs from Analyze:\n%s\nvs\n%s",
+				i, br.Result.Dump(), want.Dump())
+		}
+		// Queries work on batch results like on single results.
+		name := fmt.Sprintf("get%d.$ret", i)
+		gotExt, err := br.Result.PointsToExternal(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotExt {
+			t.Fatalf("module %d: %s should point to external memory", i, name)
+		}
+	}
+}
+
+// TestAnalyzeBatchCache: identical module contents share one solve.
+func TestAnalyzeBatchCache(t *testing.T) {
+	m, err := CompileC("dup.c", `int *p; int *get() { return p; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := []*Module{m, m, m, m}
+	batch := AnalyzeBatch(mods, DefaultConfig(), BatchOptions{Workers: 1, Cache: true})
+	hits := 0
+	for i, br := range batch {
+		if br.Err != nil {
+			t.Fatalf("module %d: %v", i, br.Err)
+		}
+		if br.CacheHit {
+			hits++
+		}
+	}
+	if hits != len(mods)-1 {
+		t.Fatalf("expected %d cache hits, got %d", len(mods)-1, hits)
+	}
+}
+
+// TestAnalyzeBatchIsolatesFailures: a nil module must fail its own slot
+// only.
+func TestAnalyzeBatchIsolatesFailures(t *testing.T) {
+	mods := batchModules(t, 3)
+	mods[1] = nil
+	batch := AnalyzeBatch(mods, DefaultConfig(), BatchOptions{Workers: 2})
+	if batch[0].Err != nil || batch[2].Err != nil {
+		t.Fatalf("healthy modules failed: %v / %v", batch[0].Err, batch[2].Err)
+	}
+	if batch[1].Err == nil {
+		t.Fatal("nil module did not fail")
+	}
+	if !strings.Contains(batch[1].Err.Error(), "engine") {
+		t.Fatalf("unexpected error: %v", batch[1].Err)
+	}
+}

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	pipbench [-scale 0.1] [-sizescale 0.25] [-reps 3] [-out results/]
+//	pipbench [-scale 0.1] [-sizescale 0.25] [-reps 3] [-workers 0] [-out results/]
 //	pipbench -run table5,headline
+//	pipbench -run smoke          # engine smoke test: parallel vs sequential
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,13 +31,20 @@ func main() {
 	noPath := flag.Bool("nopathological", false, "exclude the escape-heavy outlier files")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	reps := flag.Int("reps", 3, "timing repetitions per file/configuration (paper: 50)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "directory to write result files to")
-	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline")
+	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline,smoke")
 	flag.Parse()
 
+	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
+		"fig10": true, "table6": true, "headline": true, "smoke": true}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*run, ",") {
-		want[strings.TrimSpace(k)] = true
+		k = strings.TrimSpace(k)
+		if !known[k] {
+			fatal(fmt.Errorf("unknown -run target %q (valid: table3,fig9,table5,fig10,table6,headline,smoke,all)", k))
+		}
+		want[k] = true
 	}
 	enabled := func(k string) bool { return want["all"] || want[k] }
 
@@ -56,12 +65,19 @@ func main() {
 		MaxInstrs: *maxInstrs, NoPathological: *noPath,
 	}
 	start := time.Now()
-	fmt.Printf("building corpus (scale=%g, sizescale=%g, seed=%d)...\n", *scale, *sizeScale, *seed)
-	corpus := bench.BuildCorpus(opts)
+	fmt.Printf("building corpus (scale=%g, sizescale=%g, seed=%d, workers=%d)...\n",
+		*scale, *sizeScale, *seed, *workers)
+	corpus := bench.BuildCorpusParallel(opts, *workers)
 	fmt.Printf("%s [%.1fs]\n\n", corpus, time.Since(start).Seconds())
 
 	if enabled("table3") {
 		emit("file-sizes-table.txt", bench.Table3(corpus))
+	}
+	// The smoke test re-solves the corpus several times over; it runs only
+	// when requested explicitly, not as part of -run all.
+	if want["smoke"] {
+		fmt.Println("running engine smoke test (sequential vs parallel)...")
+		emit("engine-smoke.txt", bench.Smoke(corpus, *workers))
 	}
 	if enabled("fig9") {
 		fmt.Println("running precision client (Figure 9)...")

@@ -1,9 +1,12 @@
 // Command pipgen generates the synthetic benchmark corpus (the stand-in
 // for the paper's Table III programs) and writes it to disk as MIR files.
+// Serialization fans out across the engine's worker pool; generation
+// itself is one seeded PRNG stream and stays sequential so the corpus is
+// byte-identical at any worker count.
 //
 // Usage:
 //
-//	pipgen -out corpus/ [-scale 0.1] [-sizescale 0.25] [-seed 1]
+//	pipgen -out corpus/ [-scale 0.1] [-sizescale 0.25] [-seed 1] [-workers 0]
 package main
 
 import (
@@ -11,7 +14,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
 
+	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/workload"
 )
@@ -22,20 +28,30 @@ func main() {
 	sizeScale := flag.Float64("sizescale", 0.25, "per-file size scale (1.0 = the paper's sizes)")
 	maxInstrs := flag.Int("maxinstrs", 0, "optional per-file instruction cap (0 = none)")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for printing/writing (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := workload.Options{Seed: *seed, Scale: *scale, SizeScale: *sizeScale, MaxInstrs: *maxInstrs}
 	files := workload.GenerateCorpus(opts)
-	totalInstrs := 0
-	for _, f := range files {
+	errs := make([]error, len(files))
+	var totalInstrs int64
+	engine.RunIndexed(len(files), *workers, func(i int) {
+		f := files[i]
 		path := filepath.Join(*out, f.Name+".mir")
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			fatal(err)
+			errs[i] = err
+			return
 		}
 		if err := os.WriteFile(path, []byte(ir.Print(f.Module)), 0o644); err != nil {
+			errs[i] = err
+			return
+		}
+		atomic.AddInt64(&totalInstrs, int64(f.Module.NumInstrs()))
+	})
+	for _, err := range errs {
+		if err != nil {
 			fatal(err)
 		}
-		totalInstrs += f.Module.NumInstrs()
 	}
 	fmt.Printf("wrote %d files (%d IR instructions) to %s\n", len(files), totalInstrs, *out)
 }

@@ -2,13 +2,17 @@
 // table and figure of the paper's evaluation (Section VI): Table III
 // (corpus summary), Figure 9 (alias precision), Table V (solver runtime),
 // Figure 10 (per-file runtime ratios), Table VI (explicit pointees), and
-// the headline numbers quoted in the text.
+// the headline numbers quoted in the text. All drivers run on the parallel
+// batch-analysis engine (internal/engine); per-file solves fan out across
+// the corpus, and results are deterministic in corpus order regardless of
+// the worker count.
 package bench
 
 import (
 	"fmt"
 
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/workload"
 )
 
@@ -16,6 +20,8 @@ import (
 type CorpusFile struct {
 	workload.File
 	Gen *core.Gen
+	// Hash is the module's content hash, the base of engine cache keys.
+	Hash string
 }
 
 // Corpus is the generated benchmark corpus with constraints built once
@@ -24,16 +30,51 @@ type CorpusFile struct {
 type Corpus struct {
 	Opts  workload.Options
 	Files []CorpusFile
+	// Workers bounds the engine pool used by the measurement drivers;
+	// <= 0 means GOMAXPROCS.
+	Workers int
 }
 
-// BuildCorpus generates the corpus and runs constraint generation.
+// BuildCorpus generates the corpus and runs constraint generation with the
+// default worker pool.
 func BuildCorpus(opts workload.Options) *Corpus {
+	return BuildCorpusParallel(opts, 0)
+}
+
+// BuildCorpusParallel is BuildCorpus with an explicit worker bound. Module
+// generation is sequential (it is one seeded PRNG stream); constraint
+// generation and content hashing, the expensive parts, fan out.
+func BuildCorpusParallel(opts workload.Options, workers int) *Corpus {
 	files := workload.GenerateCorpus(opts)
-	c := &Corpus{Opts: opts}
-	for _, f := range files {
-		c.Files = append(c.Files, CorpusFile{File: f, Gen: core.Generate(f.Module)})
-	}
+	c := &Corpus{Opts: opts, Workers: workers, Files: make([]CorpusFile, len(files))}
+	engine.RunIndexed(len(files), workers, func(i int) {
+		c.Files[i] = CorpusFile{
+			File: files[i],
+			Gen:  core.Generate(files[i].Module),
+			Hash: engine.ModuleHash(files[i].Module),
+		}
+	})
 	return c
+}
+
+// engineFor returns a fresh engine sized for this corpus's drivers.
+func (c *Corpus) engineFor(cache bool) *engine.Engine {
+	return engine.New(engine.Options{Workers: c.Workers, Cache: cache})
+}
+
+// Jobs builds one engine job per corpus file under cfg, keyed by content
+// hash so caching engines can reuse solutions across passes.
+func (c *Corpus) Jobs(cfg core.Config, reps int) []engine.Job {
+	jobs := make([]engine.Job, len(c.Files))
+	for i, f := range c.Files {
+		jobs[i] = engine.Job{
+			Key:    engine.CacheKey(f.Hash, cfg),
+			Gen:    f.Gen,
+			Config: cfg,
+			Reps:   reps,
+		}
+	}
+	return jobs
 }
 
 // SuiteNames returns the suite names in corpus order.
@@ -62,4 +103,16 @@ func (c *Corpus) String() string {
 // solveOnce solves one file under cfg and returns the solution.
 func solveOnce(f CorpusFile, cfg core.Config) *core.Solution {
 	return core.MustSolve(f.Gen.Problem, cfg)
+}
+
+// mustResults converts engine failures into panics: corpus files are
+// generated valid, so a failed job is a bug, and the drivers keep the old
+// MustSolve semantics.
+func mustResults(rs []engine.Result) []engine.Result {
+	for i, r := range rs {
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: corpus job %d failed: %v", i, r.Err))
+		}
+	}
+	return rs
 }

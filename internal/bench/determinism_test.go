@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
+)
+
+// deterministicTables renders every results/ table whose content is a pure
+// function of the corpus (timing columns excluded: wall-clock is never
+// reproducible, sequentially or otherwise).
+func deterministicTables(c *Corpus, res *RuntimeResult) string {
+	return Table3(c) + "\n" +
+		RenderFigure9(Figure9(c)) + "\n" +
+		Table6(res) + "\n" +
+		RenderScalability(res)
+}
+
+// TestEngineRunsEmitIdenticalTables is the determinism regression test:
+// two full engine runs at different worker counts — one of them with the
+// job submission order shuffled — must emit byte-identical table output.
+func TestEngineRunsEmitIdenticalTables(t *testing.T) {
+	build := func(workers int) (*Corpus, *RuntimeResult) {
+		c := BuildCorpusParallel(tinyOpts, workers)
+		return c, MeasureRuntime(c, 1)
+	}
+	c2, res2 := build(2)
+	c8, res8 := build(8)
+	want := deterministicTables(c2, res2)
+	got := deterministicTables(c8, res8)
+	if want != got {
+		t.Fatalf("tables differ between 2-worker and 8-worker runs:\n--- workers=2 ---\n%s\n--- workers=8 ---\n%s", want, got)
+	}
+
+	// Shuffled submission: push the corpus jobs through the engine in a
+	// random order and check the per-file metrics land unchanged.
+	cfg := core.DefaultConfig()
+	jobs := c2.Jobs(cfg, 1)
+	perm := rand.New(rand.NewSource(99)).Perm(len(jobs))
+	shuffled := make([]engine.Job, len(jobs))
+	for to, from := range perm {
+		shuffled[to] = jobs[from]
+	}
+	ordered := mustResults(engine.New(engine.Options{Workers: 8}).Run(jobs))
+	perm2 := mustResults(engine.New(engine.Options{Workers: 2}).Run(shuffled))
+	for to, from := range perm {
+		if ordered[from].Sol.Fingerprint() != perm2[to].Sol.Fingerprint() {
+			t.Fatalf("file %d: solution changed under shuffled submission", from)
+		}
+		if ordered[from].Sol.Stats.ExplicitPointees != perm2[to].Sol.Stats.ExplicitPointees {
+			t.Fatalf("file %d: pointee count changed under shuffled submission", from)
+		}
+	}
+}
+
+// TestSmokeReport checks the bench-smoke driver end to end on the tiny
+// corpus: it must attest solution equality and report engine stats.
+func TestSmokeReport(t *testing.T) {
+	c := BuildCorpusParallel(tinyOpts, 4)
+	out := Smoke(c, 4)
+	for _, needle := range []string{"wall-clock speedup", "all paths solution-identical", "engine:"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("smoke report missing %q:\n%s", needle, out)
+		}
+	}
+	if strings.Contains(out, "SMOKE FAILED") {
+		t.Fatalf("smoke failed:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/alias"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/stats"
 )
 
@@ -20,17 +21,40 @@ type PrecisionRow struct {
 	Combined float64
 }
 
-// Figure9 runs the precision client over the corpus.
+// Figure9 runs the precision client over the corpus. Per-file work (one
+// solve plus three conflict-rate sweeps) fans out across the engine pool;
+// aggregation runs afterwards in corpus order, so the result is identical
+// at any worker count.
 func Figure9(c *Corpus) []PrecisionRow {
-	type agg struct {
+	type fileRates struct {
+		skip                      bool
 		basic, andersen, combined alias.ConflictStats
 	}
-	bySuite := map[string]*agg{}
-	for _, f := range c.Files {
+	rates := make([]fileRates, len(c.Files))
+	engine.RunIndexed(len(c.Files), c.Workers, func(i int) {
+		f := c.Files[i]
 		if f.Pathological {
 			// Pathological files exist to stress the solver (Table V /
 			// Figure 10); their quadratic store/load pair counts would
 			// drown the suite's precision statistics.
+			rates[i].skip = true
+			return
+		}
+		basic := alias.NewBasicAA(f.Module)
+		sol := solveOnce(f, core.DefaultConfig())
+		and := alias.NewAndersen(f.Gen, sol)
+		comb := alias.Combined{basic, and}
+		rates[i].basic = alias.ConflictRate(f.Module, basic)
+		rates[i].andersen = alias.ConflictRate(f.Module, and)
+		rates[i].combined = alias.ConflictRate(f.Module, comb)
+	})
+
+	type agg struct {
+		basic, andersen, combined alias.ConflictStats
+	}
+	bySuite := map[string]*agg{}
+	for i, f := range c.Files {
+		if rates[i].skip {
 			continue
 		}
 		a := bySuite[f.Suite]
@@ -38,13 +62,9 @@ func Figure9(c *Corpus) []PrecisionRow {
 			a = &agg{}
 			bySuite[f.Suite] = a
 		}
-		basic := alias.NewBasicAA(f.Module)
-		sol := solveOnce(f, core.DefaultConfig())
-		and := alias.NewAndersen(f.Gen, sol)
-		comb := alias.Combined{basic, and}
-		a.basic.Add(alias.ConflictRate(f.Module, basic))
-		a.andersen.Add(alias.ConflictRate(f.Module, and))
-		a.combined.Add(alias.ConflictRate(f.Module, comb))
+		a.basic.Add(rates[i].basic)
+		a.andersen.Add(rates[i].andersen)
+		a.combined.Add(rates[i].combined)
 	}
 	var rows []PrecisionRow
 	for _, name := range c.SuiteNames() {

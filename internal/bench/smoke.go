@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
+)
+
+// Smoke runs the checked-in engine smoke test over a corpus: it solves the
+// whole corpus under the default configuration through the sequential path
+// (one worker) and through the parallel path (the given worker bound),
+// verifies with the differential harness that every worker count produces
+// solution-identical results, exercises a cached second pass, and reports
+// the wall-clock speedup. The returned report is what `make bench-smoke`
+// prints.
+func Smoke(c *Corpus, workers int) string {
+	cfg := core.DefaultConfig()
+	jobs := c.Jobs(cfg, 1)
+
+	// Warm-up pass: the first solve of a corpus pays page faults and heap
+	// growth that a later one doesn't, which would flatter whichever path
+	// runs second. Both timed runs below start warm and behind a GC
+	// barrier, so neither inherits the other's garbage.
+	mustResults(engine.New(engine.Options{Workers: 1}).Run(jobs))
+
+	runtime.GC()
+	seq := engine.New(engine.Options{Workers: 1})
+	mustResults(seq.Run(jobs))
+	seqStats := seq.Stats()
+
+	runtime.GC()
+	par := engine.New(engine.Options{Workers: workers})
+	mustResults(par.Run(jobs))
+	parStats := par.Stats()
+
+	// Solution equality across worker counts, against the engine-free
+	// sequential reference, plus a cached double pass.
+	t0 := time.Now()
+	diff := engine.Differential(jobs, engine.DiffOptions{
+		WorkerCounts: []int{1, 2, parStats.Workers},
+		CachedPass:   true,
+	})
+	diffDur := time.Since(t0)
+
+	var b strings.Builder
+	b.WriteString("Engine smoke test: full-corpus solve, sequential vs parallel\n")
+	fmt.Fprintf(&b, "  corpus:            %s\n", c)
+	fmt.Fprintf(&b, "  configuration:     %s\n", cfg)
+	fmt.Fprintf(&b, "  sequential:        %s\n", seqStats)
+	fmt.Fprintf(&b, "  parallel:          %s\n", parStats)
+	speedup := 0.0
+	if parStats.Wall > 0 {
+		speedup = float64(seqStats.Wall) / float64(parStats.Wall)
+	}
+	fmt.Fprintf(&b, "  wall-clock speedup: %.2fx at %d workers\n", speedup, parStats.Workers)
+	fmt.Fprintf(&b, "  differential:      %s [%v]\n",
+		strings.TrimSpace(diff.String()), diffDur.Round(time.Millisecond))
+	if !diff.OK() {
+		b.WriteString("  SMOKE FAILED: parallel path is not solution-identical to sequential\n")
+	} else if parStats.Workers == 1 {
+		b.WriteString("  SMOKE OK (pool size 1 — GOMAXPROCS=1, no parallelism available to measure)\n")
+	} else if speedup <= 1 {
+		b.WriteString("  SMOKE OK (no wall-clock speedup — single-core runner or tiny corpus?)\n")
+	} else {
+		b.WriteString("  SMOKE OK\n")
+	}
+	return b.String()
+}

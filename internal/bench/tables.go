@@ -99,7 +99,10 @@ func MeasureRuntime(c *Corpus, reps int) *RuntimeResult {
 }
 
 // MeasureRuntimeVerbose is MeasureRuntime with per-configuration progress
-// reporting through logf (may be nil).
+// reporting through logf (may be nil). Each configuration's per-file
+// solves fan out across the corpus's engine pool; all derived metrics
+// (pointees, bytes, the p ⊒ Ω fraction) are deterministic in the corpus,
+// only the timings vary run to run.
 func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ...interface{})) *RuntimeResult {
 	if reps < 1 {
 		reps = 1
@@ -122,40 +125,34 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 	}
 	sort.Strings(names)
 
+	// Timing runs must re-solve, so the cache stays off here.
+	eng := c.engineFor(false)
 	var ptrTotal, ptrExt int
 	for _, name := range names {
 		cfg := core.MustParseConfig(name)
 		if logf != nil {
-			logf("  solving %d files x %d reps with %s", len(c.Files), reps, name)
+			logf("  solving %d files x %d reps with %s (%d workers)",
+				len(c.Files), reps, name, eng.Workers())
 		}
+		rs := mustResults(eng.Run(c.Jobs(cfg, reps)))
 		times := make([]float64, len(c.Files))
 		pointees := make([]int, len(c.Files))
 		bytes := make([]int, len(c.Files))
-		for i, f := range c.Files {
-			best := 0.0
-			for r := 0; r < reps; r++ {
-				sol := solveOnce(f, cfg)
-				us := float64(sol.Stats.Duration.Nanoseconds()) / 1e3
-				if r == 0 || us < best {
-					best = us
-				}
-				if r == 0 {
-					pointees[i] = sol.Stats.ExplicitPointees
-					bytes[i] = sol.ApproxBytes()
-					if name == "IP+WL(FIFO)+PIP" {
-						p := f.Gen.Problem
-						for v := core.VarID(0); v < core.VarID(p.NumVars()); v++ {
-							if p.PtrCompat[v] {
-								ptrTotal++
-								if sol.PointsToExternal(v) {
-									ptrExt++
-								}
-							}
+		for i, r := range rs {
+			times[i] = float64(r.Duration.Nanoseconds()) / 1e3
+			pointees[i] = r.Sol.Stats.ExplicitPointees
+			bytes[i] = r.Sol.ApproxBytes()
+			if name == "IP+WL(FIFO)+PIP" {
+				p := c.Files[i].Gen.Problem
+				for v := core.VarID(0); v < core.VarID(p.NumVars()); v++ {
+					if p.PtrCompat[v] {
+						ptrTotal++
+						if r.Sol.PointsToExternal(v) {
+							ptrExt++
 						}
 					}
 				}
 			}
-			times[i] = best
 		}
 		res.PerFile[name] = times
 		res.Pointees[name] = pointees

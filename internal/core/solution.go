@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/bitset"
-	"github.com/pip-analysis/pip/internal/uf"
 )
 
 // SolveStats records measurable work done by a solve, used by the benchmark
@@ -32,8 +31,13 @@ type SolveStats struct {
 // into explicit pointees (Sol_e) and the implicit part (Sol_i = E when the
 // variable is marked x ⊒ Ω, Section III-D).
 type Solution struct {
-	p      *Problem
-	forest *uf.Forest
+	p *Problem
+	// repOf[v] is v's cycle representative, flattened from the solver's
+	// union-find forest when the solve finishes. A plain slice (instead of
+	// the live forest) makes every Solution query read-only: uf.Find
+	// path-compresses, which would be a data race when a solution is
+	// shared across goroutines (as the engine's cache does).
+	repOf []VarID
 	// pts[r] is Sol_e for representative r.
 	pts []*bitset.Set
 	// pointsExt[r] reports x ⊒ Ω for representative r.
@@ -59,7 +63,12 @@ func (s *Solution) NumVars() int { return s.p.NumVars() }
 func (s *Solution) Problem() *Problem { return s.p }
 
 // rep returns the variable's representative.
-func (s *Solution) rep(v VarID) VarID { return s.forest.Find(v) }
+func (s *Solution) rep(v VarID) VarID { return s.repOf[v] }
+
+// Rep returns v's cycle representative: variables unified by cycle
+// elimination share one representative and therefore one points-to set.
+// The differential harness compares representatives across solver paths.
+func (s *Solution) Rep(v VarID) VarID { return s.repOf[v] }
 
 // PointsToExternal reports whether v may target external memory (v ⊒ Ω).
 func (s *Solution) PointsToExternal(v VarID) bool {
@@ -229,6 +238,34 @@ func (s *Solution) Canonical() string {
 			} else {
 				fmt.Fprintf(&b, " %d", x)
 			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fingerprint renders every observable component of the solution in a
+// normalized textual form: per-variable cycle representatives, explicit
+// pointee sets (Sol_e), the points-external flag (x ⊒ Ω), and the escaped
+// set (Ω ⊒ {x}). Two solves of the same problem under the same
+// configuration must produce byte-identical fingerprints; the engine's
+// differential harness asserts exactly this across sequential, parallel,
+// and cached solver paths.
+func (s *Solution) Fingerprint() string {
+	var b strings.Builder
+	for v := VarID(0); v < VarID(s.p.NumVars()); v++ {
+		fmt.Fprintf(&b, "%d r%d", v, s.Rep(v))
+		if s.p.PtrCompat[v] {
+			b.WriteString(" e:")
+			for _, x := range s.Explicit(v) {
+				fmt.Fprintf(&b, " %d", x)
+			}
+			if s.PointsToExternal(v) {
+				b.WriteString(" Ω")
+			}
+		}
+		if s.Escaped(v) {
+			b.WriteString(" E")
 		}
 		b.WriteByte('\n')
 	}

@@ -475,11 +475,16 @@ func (s *solver) unify(a, b VarID) VarID {
 func (s *solver) finish() *Solution {
 	sol := &Solution{
 		p:         s.p,
-		forest:    s.forest,
+		repOf:     make([]VarID, s.n),
 		pts:       s.pts,
 		pointsExt: make([]bool, s.n),
 		external:  s.external,
 		omega:     s.omega,
+	}
+	// Flatten the union-find forest into a plain representative table so
+	// solution queries never path-compress (write) shared state.
+	for v := 0; v < s.n; v++ {
+		sol.repOf[v] = s.find(VarID(v))
 	}
 	for r := 0; r < s.n; r++ {
 		sol.pointsExt[r] = s.repFlags[r]&FlagPointsExt != 0

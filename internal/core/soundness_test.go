@@ -1,19 +1,16 @@
 package core
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 
 	"github.com/pip-analysis/pip/internal/ir"
+	"github.com/pip-analysis/pip/internal/workload"
 )
 
-// The adversarial-linker soundness test (paper Section III-A): generate a
-// random module A with exports and imports, generate a random external
-// module B that implements A's imports and abuses A's exports (stores
-// unknown pointers into exported globals, calls exported functions with
-// foreign pointers, returns foreign pointers from imported functions), then
-// link A+B into a closed whole program.
+// The adversarial-linker soundness test (paper Section III-A), over the
+// module pairs produced by workload.GenerateLinked: module A with exports
+// and imports, and the closed whole program W = A + B where the external
+// module B implements A's imports and abuses A's exports.
 //
 // Soundness condition: for every pointer p of A, the whole-program solution
 // must be covered by A's incomplete-program solution:
@@ -21,314 +18,10 @@ import (
 //   - any B-owned pointee in Sol_whole(p) requires p ⊒ Ω in the
 //     incomplete solution.
 
-// linkedGen builds module A and the whole program W in lockstep.
-type linkedGen struct {
-	rng *rand.Rand
-	mA  *ir.Module
-	mW  *ir.Module
-	bA  *ir.Builder
-	bW  *ir.Builder
-
-	// Parallel value handles: vals[i] exists in both modules.
-	valsA []ir.Value
-	valsW []ir.Value
-
-	// A-owned memory pairs for the coverage check.
-	memPairs [][2]ir.Value // [0]=A object, [1]=W object
-
-	// A's symbols, by kind.
-	exportedPtrGlobalsA []*ir.Global
-	exportedPtrGlobalsW []*ir.Global
-	exportedFuncsW      []*ir.Function
-	importsW            []*ir.Function // defined in B
-	localFuncPairs      [][2]*ir.Function
-
-	// B-owned globals (whole program only).
-	bGlobals []*ir.Global
-}
-
-func newLinkedGen(seed int64) *linkedGen {
-	g := &linkedGen{
-		rng: rand.New(rand.NewSource(seed)),
-		mA:  ir.NewModule("A"),
-		mW:  ir.NewModule("whole"),
-	}
-	g.bA = ir.NewBuilder(g.mA)
-	g.bW = ir.NewBuilder(g.mW)
-	return g
-}
-
-// build constructs both modules and returns them.
-func (g *linkedGen) build() (*ir.Module, *ir.Module) {
-	rng := g.rng
-
-	// Globals of A: pointer cells, some exported.
-	nGlob := 3 + rng.Intn(4)
-	for i := 0; i < nGlob; i++ {
-		name := fmt.Sprintf("g%d", i)
-		linkage := ir.Internal
-		if rng.Intn(2) == 0 {
-			linkage = ir.Exported
-		}
-		ga := g.bA.GlobalVar(name, ir.Ptr, nil, linkage)
-		gw := g.bW.GlobalVar(name, ir.Ptr, nil, ir.Internal)
-		g.memPairs = append(g.memPairs, [2]ir.Value{ga, gw})
-		if linkage == ir.Exported {
-			g.exportedPtrGlobalsA = append(g.exportedPtrGlobalsA, ga)
-			g.exportedPtrGlobalsW = append(g.exportedPtrGlobalsW, gw)
-		}
-	}
-	// Scalar globals too (targets for int pointers).
-	for i := 0; i < 2; i++ {
-		name := fmt.Sprintf("s%d", i)
-		sa := g.bA.GlobalVar(name, ir.I64, nil, ir.Internal)
-		sw := g.bW.GlobalVar(name, ir.I64, nil, ir.Internal)
-		g.memPairs = append(g.memPairs, [2]ir.Value{sa, sw})
-	}
-
-	// Imports: functions defined by B.
-	nImp := 1 + rng.Intn(2)
-	sigPP := &ir.FuncType{Ret: ir.Ptr, Params: []ir.Type{ir.Ptr}}
-	for i := 0; i < nImp; i++ {
-		name := fmt.Sprintf("imp%d", i)
-		g.bA.DeclareFunc(name, sigPP)
-		// Defined later, in B.
-		g.importsW = append(g.importsW, nil)
-		_ = name
-	}
-
-	// Functions of A.
-	nFunc := 2 + rng.Intn(3)
-	for i := 0; i < nFunc; i++ {
-		linkage := ir.Internal
-		if rng.Intn(2) == 0 {
-			linkage = ir.Exported
-		}
-		g.genAFunction(fmt.Sprintf("f%d", i), linkage)
-	}
-
-	// B: define the imports and a driver that abuses A's exports.
-	g.genBModule()
-	return g.mA, g.mW
-}
-
-// pick returns a random tracked pointer value pair, or nil if none exist.
-func (g *linkedGen) pick() (ir.Value, ir.Value, bool) {
-	if len(g.valsA) == 0 {
-		return nil, nil, false
-	}
-	i := g.rng.Intn(len(g.valsA))
-	return g.valsA[i], g.valsW[i], true
-}
-
-func (g *linkedGen) track(va, vw ir.Value) {
-	g.valsA = append(g.valsA, va)
-	g.valsW = append(g.valsW, vw)
-}
-
-// genAFunction emits a random function into both A and W with an identical
-// body.
-func (g *linkedGen) genAFunction(name string, linkage ir.Linkage) {
-	sig := &ir.FuncType{Ret: ir.Ptr, Params: []ir.Type{ir.Ptr, ir.Ptr}}
-	fa := g.bA.NewFunc(name, sig, []string{"a", "b"}, linkage)
-	wLinkage := ir.Internal
-	fw := g.bW.NewFunc(name, sig, []string{"a", "b"}, wLinkage)
-	g.localFuncPairs = append(g.localFuncPairs, [2]*ir.Function{fa, fw})
-	if linkage == ir.Exported {
-		g.exportedFuncsW = append(g.exportedFuncsW, fw)
-	}
-
-	// Track params.
-	for i := range fa.Params {
-		g.track(fa.Params[i], fw.Params[i])
-	}
-	baseVals := len(g.valsA)
-
-	nOps := 3 + g.rng.Intn(8)
-	for op := 0; op < nOps; op++ {
-		switch g.rng.Intn(7) {
-		case 0: // alloca a pointer slot
-			aa := g.bA.Alloca(ir.Ptr)
-			aw := g.bW.Alloca(ir.Ptr)
-			g.memPairs = append(g.memPairs, [2]ir.Value{aa, aw})
-			g.track(aa, aw)
-		case 1: // address of a random A global
-			gi := g.rng.Intn(len(g.mA.Globals))
-			ga := g.mA.Globals[gi]
-			gw := g.mW.Global(ga.GName)
-			g.track(ga, gw)
-		case 2: // store v into ptr
-			va, vw, ok := g.pick()
-			pa, pw, ok2 := g.pick()
-			if ok && ok2 {
-				g.bA.Store(va, pa)
-				g.bW.Store(vw, pw)
-			}
-		case 3: // load from ptr
-			pa, pw, ok := g.pick()
-			if ok {
-				la := g.bA.Load(ir.Ptr, pa)
-				lw := g.bW.Load(ir.Ptr, pw)
-				g.track(la, lw)
-			}
-		case 4: // call an import
-			if len(g.mA.Funcs) == 0 {
-				continue
-			}
-			idx := g.rng.Intn(len(g.mA.Funcs))
-			callee := g.mA.Funcs[idx]
-			if callee.IsDecl() && len(callee.Sig.Params) == 1 {
-				pa, pw, ok := g.pick()
-				if !ok {
-					continue
-				}
-				ra := g.bA.Call(ir.Ptr, callee, pa)
-				calleeW := g.mW.Func(callee.FName) // may not exist yet
-				if calleeW == nil {
-					// Declared in W temporarily; B defines it later.
-					calleeW = g.bW.DeclareFunc(callee.FName, callee.Sig)
-				}
-				rw := g.bW.Call(ir.Ptr, calleeW, pw)
-				g.track(ra, rw)
-			}
-		case 5: // call a previously generated local function directly
-			if len(g.localFuncPairs) < 2 {
-				continue
-			}
-			pi := g.rng.Intn(len(g.localFuncPairs) - 1) // avoid self/recursion noise
-			pa1, pw1, ok1 := g.pick()
-			pa2, pw2, ok2 := g.pick()
-			if !ok1 || !ok2 {
-				continue
-			}
-			ra := g.bA.Call(ir.Ptr, g.localFuncPairs[pi][0], pa1, pa2)
-			rw := g.bW.Call(ir.Ptr, g.localFuncPairs[pi][1], pw1, pw2)
-			g.track(ra, rw)
-		case 6: // pointer/integer round trip (exposure)
-			if g.rng.Intn(3) != 0 {
-				continue // keep rare
-			}
-			pa, pw, ok := g.pick()
-			if !ok {
-				continue
-			}
-			ia := g.bA.PtrToInt(pa)
-			iw := g.bW.PtrToInt(pw)
-			qa := g.bA.IntToPtr(ia)
-			qw := g.bW.IntToPtr(iw)
-			g.track(qa, qw)
-		}
-	}
-	// Return a tracked pointer (prefer one created in this function).
-	var ra, rw ir.Value = ir.Null(), ir.Null()
-	if len(g.valsA) > baseVals {
-		i := baseVals + g.rng.Intn(len(g.valsA)-baseVals)
-		ra, rw = g.valsA[i], g.valsW[i]
-	}
-	g.bA.Ret(ra)
-	g.bW.Ret(rw)
-	// Values from this function's body must not leak into other bodies.
-	g.valsA = g.valsA[:0]
-	g.valsW = g.valsW[:0]
-}
-
-// genBModule emits, into the whole program only, the external module B:
-// definitions for A's imports plus a driver that abuses A's exports.
-func (g *linkedGen) genBModule() {
-	rng := g.rng
-	// B's own globals.
-	nB := 2 + rng.Intn(3)
-	for i := 0; i < nB; i++ {
-		g.bGlobals = append(g.bGlobals,
-			g.bW.GlobalVar(fmt.Sprintf("bglob%d", i), ir.Ptr, nil, ir.Internal))
-	}
-	pickB := func() *ir.Global { return g.bGlobals[rng.Intn(len(g.bGlobals))] }
-
-	// Define A's imports: each takes a pointer and adversarially mixes it
-	// with B's state before returning something.
-	for _, fA := range g.mA.Funcs {
-		if !fA.IsDecl() {
-			continue
-		}
-		fW := g.mW.Func(fA.FName)
-		if fW != nil && !fW.IsDecl() {
-			continue
-		}
-		if fW != nil {
-			// Remove the temporary declaration; rebuild as definition.
-			// (MIR modules are append-only, so emulate by defining a
-			// fresh internal function and routing calls through it is
-			// not possible — instead, declarations created on demand in
-			// case 4 are filled here by mutating the function in place.)
-			g.defineImportBody(fW, pickB)
-			continue
-		}
-		fW2 := g.bW.NewFunc(fA.FName, fA.Sig, []string{"p"}, ir.Internal)
-		g.fillImportBody(fW2, pickB)
-	}
-
-	// Driver: calls every exported function with B pointers, stores B
-	// pointers into exported globals, and reads them back.
-	drv := g.bW.NewFunc("b_driver", &ir.FuncType{Ret: ir.Void}, nil, ir.Internal)
-	_ = drv
-	for _, gw := range g.exportedPtrGlobalsW {
-		g.bW.Store(pickB(), gw)
-		if rng.Intn(2) == 0 {
-			// Store an exported global's address into B state, then
-			// write through it from B.
-			g.bW.Store(gw, pickB())
-		}
-	}
-	for _, fw := range g.exportedFuncsW {
-		args := []ir.Value{pickB(), pickB()}
-		if len(g.exportedPtrGlobalsW) > 0 && rng.Intn(2) == 0 {
-			args[0] = g.exportedPtrGlobalsW[rng.Intn(len(g.exportedPtrGlobalsW))]
-		}
-		r := g.bW.Call(ir.Ptr, fw, args[0], args[1])
-		// B stores the result into its own state and back into A's
-		// exported globals.
-		g.bW.Store(r, pickB())
-		if len(g.exportedPtrGlobalsW) > 0 {
-			g.bW.Store(r, g.exportedPtrGlobalsW[rng.Intn(len(g.exportedPtrGlobalsW))])
-		}
-	}
-	g.bW.Ret(nil)
-}
-
-// defineImportBody turns an on-demand declaration into a definition.
-func (g *linkedGen) defineImportBody(f *ir.Function, pickB func() *ir.Global) {
-	f.Linkage = ir.Internal
-	saveF, saveB := g.bW.F, g.bW.B
-	g.bW.F = f
-	entry := g.bW.NewBlock("entry")
-	g.bW.SetBlock(entry)
-	g.fillImportBody(f, pickB)
-	g.bW.F, g.bW.B = saveF, saveB
-}
-
-func (g *linkedGen) fillImportBody(f *ir.Function, pickB func() *ir.Global) {
-	rng := g.rng
-	p := f.Params[0]
-	// Stash the argument in B state.
-	g.bW.Store(p, pickB())
-	// Mix: load whatever B has and store through the argument.
-	v := g.bW.Load(ir.Ptr, pickB())
-	g.bW.Store(v, p)
-	// Return either the argument, a B global address, or a stashed value.
-	switch rng.Intn(3) {
-	case 0:
-		g.bW.Ret(p)
-	case 1:
-		g.bW.Ret(pickB())
-	default:
-		g.bW.Ret(v)
-	}
-}
-
 func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 	for seed := int64(1); seed <= 25; seed++ {
-		lg := newLinkedGen(seed)
-		mA, mW := lg.build()
+		lg := workload.GenerateLinked(seed)
+		mA, mW := lg.A, lg.Whole
 		if err := ir.Verify(mA); err != nil {
 			t.Fatalf("seed %d: module A invalid: %v", seed, err)
 		}
@@ -342,7 +35,7 @@ func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 
 		// Map W memory ids back to A memory ids for A-owned objects.
 		wToA := map[VarID]VarID{}
-		for _, pair := range lg.memPairs {
+		for _, pair := range lg.MemPairs {
 			va, okA := genA.MemOf[pair[0]]
 			vw, okW := genW.MemOf[pair[1]]
 			if !okA || !okW {
@@ -352,7 +45,7 @@ func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 			wToA[vw] = va
 		}
 		// A-owned functions.
-		for _, fp := range lg.localFuncPairs {
+		for _, fp := range lg.LocalFuncPairs {
 			wToA[genW.MemOf[fp[1]]] = genA.MemOf[fp[0]]
 		}
 
@@ -379,7 +72,7 @@ func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 		}
 
 		// Check every A-owned memory cell and every parallel register.
-		for _, pair := range lg.memPairs {
+		for _, pair := range lg.MemPairs {
 			va := genA.MemOf[pair[0]]
 			vw := genW.MemOf[pair[1]]
 			if genA.Problem.PtrCompat[va] {
@@ -388,7 +81,7 @@ func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 		}
 		// Registers: walk both modules' instructions in lockstep per
 		// function pair (identical bodies by construction).
-		for _, fp := range lg.localFuncPairs {
+		for _, fp := range lg.LocalFuncPairs {
 			fa, fw := fp[0], fp[1]
 			for bi := range fa.Blocks {
 				for ii := range fa.Blocks[bi].Instrs {
@@ -410,10 +103,8 @@ func TestIncompleteSolutionCoversWholeProgram(t *testing.T) {
 			}
 		}
 
-		// Precision sanity: A-internal globals that neither escape via
-		// exports nor via external calls must not be external... (checked
-		// implicitly by Figure 1 tests; here just ensure the incomplete
-		// solve terminates with a consistent external set).
+		// Precision sanity: ensure the incomplete solve terminates with a
+		// consistent external set.
 		for _, x := range solA.ExternalSet() {
 			if int(x) >= genA.Problem.NumVars() {
 				t.Fatalf("seed %d: external set contains out-of-range id", seed)

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+// tinyOpts keeps the differential corpus fast; every suite still
+// contributes files (including ghostscript's pathological outliers).
+var tinyOpts = workload.Options{Seed: 7, Scale: 0.01, SizeScale: 0.03, MaxInstrs: 1200}
+
+// diffConfigs spans the technique families: the PIP default, plain IP, an
+// EP configuration (materialized Ω), and cycle-detection variants.
+var diffConfigs = []string{
+	"IP+WL(FIFO)+PIP",
+	"IP+WL(FIFO)",
+	"IP+WL(FIFO)+LCD+DP",
+	"EP+OVS+WL(LRF)+OCD",
+}
+
+// suiteJobs builds one job per (file, config) over the tiny corpus.
+func suiteJobs(t testing.TB) []Job {
+	t.Helper()
+	files := workload.GenerateCorpus(tinyOpts)
+	if len(files) < len(workload.Suites) {
+		t.Fatalf("corpus too small: %d files", len(files))
+	}
+	var jobs []Job
+	for _, name := range diffConfigs {
+		cfg := core.MustParseConfig(name)
+		for _, f := range files {
+			jobs = append(jobs, Job{Module: f.Module, Config: cfg})
+		}
+	}
+	return jobs
+}
+
+// TestDifferentialWorkloadSuites is the engine's core guarantee: over every
+// workload suite and a spread of solver configurations, the parallel path
+// at workers ∈ {1, 2, 8} and a cached double pass produce solutions
+// identical to the plain sequential path.
+func TestDifferentialWorkloadSuites(t *testing.T) {
+	jobs := suiteJobs(t)
+	rep := Differential(jobs, DiffOptions{WorkerCounts: []int{1, 2, 8}, CachedPass: true})
+	if !rep.OK() {
+		t.Fatalf("parallel engine is not solution-identical:\n%s", rep)
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("harness lost jobs: %d != %d", rep.Jobs, len(jobs))
+	}
+}
+
+// TestDifferentialAdversarialModules feeds the adversarial-linker modules
+// (both the incomplete A modules and the closed whole programs) through
+// the harness: they exercise the Ω/escape machinery hardest.
+func TestDifferentialAdversarialModules(t *testing.T) {
+	var jobs []Job
+	for seed := int64(1); seed <= 10; seed++ {
+		lg := workload.GenerateLinked(seed)
+		for _, name := range diffConfigs {
+			cfg := core.MustParseConfig(name)
+			jobs = append(jobs,
+				Job{Module: lg.A, Config: cfg},
+				Job{Module: lg.Whole, Config: cfg})
+		}
+	}
+	rep := Differential(jobs, DiffOptions{WorkerCounts: []int{1, 2, 8}, CachedPass: true})
+	if !rep.OK() {
+		t.Fatalf("adversarial modules diverge across solver paths:\n%s", rep)
+	}
+}
+
+// TestShuffledSubmissionDeterminism submits the same jobs in shuffled
+// orders at different worker counts and checks that, after inverting the
+// permutation, every run returns byte-identical per-job solutions: result
+// ordering depends only on submission indices, never on scheduling.
+func TestShuffledSubmissionDeterminism(t *testing.T) {
+	base := suiteJobs(t)
+	reference := outcomesOf(New(Options{Workers: 1}).Run(base))
+	for _, workers := range []int{2, 8} {
+		perm := rand.New(rand.NewSource(int64(workers))).Perm(len(base))
+		shuffled := make([]Job, len(base))
+		for to, from := range perm {
+			shuffled[to] = base[from]
+		}
+		rs := New(Options{Workers: workers}).Run(shuffled)
+		for to, from := range perm {
+			got := outcomeOf(rs[to])
+			if got.err != reference[from].err {
+				t.Fatalf("workers=%d: job %d failure behaviour changed", workers, from)
+			}
+			if got.fingerprint != reference[from].fingerprint {
+				t.Fatalf("workers=%d: job %d solution changed under shuffled submission:\n%s",
+					workers, from, firstDiff(reference[from].fingerprint, got.fingerprint))
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package engine is the parallel batch-analysis engine: it fans independent
+// per-file solves (and per-configuration sweeps) across a bounded goroutine
+// worker pool. Every translation unit is an independent incomplete-program
+// analysis (the paper's evaluation is embarrassingly parallel at the file
+// level), so the engine can use all cores while guaranteeing results that
+// are bit-identical to the sequential path — a guarantee enforced by the
+// differential harness in this package (see differential.go).
+//
+// The engine provides:
+//
+//   - deterministic result ordering: Run(jobs)[i] always corresponds to
+//     jobs[i], no matter how the scheduler interleaves workers;
+//   - a content-hash-keyed solution cache, so repeated benchmark passes
+//     over the same module under the same configuration skip re-solving;
+//   - per-job panic recovery: a crashing solve becomes a reported job
+//     failure instead of taking down the whole run;
+//   - an engine stats block (jobs, cache hits, failures, wall/CPU time,
+//     peak in-flight jobs).
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the goroutine pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache enables the content-hash-keyed solution cache. Cached
+	// solutions are shared between results; Solution queries are
+	// read-only, so sharing is safe across goroutines.
+	Cache bool
+}
+
+// Job is one unit of work: solve one problem under one configuration.
+// Either Gen (a pre-generated constraint problem) or Module must be set;
+// when only Module is set, constraint generation runs inside the job (and
+// inside its panic-recovery boundary).
+type Job struct {
+	// Key overrides the cache key. Empty means: derive it from the
+	// module's content hash and the configuration (requires Module).
+	Key    string
+	Module *ir.Module
+	Gen    *core.Gen
+	// Summaries are extra handwritten imported-function summaries, used
+	// only when generation runs in-job (Gen == nil).
+	Summaries map[string]core.Summary
+	Config    core.Config
+	// Reps repeats the solve and keeps the fastest duration (the paper
+	// solves each file 50 times and reports the minimum). Solutions are
+	// deterministic, so only the timing differs; the first solution is
+	// returned. <= 0 means 1.
+	Reps int
+}
+
+// Result is one job's outcome. Exactly one of Sol/Err is meaningful.
+type Result struct {
+	Gen *core.Gen
+	Sol *core.Solution
+	Err error
+	// CacheHit reports that Sol was served from the solution cache.
+	CacheHit bool
+	// Duration is the fastest solve time across the job's reps (zero on
+	// cache hits: nothing was solved).
+	Duration time.Duration
+}
+
+// Stats is the engine's cumulative counters across all Run calls.
+type Stats struct {
+	Jobs      int
+	CacheHits int
+	Failures  int
+	// Wall accumulates the wall-clock time of Run calls.
+	Wall time.Duration
+	// CPU accumulates per-job solve durations (the sequential-equivalent
+	// cost of the work performed).
+	CPU time.Duration
+	// PeakInFlight is the maximum number of jobs observed running
+	// concurrently.
+	PeakInFlight int
+	// Workers is the configured pool bound.
+	Workers int
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("engine: %d jobs (%d cache hits, %d failures), wall %v, cpu %v, %d workers, peak in-flight %d",
+		st.Jobs, st.CacheHits, st.Failures, st.Wall.Round(time.Millisecond),
+		st.CPU.Round(time.Millisecond), st.Workers, st.PeakInFlight)
+}
+
+type cached struct {
+	gen *core.Gen
+	sol *core.Solution
+}
+
+// Engine is a reusable batch solver. The zero value is not usable; call New.
+type Engine struct {
+	opts Options
+
+	mu       sync.Mutex
+	cache    map[string]cached
+	stats    Stats
+	inFlight int
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{opts: opts}
+	e.stats.Workers = opts.Workers
+	if opts.Cache {
+		e.cache = map[string]cached{}
+	}
+	return e
+}
+
+// Workers returns the configured pool bound.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ModuleHash returns the content hash of a module (over its printed MIR
+// form), the basis of the engine's cache keys.
+func ModuleHash(m *ir.Module) string {
+	h := sha256.Sum256([]byte(ir.Print(m)))
+	return hex.EncodeToString(h[:])
+}
+
+// CacheKey combines a module content hash with a configuration.
+func CacheKey(moduleHash string, cfg core.Config) string {
+	return moduleHash + "|" + cfg.String()
+}
+
+// Run executes all jobs across the worker pool and returns their results
+// in submission order: out[i] is jobs[i]'s result regardless of scheduling
+// or submission shuffling by the caller.
+func (e *Engine) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	workers := e.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	start := time.Now()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				e.noteStart()
+				out[i] = e.runJob(jobs[i])
+				e.noteDone(out[i])
+			}
+		}()
+	}
+	wg.Wait()
+	e.mu.Lock()
+	e.stats.Wall += time.Since(start)
+	e.mu.Unlock()
+	return out
+}
+
+// RunOne executes a single job synchronously (still inside the recovery
+// boundary and the cache).
+func (e *Engine) RunOne(j Job) Result {
+	e.noteStart()
+	res := e.runJob(j)
+	e.noteDone(res)
+	return res
+}
+
+func (e *Engine) noteStart() {
+	e.mu.Lock()
+	e.inFlight++
+	if e.inFlight > e.stats.PeakInFlight {
+		e.stats.PeakInFlight = e.inFlight
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) noteDone(res Result) {
+	e.mu.Lock()
+	e.inFlight--
+	e.stats.Jobs++
+	if res.CacheHit {
+		e.stats.CacheHits++
+	}
+	if res.Err != nil {
+		e.stats.Failures++
+	}
+	e.stats.CPU += res.Duration
+	e.mu.Unlock()
+}
+
+func (e *Engine) lookup(key string) (cached, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.cache[key]
+	return c, ok
+}
+
+func (e *Engine) store(key string, c cached) {
+	e.mu.Lock()
+	e.cache[key] = c
+	e.mu.Unlock()
+}
+
+// runJob executes one job. Any panic below this frame — in constraint
+// generation, the solver, or cache-key hashing — is converted into a
+// Result.Err so one bad file cannot take down a batch run.
+func (e *Engine) runJob(j Job) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("engine: job panicked: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if j.Gen == nil && j.Module == nil {
+		return Result{Err: errors.New("engine: job has neither Module nor Gen")}
+	}
+	key := j.Key
+	if e.cache != nil {
+		if key == "" && j.Module != nil {
+			key = CacheKey(ModuleHash(j.Module), j.Config)
+		}
+		if key != "" {
+			if c, ok := e.lookup(key); ok {
+				return Result{Gen: c.gen, Sol: c.sol, CacheHit: true}
+			}
+		}
+	}
+	gen := j.Gen
+	if gen == nil {
+		gen = core.GenerateWith(j.Module, j.Summaries)
+	}
+	reps := j.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var sol *core.Solution
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		s, err := core.Solve(gen.Problem, j.Config)
+		if err != nil {
+			return Result{Err: err}
+		}
+		if r == 0 {
+			sol = s
+			best = s.Stats.Duration
+		} else if s.Stats.Duration < best {
+			best = s.Stats.Duration
+		}
+	}
+	if e.cache != nil && key != "" {
+		e.store(key, cached{gen: gen, sol: sol})
+	}
+	return Result{Gen: gen, Sol: sol, Duration: best}
+}

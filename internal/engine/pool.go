@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed runs fn(i) for every i in [0, n) across a bounded worker
+// pool. It is the engine's generic fan-out primitive for work that is not
+// a solve (corpus constraint generation, per-file alias clients, corpus
+// serialization in pipgen). Writes by fn must go to index-disjoint
+// locations; RunIndexed returns after all calls complete, so results
+// indexed by i are deterministically ordered. workers <= 0 means
+// runtime.GOMAXPROCS(0).
+func RunIndexed(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

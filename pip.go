@@ -26,6 +26,7 @@ import (
 	"github.com/pip-analysis/pip/internal/callgraph"
 	"github.com/pip-analysis/pip/internal/cfront"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/modref"
 	"github.com/pip-analysis/pip/internal/opt"
@@ -99,6 +100,53 @@ func AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) (
 		return nil, err
 	}
 	return &Result{Module: m, gen: gen, sol: sol}, nil
+}
+
+// BatchOptions configures AnalyzeBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache reuses solutions for modules with identical content (keyed by
+	// content hash + configuration) within this batch call.
+	Cache bool
+	// Summaries are extra handwritten summaries applied to every module.
+	Summaries map[string]Summary
+}
+
+// BatchResult is one module's outcome from AnalyzeBatch: either Result or
+// Err is set. CacheHit reports that the solution was reused from an
+// earlier, content-identical module in the batch.
+type BatchResult struct {
+	Result   *Result
+	Err      error
+	CacheHit bool
+}
+
+// AnalyzeBatch analyzes many independent modules concurrently on the
+// batch-analysis engine. Each translation unit is an independent
+// incomplete-program analysis, so batches parallelize perfectly; results
+// come back in input order and are bit-identical to analyzing each module
+// alone (the engine's differential tests enforce this). A module that
+// fails — even one whose analysis panics — yields an Err entry without
+// affecting the other modules.
+func AnalyzeBatch(mods []*Module, cfg Config, opts BatchOptions) []BatchResult {
+	eng := engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache})
+	jobs := make([]engine.Job, len(mods))
+	for i, m := range mods {
+		jobs[i] = engine.Job{Module: m, Config: cfg, Summaries: opts.Summaries}
+	}
+	out := make([]BatchResult, len(mods))
+	for i, r := range eng.Run(jobs) {
+		if r.Err != nil {
+			out[i] = BatchResult{Err: r.Err}
+			continue
+		}
+		out[i] = BatchResult{
+			Result:   &Result{Module: mods[i], gen: r.Gen, sol: r.Sol},
+			CacheHit: r.CacheHit,
+		}
+	}
+	return out
 }
 
 // AnalyzeC compiles and analyzes mini-C source.
