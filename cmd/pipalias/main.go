@@ -20,11 +20,19 @@ import (
 func main() {
 	inline := flag.String("c", "", "inline mini-C source instead of a file")
 	configName := flag.String("config", pip.DefaultConfig().String(), "solver configuration")
+	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
 	if err != nil {
 		fatal(err)
+	}
+	if *budgetStr != "" {
+		b, err := pip.ParseBudget(*budgetStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Budget = b
 	}
 	name, src := "<inline>", *inline
 	if src == "" {
@@ -42,6 +50,9 @@ func main() {
 	res, err := pip.AnalyzeC(name, src, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Degraded() {
+		fmt.Println("NOTE: budget exhausted; precision below reflects the sound Ω-degraded solution.")
 	}
 	aa := res.AliasAnalysis()
 	report := func(label string, an alias.Analysis) {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/bench"
+	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/workload"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "directory to write result files to")
 	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline,smoke")
+	budgetStr := flag.String("budget", "", "per-solve budget, e.g. 100ms, 5000f, or 100ms,5000f; files that exhaust it degrade soundly")
+	showStats := flag.Bool("stats", false, "print aggregated engine stats and solver telemetry as JSON at the end")
 	flag.Parse()
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
@@ -68,6 +71,13 @@ func main() {
 	fmt.Printf("building corpus (scale=%g, sizescale=%g, seed=%d, workers=%d)...\n",
 		*scale, *sizeScale, *seed, *workers)
 	corpus := bench.BuildCorpusParallel(opts, *workers)
+	if *budgetStr != "" {
+		b, err := core.ParseBudget(*budgetStr)
+		if err != nil {
+			fatal(err)
+		}
+		corpus.Budget = b
+	}
 	fmt.Printf("%s [%.1fs]\n\n", corpus, time.Since(start).Seconds())
 
 	if enabled("table3") {
@@ -110,6 +120,16 @@ func main() {
 		}
 		if enabled("headline") {
 			emit("headline.txt", bench.RenderHeadline(bench.Headline(res)))
+		}
+	}
+	if *showStats {
+		st := corpus.EngineStats()
+		fmt.Printf("\n%s\n%s\n", st, st.JSON())
+		if *out != "" {
+			if err := os.WriteFile(filepath.Join(*out, "engine-stats.json"),
+				[]byte(st.JSON()+"\n"), 0o644); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())

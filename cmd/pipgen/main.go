@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/workload"
@@ -29,6 +30,8 @@ func main() {
 	maxInstrs := flag.Int("maxinstrs", 0, "optional per-file instruction cap (0 = none)")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for printing/writing (0 = GOMAXPROCS)")
+	showStats := flag.Bool("stats", false, "solve every generated file under the default configuration and print engine stats with aggregated solver telemetry as JSON")
+	budgetStr := flag.String("budget", "", "per-solve budget for -stats, e.g. 100ms, 5000f, or 100ms,5000f")
 	flag.Parse()
 
 	opts := workload.Options{Seed: *seed, Scale: *scale, SizeScale: *sizeScale, MaxInstrs: *maxInstrs}
@@ -54,6 +57,29 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d files (%d IR instructions) to %s\n", len(files), totalInstrs, *out)
+
+	if *showStats {
+		var budget core.Budget
+		if *budgetStr != "" {
+			b, err := core.ParseBudget(*budgetStr)
+			if err != nil {
+				fatal(err)
+			}
+			budget = b
+		}
+		eng := engine.New(engine.Options{Workers: *workers, Budget: budget})
+		jobs := make([]engine.Job, len(files))
+		for i, f := range files {
+			jobs[i] = engine.Job{Module: f.Module, Config: core.DefaultConfig()}
+		}
+		for i, r := range eng.Run(jobs) {
+			if r.Err != nil {
+				fatal(fmt.Errorf("%s: %v", files[i].Name, r.Err))
+			}
+		}
+		st := eng.Stats()
+		fmt.Printf("%s\n%s\n", st, st.JSON())
+	}
 }
 
 func fatal(err error) {

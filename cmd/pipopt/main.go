@@ -27,11 +27,19 @@ func main() {
 	isIR := flag.Bool("ir", false, "input is MIR textual IR")
 	printAfter := flag.Bool("print", false, "print the optimized MIR")
 	configName := flag.String("config", pip.DefaultConfig().String(), "solver configuration")
+	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; a degraded (budget-exhausted) solution stays sound, so the optimizations remain valid, just weaker")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
 	if err != nil {
 		fatal(err)
+	}
+	if *budgetStr != "" {
+		b, err := pip.ParseBudget(*budgetStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Budget = b
 	}
 	name, src := "<inline>", *inline
 	if src == "" {

@@ -26,11 +26,20 @@ func main() {
 	dot := flag.Bool("dot", false, "print the solved constraint graph in Graphviz format and exit")
 	callGraph := flag.Bool("callgraph", false, "print the call graph in Graphviz format and exit")
 	modRef := flag.Bool("modref", false, "print per-function mod/ref summaries and exit")
+	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausting it yields the sound Ω-degraded solution")
+	showStats := flag.Bool("stats", false, "print solver telemetry (phase timers, rule firings, worklist peak)")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
 	if err != nil {
 		fatal(err)
+	}
+	if *budgetStr != "" {
+		b, err := pip.ParseBudget(*budgetStr)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Budget = b
 	}
 
 	name := "<inline>"
@@ -78,6 +87,10 @@ func main() {
 		fmt.Println(pip.PrintIR(res.Module))
 	}
 	fmt.Printf("configuration: %s\n\n", cfg)
+	if res.Degraded() {
+		fmt.Println("NOTE: the solve exhausted its budget; this is the sound Ω-degraded solution, not the exact fixed point.")
+		fmt.Println()
+	}
 	fmt.Println("points-to sets:")
 	fmt.Print(res.Dump())
 	ext := res.ExternallyAccessible()
@@ -88,6 +101,9 @@ func main() {
 	st := res.Stats()
 	fmt.Printf("\nsolver: %v, %d explicit pointees, %d visits, %d unifications, %d simple edges\n",
 		st.Duration, st.ExplicitPointees, st.Visits, st.Unifications, st.SimpleEdges)
+	if *showStats {
+		fmt.Printf("telemetry: %v\n", res.Telemetry())
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,13 @@ type Corpus struct {
 	// Workers bounds the engine pool used by the measurement drivers;
 	// <= 0 means GOMAXPROCS.
 	Workers int
+	// Budget bounds every solve the drivers run; files that exhaust it
+	// produce Ω-degraded (still sound) rows. The zero value means none.
+	Budget core.Budget
+
+	// engines tracks every engine the drivers created, so EngineStats can
+	// aggregate pool counters across a whole measurement run.
+	engines []*engine.Engine
 }
 
 // BuildCorpus generates the corpus and runs constraint generation with the
@@ -57,14 +64,32 @@ func BuildCorpusParallel(opts workload.Options, workers int) *Corpus {
 	return c
 }
 
-// engineFor returns a fresh engine sized for this corpus's drivers.
+// engineFor returns a fresh engine sized for this corpus's drivers and
+// remembers it for EngineStats aggregation.
 func (c *Corpus) engineFor(cache bool) *engine.Engine {
-	return engine.New(engine.Options{Workers: c.Workers, Cache: cache})
+	e := engine.New(engine.Options{Workers: c.Workers, Cache: cache, Budget: c.Budget})
+	c.engines = append(c.engines, e)
+	return e
+}
+
+// EngineStats aggregates the pool counters (and solver telemetry) of every
+// engine the drivers have created so far.
+func (c *Corpus) EngineStats() engine.Stats {
+	var st engine.Stats
+	for _, e := range c.engines {
+		st.Merge(e.Stats())
+	}
+	return st
 }
 
 // Jobs builds one engine job per corpus file under cfg, keyed by content
-// hash so caching engines can reuse solutions across passes.
+// hash so caching engines can reuse solutions across passes. The corpus
+// budget is folded into the configuration here so the cache key reflects
+// the effective (budgeted) configuration.
 func (c *Corpus) Jobs(cfg core.Config, reps int) []engine.Job {
+	if cfg.Budget.IsZero() {
+		cfg.Budget = c.Budget
+	}
 	jobs := make([]engine.Job, len(c.Files))
 	for i, f := range c.Files {
 		jobs[i] = engine.Job{

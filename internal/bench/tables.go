@@ -86,6 +86,11 @@ type RuntimeResult struct {
 	Pointees map[string][]int
 	// Bytes maps configuration name to approximate solution memory.
 	Bytes map[string][]int
+	// Degraded maps configuration name to the number of files whose solve
+	// exhausted the corpus budget and fell back to the Ω-degraded
+	// solution. Degraded rows keep their (budget-bounded) timings but are
+	// excluded from the pointee/bytes aggregates' meaningfulness.
+	Degraded map[string]int
 	// PointsExtFraction is the fraction of pointers with p ⊒ Ω, measured
 	// on the reference configuration (paper Section VI: 51%).
 	PointsExtFraction float64
@@ -111,6 +116,7 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 		PerFile:  map[string][]float64{},
 		Pointees: map[string][]int{},
 		Bytes:    map[string][]int{},
+		Degraded: map[string]int{},
 	}
 	all := map[string]bool{}
 	for _, name := range Table5Configs {
@@ -142,6 +148,9 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 			times[i] = float64(r.Duration.Nanoseconds()) / 1e3
 			pointees[i] = r.Sol.Stats.ExplicitPointees
 			bytes[i] = r.Sol.ApproxBytes()
+			if r.Degraded {
+				res.Degraded[name]++
+			}
 			if name == "IP+WL(FIFO)+PIP" {
 				p := c.Files[i].Gen.Problem
 				for v := core.VarID(0); v < core.VarID(p.NumVars()); v++ {
@@ -157,6 +166,9 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 		res.PerFile[name] = times
 		res.Pointees[name] = pointees
 		res.Bytes[name] = bytes
+		if n := res.Degraded[name]; n > 0 && logf != nil {
+			logf("  %s: %d/%d files hit the budget and degraded", name, n, len(c.Files))
+		}
 	}
 	if ptrTotal > 0 {
 		res.PointsExtFraction = float64(ptrExt) / float64(ptrTotal)

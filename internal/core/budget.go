@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/bitset"
+)
+
+// Budget bounds the work a single Solve may perform. The paper's soundness
+// story for incomplete programs (Section III) means the analysis can always
+// fall back to "everything escapes" without becoming wrong: Ω already
+// stands for all memory the analysis cannot see, so a solve that runs out
+// of budget may report the trivially sound Ω-degraded solution instead of
+// its exact fixed point. A budgeted solve therefore always returns a sound
+// answer in bounded time, which is what makes the solver safe to run
+// against adversarial inputs from untrusted users.
+//
+// The zero value means "no budget": the solve runs to its exact fixed
+// point, byte-identical to an unbudgeted solve.
+type Budget struct {
+	// Deadline is a wall-clock limit on the solve. Zero means no limit.
+	// The limit is checked at worklist-loop granularity, so the solve
+	// returns within the deadline plus the duration of one node visit.
+	Deadline time.Duration
+	// Firings caps the number of constraint-rule firings (inference-rule
+	// applications, summed over all rules — see RuleFirings). Zero means
+	// no cap; a negative cap permits no firings at all, degrading the
+	// solve immediately. Unlike Deadline, a firing cap is deterministic:
+	// the same problem under the same configuration either always or
+	// never degrades.
+	Firings int64
+}
+
+// IsZero reports whether the budget imposes no limit.
+func (b Budget) IsZero() bool { return b == Budget{} }
+
+// Validate reports whether the budget is well formed.
+func (b Budget) Validate() error {
+	if b.Deadline < 0 {
+		return fmt.Errorf("budget deadline is negative")
+	}
+	return nil
+}
+
+// String renders the budget in the notation embedded in Config.String:
+// "10ms", "5000f", or "10ms,5000f". The zero budget renders as "".
+func (b Budget) String() string {
+	var parts []string
+	if b.Deadline != 0 {
+		parts = append(parts, b.Deadline.String())
+	}
+	if b.Firings != 0 {
+		parts = append(parts, strconv.FormatInt(b.Firings, 10)+"f")
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseBudget parses the String notation back into a Budget: a duration
+// ("100ms"), a firing cap ("5000f"), or both separated by a comma.
+func ParseBudget(s string) (Budget, error) {
+	var b Budget
+	if s == "" {
+		return b, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case strings.HasSuffix(tok, "f"):
+			n, err := strconv.ParseInt(tok[:len(tok)-1], 10, 64)
+			if err != nil {
+				return b, fmt.Errorf("bad firing cap %q", tok)
+			}
+			b.Firings = n
+		default:
+			d, err := time.ParseDuration(tok)
+			if err != nil {
+				return b, fmt.Errorf("bad budget component %q", tok)
+			}
+			b.Deadline = d
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// degradedSolution builds the trivially sound Ω-degraded solution for a
+// problem: every variable is marked externally accessible and every
+// pointer-compatible variable is Ω-tainted (x ⊒ Ω), with no explicit
+// pointees at all. Sol(p) then covers every abstract location plus Ω, a
+// superset of any sound solution of the problem, so a budget-exhausted
+// solve may return it in place of the exact fixed point. (The escaped set
+// covers registers too, not just memory locations: the constraint language
+// allows Ω ⊒ {x} on any variable via SetFlag, so the top element must as
+// well.)
+//
+// The construction reads only the Problem, never the aborted solver state,
+// so the degraded answer is identical no matter where the abort happened.
+func degradedSolution(p *Problem) *Solution {
+	n := p.NumVars()
+	sol := &Solution{
+		p:         p,
+		repOf:     make([]VarID, n),
+		pts:       make([]*bitset.Set, n),
+		pointsExt: make([]bool, n),
+		external:  make([]bool, n),
+		omega:     NoVar,
+		Degraded:  true,
+	}
+	for v := 0; v < n; v++ {
+		sol.repOf[v] = VarID(v)
+		sol.pointsExt[v] = p.PtrCompat[v]
+		sol.external[v] = true
+	}
+	return sol
+}

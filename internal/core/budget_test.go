@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+// Budget tests: parsing round trips, the Ω-degradation soundness property
+// (a degraded solution over-approximates the exact fixed point), firing
+// determinism, and bounded return under wall-clock deadlines.
+
+func TestBudgetStringRoundTrip(t *testing.T) {
+	cases := []Budget{
+		{},
+		{Deadline: 10 * time.Millisecond},
+		{Firings: 5000},
+		{Firings: -1},
+		{Deadline: 250 * time.Microsecond, Firings: 123},
+	}
+	for _, b := range cases {
+		got, err := ParseBudget(b.String())
+		if err != nil {
+			t.Fatalf("ParseBudget(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Fatalf("budget round trip: %q -> %+v, want %+v", b.String(), got, b)
+		}
+	}
+	if _, err := ParseBudget("-3ms"); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+	if _, err := ParseBudget("xyzf"); err == nil {
+		t.Fatal("bad firing cap accepted")
+	}
+	if err := (Budget{Deadline: -time.Second}).Validate(); err == nil {
+		t.Fatal("Validate accepted a negative deadline")
+	}
+}
+
+func TestConfigBudgetRoundTrip(t *testing.T) {
+	cfg := Config{Rep: IP, Solver: Worklist, Order: FIFO, PIP: true,
+		Budget: Budget{Deadline: 10 * time.Millisecond, Firings: 5000}}
+	s := cfg.String()
+	if s != "IP+WL(FIFO)+PIP+B(10ms,5000f)" {
+		t.Fatalf("String = %q", s)
+	}
+	parsed, err := ParseConfig(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != cfg {
+		t.Fatalf("round trip: %+v vs %+v", parsed, cfg)
+	}
+	// Budgeted and unbudgeted configurations must never share a name (the
+	// engine derives cache keys from it).
+	plain := cfg
+	plain.Budget = Budget{}
+	if plain.String() == cfg.String() {
+		t.Fatal("budget not reflected in the configuration name")
+	}
+}
+
+// degradedCoversExact asserts the superset-soundness property: every fact
+// reported by the exact solution is also reported by the degraded one.
+func degradedCoversExact(t *testing.T, label string, exact, deg *Solution) {
+	t.Helper()
+	p := exact.Problem()
+	for v := VarID(0); v < VarID(p.NumVars()); v++ {
+		if exact.Escaped(v) && !deg.Escaped(v) {
+			t.Fatalf("%s: var %d escaped in exact but not in degraded solution", label, v)
+		}
+		if !p.PtrCompat[v] {
+			continue
+		}
+		if exact.PointsToExternal(v) && !deg.PointsToExternal(v) {
+			t.Fatalf("%s: var %d has p ⊒ Ω in exact but not in degraded solution", label, v)
+		}
+		degSet := map[VarID]bool{}
+		for _, x := range deg.PointsTo(v) {
+			degSet[x] = true
+		}
+		for _, x := range exact.PointsTo(v) {
+			if !degSet[x] {
+				t.Fatalf("%s: var %d may point to %d in exact but not in degraded solution", label, v, x)
+			}
+		}
+	}
+}
+
+// TestDegradationSoundnessSweep sweeps firing budgets from "no firings
+// allowed" upward. Every degraded solution must over-approximate the exact
+// fixed point, and the first budget large enough to finish must yield the
+// exact solution (budgets never change completed answers).
+func TestDegradationSoundnessSweep(t *testing.T) {
+	configs := []string{"IP+WL(FIFO)+PIP", "EP+WL(FIFO)", "EP+Naive", "IP+Wave", "IP+WL(LIFO)+OCD"}
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, mod := range []struct {
+			name string
+			prob *Problem
+		}{
+			{"A", Generate(workload.GenerateLinked(seed).A).Problem},
+			{"whole", Generate(workload.GenerateLinked(seed).Whole).Problem},
+			{"rand", randomProblem(seed*100, 50, 120)},
+		} {
+			for _, name := range configs {
+				cfg := MustParseConfig(name)
+				exact := MustSolve(mod.prob, cfg)
+				want := exact.Canonical()
+				sawDegraded := false
+				for cap := int64(-1); ; { // -1 (no firings), 1, 2, 4, 8, ...
+					cfg.Budget = Budget{Firings: cap}
+					sol := MustSolve(mod.prob, cfg)
+					label := fmt.Sprintf("seed %d %s %s cap %d", seed, mod.name, name, cap)
+					if sol.Degraded {
+						sawDegraded = true
+						if !sol.Telemetry.Degraded {
+							t.Fatalf("%s: Solution.Degraded set but Telemetry.Degraded clear", label)
+						}
+						degradedCoversExact(t, label, exact, sol)
+					} else {
+						if sol.Canonical() != want {
+							t.Fatalf("%s: budgeted but completed solve differs from exact solution", label)
+						}
+						break
+					}
+					if cap < 0 {
+						cap = 1
+					} else {
+						cap *= 2
+					}
+					if cap > 1<<30 {
+						t.Fatalf("seed %d %s %s: solve still degraded at %d firings", seed, mod.name, name, cap)
+					}
+				}
+				if !sawDegraded {
+					t.Fatalf("seed %d %s %s: zero-firing budget did not degrade", seed, mod.name, name)
+				}
+			}
+		}
+	}
+}
+
+// TestFiringBudgetDeterministic: a firing cap is deterministic, so two
+// budgeted solves are fingerprint-identical (including the degraded
+// marker), unlike a wall-clock deadline.
+func TestFiringBudgetDeterministic(t *testing.T) {
+	prob := randomProblem(7, 60, 140)
+	for _, name := range []string{"IP+WL(FIFO)+PIP", "EP+OVS+WL(LRF)+OCD"} {
+		cfg := MustParseConfig(name)
+		cfg.Budget = Budget{Firings: 5}
+		a := MustSolve(prob, cfg)
+		b := MustSolve(prob, cfg)
+		if !a.Degraded {
+			t.Fatalf("%s: 5-firing budget did not degrade", name)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("%s: firing-budgeted solves disagree", name)
+		}
+		// The degraded fingerprint is marked, so it can never be confused
+		// with (or cached as) an exact solution's fingerprint.
+		exact := MustSolve(prob, MustParseConfig(name))
+		if a.Fingerprint() == exact.Fingerprint() {
+			t.Fatalf("%s: degraded fingerprint equals exact fingerprint", name)
+		}
+	}
+}
+
+// TestDeadlineBudgetReturnsInBounds: an exhausted wall-clock budget makes
+// the solve return degraded within the deadline plus a small epsilon (one
+// node visit; the generous bound below absorbs CI scheduling noise).
+func TestDeadlineBudgetReturnsInBounds(t *testing.T) {
+	prob := randomProblem(11, 600, 1800)
+	cfg := DefaultConfig()
+	cfg.Budget = Budget{Deadline: time.Nanosecond}
+	start := time.Now()
+	sol := MustSolve(prob, cfg)
+	elapsed := time.Since(start)
+	if !sol.Degraded {
+		t.Fatal("1ns deadline did not degrade")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("degraded solve took %v, far beyond the deadline epsilon", elapsed)
+	}
+	degradedCoversExact(t, "deadline", MustSolve(prob, DefaultConfig()), sol)
+}
+
+// TestDegradedSolutionShape: the degraded solution is built from the
+// problem alone — every variable escapes, every pointer-compatible
+// variable is Ω-tainted, and no explicit pointees survive.
+func TestDegradedSolutionShape(t *testing.T) {
+	prob := Generate(workload.GenerateLinked(2).A).Problem
+	cfg := DefaultConfig()
+	cfg.Budget = Budget{Firings: -1}
+	sol := MustSolve(prob, cfg)
+	if !sol.Degraded {
+		t.Fatal("no-firings budget did not degrade")
+	}
+	for v := VarID(0); v < VarID(prob.NumVars()); v++ {
+		if !sol.Escaped(v) {
+			t.Fatalf("var %d not escaped in the degraded solution", v)
+		}
+		if prob.PtrCompat[v] && !sol.PointsToExternal(v) {
+			t.Fatalf("pointer-compatible var %d lacks p ⊒ Ω", v)
+		}
+		if got := sol.Explicit(v); len(got) != 0 {
+			t.Fatalf("var %d has explicit pointees %v in the degraded solution", v, got)
+		}
+	}
+	if sol.Stats.ExplicitPointees != 0 {
+		t.Fatalf("degraded ExplicitPointees = %d", sol.Stats.ExplicitPointees)
+	}
+}
+
+// TestTelemetryPopulated: an ordinary (unbudgeted) solve fills the
+// telemetry block: firings happened, the worklist saw entries, and phase
+// timers are non-negative with Degraded clear.
+func TestTelemetryPopulated(t *testing.T) {
+	prob := randomProblem(3, 80, 200)
+	for _, name := range []string{"IP+WL(FIFO)+PIP", "EP+OVS+WL(LRF)+OCD", "EP+Naive", "IP+Wave"} {
+		sol := MustSolve(prob, MustParseConfig(name))
+		tel := sol.Telemetry
+		if tel.Degraded {
+			t.Fatalf("%s: unbudgeted solve marked degraded", name)
+		}
+		if tel.Firings.Total() == 0 {
+			t.Fatalf("%s: no rule firings recorded", name)
+		}
+		if tel.Offline < 0 || tel.Propagate < 0 || tel.Collapse < 0 {
+			t.Fatalf("%s: negative phase timer: %+v", name, tel)
+		}
+		if name == "IP+WL(FIFO)+PIP" && tel.WorklistPeak == 0 {
+			t.Fatalf("%s: worklist peak never recorded", name)
+		}
+	}
+}
+
+// TestTelemetryMerge covers the aggregation the engine relies on.
+func TestTelemetryMerge(t *testing.T) {
+	a := Telemetry{Offline: 1, Propagate: 2, Collapse: 3,
+		Firings: RuleFirings{Trans: 1, Load: 2, Store: 3, Call: 4, Flag: 5}, WorklistPeak: 7}
+	b := Telemetry{Offline: 10, Propagate: 20, Collapse: 30,
+		Firings: RuleFirings{Trans: 10}, WorklistPeak: 3, Degraded: true}
+	a.Merge(b)
+	if a.Offline != 11 || a.Propagate != 22 || a.Collapse != 33 {
+		t.Fatalf("durations: %+v", a)
+	}
+	if a.Firings.Trans != 11 || a.Firings.Total() != 25 {
+		t.Fatalf("firings: %+v", a.Firings)
+	}
+	if a.WorklistPeak != 7 {
+		t.Fatalf("peak: %d", a.WorklistPeak)
+	}
+	if !a.Degraded {
+		t.Fatal("Degraded did not propagate")
+	}
+}

@@ -98,6 +98,13 @@ type Config struct {
 	// studies: bit i-1 enables addition i (Section IV's numbering).
 	// Zero means "all rules" and is the normal setting.
 	PIPMask uint8
+
+	// Budget bounds the solve; a solve that exhausts it returns the
+	// trivially sound Ω-degraded solution with Solution.Degraded set.
+	// The zero value means no budget. The budget is part of the
+	// configuration's canonical name (and therefore of engine cache
+	// keys): budgeted and unbudgeted solves never share cached solutions.
+	Budget Budget
 }
 
 // pipRule reports whether PIP addition n (1-4) is enabled.
@@ -147,6 +154,12 @@ func (c Config) Validate() error {
 	if c.PIPMask > 0xF {
 		return fmt.Errorf("PIPMask has only four rule bits")
 	}
+	if c.Solver == Worklist && c.Order > Topo {
+		return fmt.Errorf("unknown iteration order %d", c.Order)
+	}
+	if err := c.Budget.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -179,7 +192,10 @@ func (c Config) String() string {
 		parts = append(parts, "DP")
 	}
 	if c.PIP {
-		if c.PIPMask != 0 && c.PIPMask != 0xF {
+		// A non-zero mask always renders its rule list (even the full
+		// 0xF, which behaves like 0) so that ParseConfig(c.String())
+		// reconstructs the exact Config value.
+		if c.PIPMask != 0 {
 			var rules []string
 			for i := 1; i <= 4; i++ {
 				if c.PIPMask&(1<<(i-1)) != 0 {
@@ -190,6 +206,9 @@ func (c Config) String() string {
 		} else {
 			parts = append(parts, "PIP")
 		}
+	}
+	if !c.Budget.IsZero() {
+		parts = append(parts, "B("+c.Budget.String()+")")
 	}
 	return strings.Join(parts, "+")
 }
@@ -247,6 +266,12 @@ func ParseConfig(s string) (Config, error) {
 					return c, fmt.Errorf("bad PIP rule %q", r)
 				}
 			}
+		case strings.HasPrefix(part, "B(") && strings.HasSuffix(part, ")"):
+			b, err := ParseBudget(part[2 : len(part)-1])
+			if err != nil {
+				return c, err
+			}
+			c.Budget = b
 		case part == "OCD":
 			c.OCD = true
 		case part == "HCD":

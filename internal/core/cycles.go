@@ -16,6 +16,7 @@ func (s *solver) succSlice(r VarID) []uint32 {
 
 // collapseAllSCCs collapses every simple-edge cycle currently in the graph.
 func (s *solver) collapseAllSCCs() {
+	defer s.collapseSpan()()
 	t := &tarjanState{
 		s:       s,
 		index:   map[VarID]int{},
@@ -23,6 +24,9 @@ func (s *solver) collapseAllSCCs() {
 		onStack: map[VarID]bool{},
 	}
 	for v := 0; v < s.n; v++ {
+		if s.budgetExhausted() {
+			return
+		}
 		r := s.find(VarID(v))
 		if _, seen := t.index[r]; !seen {
 			t.strongConnect(r)
@@ -33,6 +37,10 @@ func (s *solver) collapseAllSCCs() {
 // ocdCheck runs after inserting edge src→dst: if dst reaches src, the new
 // edge closed a cycle; collapse the strongly connected component.
 func (s *solver) ocdCheck(src, dst VarID) {
+	if s.aborted {
+		return
+	}
+	defer s.collapseSpan()()
 	if !s.reaches(dst, src) {
 		return
 	}
@@ -50,6 +58,11 @@ func (s *solver) reaches(from, to VarID) bool {
 	stack := []VarID{from}
 	s.visitMark[from] = gen
 	for len(stack) > 0 {
+		if s.budgetExhausted() {
+			// Answering "no" on abort is harmless: the caller collapses
+			// fewer cycles, and the solve is about to degrade anyway.
+			return false
+		}
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, q := range s.succSlice(u) {
@@ -71,6 +84,10 @@ func (s *solver) reaches(from, to VarID) bool {
 // finds. The must pair (root, other) is known or suspected to share a
 // cycle; collapsing all SCCs reachable from root covers it.
 func (s *solver) detectAndCollapse(root, other VarID) {
+	if s.aborted {
+		return
+	}
+	defer s.collapseSpan()()
 	root = s.find(root)
 	t := &tarjanState{
 		s:       s,
@@ -107,6 +124,11 @@ func (t *tarjanState) strongConnect(v0 VarID) {
 	t.onStack[v0] = true
 
 	for len(frames) > 0 {
+		if s.budgetExhausted() {
+			// Unwind mid-Tarjan: partially collapsed state is fine, the
+			// degraded solution is built from the Problem alone.
+			return
+		}
 		f := &frames[len(frames)-1]
 		advanced := false
 		for f.i < len(f.succs) {

@@ -8,6 +8,9 @@ func (s *solver) solveNaive() {
 	for {
 		s.progress = false
 		for v := 0; v < s.n; v++ {
+			if s.budgetExhausted() {
+				return
+			}
 			r := s.find(VarID(v))
 			if r != VarID(v) {
 				continue

@@ -4,9 +4,12 @@ import "container/heap"
 
 // worklist abstracts the iteration orders of Table IV. Nodes are pushed at
 // most once (pending membership is tracked); pop order is the policy.
+// size reports the number of pending nodes, feeding the telemetry
+// high-water mark.
 type worklist interface {
 	push(n VarID)
 	pop() (VarID, bool)
+	size() int
 }
 
 // newWorklist constructs the worklist for the configured iteration order.
@@ -32,13 +35,17 @@ type fifoWL struct {
 	q       []VarID
 	head    int
 	pending []bool
+	nPend   int
 }
+
+func (w *fifoWL) size() int { return w.nPend }
 
 func (w *fifoWL) push(n VarID) {
 	if w.pending[n] {
 		return
 	}
 	w.pending[n] = true
+	w.nPend++
 	w.q = append(w.q, n)
 }
 
@@ -52,6 +59,7 @@ func (w *fifoWL) pop() (VarID, bool) {
 		}
 		if w.pending[n] {
 			w.pending[n] = false
+			w.nPend--
 			return n, true
 		}
 	}
@@ -64,13 +72,17 @@ func (w *fifoWL) pop() (VarID, bool) {
 type lifoWL struct {
 	stack   []VarID
 	pending []bool
+	nPend   int
 }
+
+func (w *lifoWL) size() int { return w.nPend }
 
 func (w *lifoWL) push(n VarID) {
 	if w.pending[n] {
 		return
 	}
 	w.pending[n] = true
+	w.nPend++
 	w.stack = append(w.stack, n)
 }
 
@@ -80,6 +92,7 @@ func (w *lifoWL) pop() (VarID, bool) {
 		w.stack = w.stack[:len(w.stack)-1]
 		if w.pending[n] {
 			w.pending[n] = false
+			w.nPend--
 			return n, true
 		}
 	}
@@ -93,7 +106,10 @@ type lrfWL struct {
 	lastFired []uint64
 	pending   []bool
 	clock     uint64
+	nPend     int
 }
+
+func (w *lrfWL) size() int { return w.nPend }
 
 type lrfItem struct {
 	n    VarID
@@ -122,6 +138,7 @@ func (w *lrfWL) push(n VarID) {
 		return
 	}
 	w.pending[n] = true
+	w.nPend++
 	heap.Push(&w.h, lrfItem{n: n, fire: w.lastFired[n]})
 }
 
@@ -132,6 +149,7 @@ func (w *lrfWL) pop() (VarID, bool) {
 			continue
 		}
 		w.pending[it.n] = false
+		w.nPend--
 		w.clock++
 		w.lastFired[it.n] = w.clock
 		return it.n, true
@@ -147,6 +165,8 @@ type twoPhaseWL struct {
 }
 
 func (w *twoPhaseWL) push(n VarID) { w.next.push(n) }
+
+func (w *twoPhaseWL) size() int { return w.cur.size() + w.next.size() }
 
 func (w *twoPhaseWL) pop() (VarID, bool) {
 	if n, ok := w.cur.pop(); ok {
@@ -168,6 +188,8 @@ type topoWL struct {
 	idx     int
 	nPend   int
 }
+
+func (w *topoWL) size() int { return w.nPend }
 
 func (w *topoWL) push(n VarID) {
 	if w.pending[n] {

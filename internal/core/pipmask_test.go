@@ -38,10 +38,19 @@ func TestPIPMaskStringRoundTrip(t *testing.T) {
 	if parsed != cfg {
 		t.Fatalf("round trip: %+v vs %+v", parsed, cfg)
 	}
-	// Full mask normalizes to plain "PIP".
+	// The full mask behaves like mask 0 but is a distinct Config value, so
+	// it renders its explicit rule list: normalizing it to plain "PIP"
+	// would parse back to mask 0 and break ParseConfig(c.String()) == c.
 	full := Config{Rep: IP, Solver: Worklist, Order: FIFO, PIP: true, PIPMask: 0xF}
-	if full.String() != "IP+WL(FIFO)+PIP" {
+	if full.String() != "IP+WL(FIFO)+PIP[1,2,3,4]" {
 		t.Fatalf("full mask String = %q", full.String())
+	}
+	reparsed, err := ParseConfig(full.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed != full {
+		t.Fatalf("full-mask round trip: %+v vs %+v", reparsed, full)
 	}
 	if _, err := ParseConfig("IP+WL(FIFO)+PIP[9]"); err == nil {
 		t.Fatal("bad rule accepted")

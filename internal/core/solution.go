@@ -48,6 +48,14 @@ type Solution struct {
 	omega VarID
 
 	Stats SolveStats
+
+	// Degraded reports that the solve exhausted its Budget and this is the
+	// trivially sound Ω-degraded solution, not the exact fixed point.
+	Degraded bool
+
+	// Telemetry is the per-solve instrumentation block: phase timers, rule
+	// firing counts, and the worklist high-water mark.
+	Telemetry Telemetry
 }
 
 // OmegaPointee is the pseudo memory location standing for "all memory in
@@ -253,6 +261,9 @@ func (s *Solution) Canonical() string {
 // and cached solver paths.
 func (s *Solution) Fingerprint() string {
 	var b strings.Builder
+	if s.Degraded {
+		b.WriteString("degraded\n")
+	}
 	for v := VarID(0); v < VarID(s.p.NumVars()); v++ {
 		fmt.Fprintf(&b, "%d r%d", v, s.Rep(v))
 		if s.p.PtrCompat[v] {

@@ -67,6 +67,18 @@ type solver struct {
 	// last reset; the naive solver uses it to detect its fixed point.
 	progress bool
 	stats    SolveStats
+	tel      Telemetry
+
+	// Budget state: fired mirrors tel.Firings.Total() as a single counter
+	// cheap enough to compare on every loop iteration; aborted latches
+	// budget exhaustion; deadline is the absolute wall-clock cutoff (zero
+	// time when no deadline is set); budgetTick rate-limits time.Now().
+	fired      int64
+	aborted    bool
+	deadline   time.Time
+	budgetTick uint32
+	// collapseDepth guards the cycle-collapse timer against nested spans.
+	collapseDepth int
 
 	// LCD bookkeeping: edges already considered for lazy cycle detection.
 	lcdDone map[uint64]bool
@@ -91,12 +103,17 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 	}
 	start := time.Now()
 	s := newSolver(prob, cfg)
+	if cfg.Budget.Deadline > 0 {
+		s.deadline = start.Add(cfg.Budget.Deadline)
+	}
 	if cfg.OVS {
 		s.runOVS()
 	}
 	if cfg.HCD {
 		s.runHCDOffline()
 	}
+	s.tel.Offline = time.Since(start)
+	solveStart := time.Now()
 	s.seed()
 	switch cfg.Solver {
 	case Naive:
@@ -106,7 +123,24 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 	default:
 		s.solveWorklist()
 	}
-	sol := s.finish()
+	// Propagation time is the solve loop minus the collapse spans timed
+	// inside it.
+	if s.tel.Propagate = time.Since(solveStart) - s.tel.Collapse; s.tel.Propagate < 0 {
+		s.tel.Propagate = 0
+	}
+	var sol *Solution
+	if s.aborted {
+		// Budget exhausted: fall back to the trivially sound Ω-degraded
+		// solution, built from the problem alone so the answer does not
+		// depend on where the abort happened.
+		sol = degradedSolution(prob)
+		sol.Stats = s.stats
+		sol.Stats.ExplicitPointees = 0
+	} else {
+		sol = s.finish()
+	}
+	s.tel.Degraded = sol.Degraded
+	sol.Telemetry = s.tel
 	sol.Stats.Duration = time.Since(start)
 	return sol, nil
 }
@@ -193,6 +227,7 @@ func (s *solver) setFlag(v VarID, bit Flags) bool {
 	}
 	s.repFlags[r] |= bit
 	s.fullVisit[r] = true
+	s.fire(&s.tel.Firings.Flag)
 	s.noteProgress()
 	s.enqueue(r)
 	return true

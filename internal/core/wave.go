@@ -20,9 +20,15 @@ func (s *solver) solveWave() {
 	}
 	for {
 		s.progress = false
+		if s.budgetExhausted() {
+			return
+		}
 		s.collapseAllSCCs()
 		order := s.topoOrder()
 		for _, r := range order {
+			if s.budgetExhausted() {
+				return
+			}
 			if s.find(r) != r {
 				continue
 			}

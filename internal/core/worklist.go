@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // This file implements Algorithm 1 from the paper: the worklist solver for
 // the combined inference rules of Figure 2 (TRANS/LOAD/STORE/CALL) and
 // Figure 7 (the Ω rules of the extended language), with the four PIP
@@ -9,6 +11,51 @@ package core
 
 // progress is set by every state mutation; the naive solver polls it.
 func (s *solver) noteProgress() { s.progress = true }
+
+// fire records one inference-rule application on the given telemetry
+// counter and on the budget's total-firings counter.
+func (s *solver) fire(counter *int64) {
+	*counter++
+	s.fired++
+}
+
+// budgetExhausted checks the configured budget and latches the aborted
+// flag once it is exceeded. It is designed to sit on every iteration of
+// the solve loops: the firing comparison is a pair of integer tests, and
+// the wall clock is only read every 64 calls (so a deadline overshoots by
+// at most 64 loop iterations plus the current node visit).
+func (s *solver) budgetExhausted() bool {
+	if s.aborted {
+		return true
+	}
+	b := s.cfg.Budget
+	if b.Firings != 0 && (b.Firings < 0 || s.fired >= b.Firings) {
+		s.aborted = true
+		return true
+	}
+	if !s.deadline.IsZero() {
+		if s.budgetTick++; s.budgetTick&63 == 0 && time.Now().After(s.deadline) {
+			s.aborted = true
+			return true
+		}
+	}
+	return false
+}
+
+// collapseSpan starts a cycle-collapse telemetry span and returns its end
+// function (for defer). Nested spans — detectAndCollapse under ocdCheck —
+// count only once.
+func (s *solver) collapseSpan() func() {
+	s.collapseDepth++
+	if s.collapseDepth > 1 {
+		return func() { s.collapseDepth-- }
+	}
+	t0 := time.Now()
+	return func() {
+		s.collapseDepth--
+		s.tel.Collapse += time.Since(t0)
+	}
+}
 
 func (s *solver) solveWorklist() {
 	s.wl = newWorklist(s.cfg.Order, s)
@@ -27,10 +74,16 @@ func (s *solver) solveWorklist() {
 		s.wl.push(r)
 	}
 	for {
+		if s.budgetExhausted() {
+			return
+		}
 		for len(s.pendingHCDUnions) > 0 {
 			pair := s.pendingHCDUnions[len(s.pendingHCDUnions)-1]
 			s.pendingHCDUnions = s.pendingHCDUnions[:len(s.pendingHCDUnions)-1]
 			s.unify(pair[0], pair[1])
+		}
+		if sz := s.wl.size(); sz > s.tel.WorklistPeak {
+			s.tel.WorklistPeak = sz
 		}
 		n, ok := s.wl.pop()
 		if !ok {
@@ -45,6 +98,9 @@ func (s *solver) solveWorklist() {
 
 // visit processes one node: Algorithm 1 loop body.
 func (s *solver) visit(n VarID) {
+	if s.aborted {
+		return
+	}
 	s.stats.Visits++
 	ip := s.cfg.Rep == IP
 
@@ -148,8 +204,12 @@ func (s *solver) visit(n VarID) {
 
 	// Store edges *n ⊇ p: STORE / STORETOΩ.
 	for _, p := range s.storeFrom[n] {
+		s.fire(&s.tel.Firings.Store)
 		rp := s.find(p)
-		for _, x := range iter {
+		for i, x := range iter {
+			if i&63 == 63 && s.budgetExhausted() {
+				return
+			}
 			s.addEdgeOnline(rp, x)
 			rp = s.find(rp)
 		}
@@ -170,8 +230,12 @@ func (s *solver) visit(n VarID) {
 
 	// Load edges p ⊇ *n: LOAD / LOADFROMΩ.
 	for _, p := range s.loadTo[n] {
+		s.fire(&s.tel.Firings.Load)
 		rp := s.find(p)
-		for _, x := range iter {
+		for i, x := range iter {
+			if i&63 == 63 && s.budgetExhausted() {
+				return
+			}
 			s.addEdgeOnline(x, rp)
 			rp = s.find(rp)
 		}
@@ -195,7 +259,10 @@ func (s *solver) visit(n VarID) {
 		calls := s.callsAt[n]
 		for ci := range calls {
 			c := calls[ci]
-			for _, x := range iter {
+			for i, x := range iter {
+				if i&63 == 63 && s.budgetExhausted() {
+					return
+				}
 				for fi := range s.funcsAt[x] {
 					s.applyCall(c, s.funcsAt[x][fi])
 				}
@@ -215,6 +282,7 @@ func (s *solver) visit(n VarID) {
 // applyCall applies the CALL inference rule for one (call, func) pair,
 // including the external variants used by the EP representation.
 func (s *solver) applyCall(c callC, fc funcC) {
+	s.fire(&s.tel.Firings.Call)
 	switch {
 	case c.external && fc.external:
 		return // Ω calling Ω: self-edges only
@@ -259,6 +327,7 @@ func (s *solver) applyCall(c callC, fc funcC) {
 // propagate implements PROPAGATEPOINTEES(f, t): copy pointees (the full set
 // or the difference-propagation delta) and the p ⊒ Ω flag from f to t.
 func (s *solver) propagate(from, to VarID, iter []uint32, full bool) {
+	s.fire(&s.tel.Firings.Trans)
 	changed := false
 	if len(iter) > 0 {
 		tp := s.ptsOf(to)
@@ -305,6 +374,9 @@ func (s *solver) propagate(from, to VarID, iter []uint32, full bool) {
 // applying PIP addition 3, full propagation across the new edge, and
 // online cycle detection.
 func (s *solver) addEdgeOnline(src, dst VarID) {
+	if s.aborted {
+		return
+	}
 	rs, rd := s.find(src), s.find(dst)
 	if rs == rd {
 		return

@@ -21,7 +21,9 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -41,6 +43,12 @@ type Options struct {
 	// solutions are shared between results; Solution queries are
 	// read-only, so sharing is safe across goroutines.
 	Cache bool
+	// Budget is the default per-solve budget, applied to every job whose
+	// own Config.Budget is zero. The effective budget is folded into the
+	// job's configuration before the cache key is computed, so budgeted
+	// and unbudgeted runs never share cached solutions. Degraded
+	// solutions are never cached (a deadline abort is nondeterministic).
+	Budget core.Budget
 }
 
 // Job is one unit of work: solve one problem under one configuration.
@@ -71,32 +79,88 @@ type Result struct {
 	Err error
 	// CacheHit reports that Sol was served from the solution cache.
 	CacheHit bool
+	// Degraded reports that the solve exhausted its budget and Sol is the
+	// Ω-degraded solution (see core.Budget).
+	Degraded bool
 	// Duration is the fastest solve time across the job's reps (zero on
 	// cache hits: nothing was solved).
 	Duration time.Duration
 }
 
-// Stats is the engine's cumulative counters across all Run calls.
+// Stats is the engine's cumulative counters across all Run calls. The
+// struct marshals to JSON (and through expvar via Engine.Publish) with the
+// telemetry block aggregated across every solved job.
 type Stats struct {
-	Jobs      int
-	CacheHits int
-	Failures  int
+	Jobs      int `json:"jobs"`
+	CacheHits int `json:"cache_hits"`
+	Failures  int `json:"failures"`
+	// Degraded counts jobs whose solve exhausted its budget and returned
+	// the Ω-degraded solution.
+	Degraded int `json:"degraded"`
 	// Wall accumulates the wall-clock time of Run calls.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// CPU accumulates per-job solve durations (the sequential-equivalent
 	// cost of the work performed).
-	CPU time.Duration
+	CPU time.Duration `json:"cpu_ns"`
 	// PeakInFlight is the maximum number of jobs observed running
 	// concurrently.
-	PeakInFlight int
+	PeakInFlight int `json:"peak_in_flight"`
 	// Workers is the configured pool bound.
-	Workers int
+	Workers int `json:"workers"`
+	// Telemetry aggregates per-solve telemetry across all non-cached jobs:
+	// phase durations and firings sum, the worklist peak takes the max.
+	Telemetry core.Telemetry `json:"telemetry"`
 }
 
 func (st Stats) String() string {
-	return fmt.Sprintf("engine: %d jobs (%d cache hits, %d failures), wall %v, cpu %v, %d workers, peak in-flight %d",
-		st.Jobs, st.CacheHits, st.Failures, st.Wall.Round(time.Millisecond),
+	return fmt.Sprintf("engine: %d jobs (%d cache hits, %d failures, %d degraded), wall %v, cpu %v, %d workers, peak in-flight %d",
+		st.Jobs, st.CacheHits, st.Failures, st.Degraded, st.Wall.Round(time.Millisecond),
 		st.CPU.Round(time.Millisecond), st.Workers, st.PeakInFlight)
+}
+
+// JSON renders the stats block (including aggregated telemetry) as
+// indented JSON, the same shape expvar exports.
+func (st Stats) JSON() string {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return "{}" // unreachable: Stats has no unmarshalable fields
+	}
+	return string(b)
+}
+
+// Merge accumulates u into st, for aggregating stats across several
+// engines (the bench harness keeps one engine per worker count).
+func (st *Stats) Merge(u Stats) {
+	st.Jobs += u.Jobs
+	st.CacheHits += u.CacheHits
+	st.Failures += u.Failures
+	st.Degraded += u.Degraded
+	st.Wall += u.Wall
+	st.CPU += u.CPU
+	if u.PeakInFlight > st.PeakInFlight {
+		st.PeakInFlight = u.PeakInFlight
+	}
+	if u.Workers > st.Workers {
+		st.Workers = u.Workers
+	}
+	st.Telemetry.Merge(u.Telemetry)
+}
+
+// publishMu serializes the expvar existence check in Publish; expvar
+// itself panics on duplicate names.
+var publishMu sync.Mutex
+
+// Publish registers the engine's live stats under the given expvar name
+// (exported as JSON on /debug/vars when the host process serves it).
+// Publishing the same name twice is a no-op: the first engine wins, which
+// keeps Publish safe to call from tests and short-lived tools.
+func (e *Engine) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
 }
 
 type cached struct {
@@ -214,6 +278,14 @@ func (e *Engine) noteDone(res Result) {
 	if res.Err != nil {
 		e.stats.Failures++
 	}
+	if res.Degraded {
+		e.stats.Degraded++
+	}
+	// Telemetry describes solving work, so cache hits (which solved
+	// nothing) contribute nothing.
+	if res.Sol != nil && !res.CacheHit {
+		e.stats.Telemetry.Merge(res.Sol.Telemetry)
+	}
 	e.stats.CPU += res.Duration
 	e.mu.Unlock()
 }
@@ -242,6 +314,13 @@ func (e *Engine) runJob(j Job) (res Result) {
 	}()
 	if j.Gen == nil && j.Module == nil {
 		return Result{Err: errors.New("engine: job has neither Module nor Gen")}
+	}
+	// Fold the engine's default budget into the job's configuration before
+	// computing the cache key: the budget is part of Config.String(), so a
+	// budgeted job can never be served an unbudgeted cached solution (or
+	// vice versa).
+	if j.Config.Budget.IsZero() && !e.opts.Budget.IsZero() {
+		j.Config.Budget = e.opts.Budget
 	}
 	key := j.Key
 	if e.cache != nil {
@@ -276,8 +355,11 @@ func (e *Engine) runJob(j Job) (res Result) {
 			best = s.Stats.Duration
 		}
 	}
-	if e.cache != nil && key != "" {
+	// Degraded solutions are never cached: a deadline abort depends on the
+	// machine's momentary load, so caching it would freeze a nondeterministic
+	// outcome into every later run.
+	if e.cache != nil && key != "" && !sol.Degraded {
 		e.store(key, cached{gen: gen, sol: sol})
 	}
-	return Result{Gen: gen, Sol: sol, Duration: best}
+	return Result{Gen: gen, Sol: sol, Degraded: sol.Degraded, Duration: best}
 }

@@ -26,15 +26,25 @@ func FuzzEngineRecovery(f *testing.F) {
 		}
 		mutate(m, mutSeed)
 		eng := New(Options{Workers: 2, Cache: true})
-		// Two identical jobs: the second may be served from cache; both
-		// must come back as a result, never as a crash.
+		// Three jobs over one module: two plain configurations (the second
+		// may be served from cache) and one with a tiny firing budget that
+		// aborts the solve mid-flight — often inside a cycle-collapse pass
+		// on the cyclic seeds below. All must come back as a result, never
+		// as a crash.
+		tight := core.MustParseConfig("IP+WL(FIFO)+OCD")
+		tight.Budget = core.Budget{Firings: 1 + mutSeed%32}
 		rs := eng.Run([]Job{
 			{Module: m, Config: core.DefaultConfig()},
 			{Module: m, Config: core.MustParseConfig("EP+WL(FIFO)")},
+			{Module: m, Config: tight},
 		})
 		for i, r := range rs {
 			if r.Err == nil && r.Sol == nil {
 				t.Fatalf("job %d returned neither solution nor error", i)
+			}
+			if r.Err == nil && r.Degraded != r.Sol.Degraded {
+				t.Fatalf("job %d: Result.Degraded=%v disagrees with Sol.Degraded=%v",
+					i, r.Degraded, r.Sol.Degraded)
 			}
 		}
 	})

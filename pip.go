@@ -50,6 +50,19 @@ func MustParseConfig(s string) Config { return core.MustParseConfig(s) }
 // AllConfigs enumerates every valid solver configuration.
 func AllConfigs() []Config { return core.AllConfigs() }
 
+// Budget bounds a solve (wall-clock deadline and/or rule-firing cap). A
+// solve that exhausts its budget returns the trivially sound Ω-degraded
+// solution instead of the exact fixed point; see Result.Degraded.
+type Budget = core.Budget
+
+// ParseBudget parses a budget string: a duration ("100ms"), a firing cap
+// ("5000f"), or both separated by a comma.
+func ParseBudget(s string) (Budget, error) { return core.ParseBudget(s) }
+
+// Telemetry is the per-solve instrumentation block: phase timers, rule
+// firing counts, and the worklist high-water mark.
+type Telemetry = core.Telemetry
+
 // Module is a parsed or compiled translation unit.
 type Module = ir.Module
 
@@ -111,6 +124,9 @@ type BatchOptions struct {
 	Cache bool
 	// Summaries are extra handwritten summaries applied to every module.
 	Summaries map[string]Summary
+	// Budget bounds each module's solve; modules that exhaust it yield
+	// Degraded results (see Budget).
+	Budget Budget
 }
 
 // BatchResult is one module's outcome from AnalyzeBatch: either Result or
@@ -120,6 +136,8 @@ type BatchResult struct {
 	Result   *Result
 	Err      error
 	CacheHit bool
+	// Degraded reports that this module's solve exhausted the batch Budget.
+	Degraded bool
 }
 
 // AnalyzeBatch analyzes many independent modules concurrently on the
@@ -130,7 +148,7 @@ type BatchResult struct {
 // fails — even one whose analysis panics — yields an Err entry without
 // affecting the other modules.
 func AnalyzeBatch(mods []*Module, cfg Config, opts BatchOptions) []BatchResult {
-	eng := engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache})
+	eng := engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache, Budget: opts.Budget})
 	jobs := make([]engine.Job, len(mods))
 	for i, m := range mods {
 		jobs[i] = engine.Job{Module: m, Config: cfg, Summaries: opts.Summaries}
@@ -144,6 +162,7 @@ func AnalyzeBatch(mods []*Module, cfg Config, opts BatchOptions) []BatchResult {
 		out[i] = BatchResult{
 			Result:   &Result{Module: mods[i], gen: r.Gen, sol: r.Sol},
 			CacheHit: r.CacheHit,
+			Degraded: r.Degraded,
 		}
 	}
 	return out
@@ -323,6 +342,14 @@ func (r *Result) ConstraintGraphDOT() string {
 
 // Stats returns solver statistics for the run.
 func (r *Result) Stats() core.SolveStats { return r.sol.Stats }
+
+// Telemetry returns the solve's instrumentation block.
+func (r *Result) Telemetry() Telemetry { return r.sol.Telemetry }
+
+// Degraded reports that the solve exhausted its Budget and the solution is
+// the trivially sound Ω-degraded one (everything escapes, every pointer
+// may target external memory) rather than the exact fixed point.
+func (r *Result) Degraded() bool { return r.sol.Degraded }
 
 // AliasAnalysis constructs the combined Andersen+BasicAA alias analysis of
 // the paper's precision evaluation (Figure 9).
