@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench-smoke bench clean
+.PHONY: build test test-race fmt-check bench-smoke serve-smoke bench clean
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,16 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 bench-smoke:
 	$(GO) run ./cmd/pipbench -scale 0.04 -sizescale 0.12 -reps 1 -run smoke
+
+# End-to-end check of the analysis service: ephemeral port, one real
+# HTTP solve + healthz + metrics, graceful drain.
+serve-smoke:
+	$(GO) run ./cmd/pipserve -smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

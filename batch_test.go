@@ -84,6 +84,64 @@ func TestAnalyzeBatchCache(t *testing.T) {
 	}
 }
 
+// TestEngineFacadeSharedCache: a long-lived Engine serves repeat modules
+// from its cache, and — the regression this guards — queries on a
+// cache-hit result still resolve. The cached Gen is keyed by the module
+// instance that populated the cache, so the Result must be paired with
+// that instance, not with the structurally equal one from the new request.
+func TestEngineFacadeSharedCache(t *testing.T) {
+	eng := NewEngine(BatchOptions{Cache: true, CacheEntries: 8})
+	src := `static int x; int *p = &x; extern void take(int**); void f() { take(&p); }`
+	var hit *Result
+	for i := 0; i < 3; i++ {
+		m, err := CompileC("repeat.c", src) // fresh instance each round
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := eng.Analyze(m, DefaultConfig())
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		if (i > 0) != br.CacheHit {
+			t.Fatalf("round %d: cacheHit=%v", i, br.CacheHit)
+		}
+		hit = br.Result
+	}
+	targets, external, err := hit.PointsTo("p")
+	if err != nil {
+		t.Fatalf("query on cache-hit result: %v", err)
+	}
+	if !external || len(targets) == 0 {
+		t.Fatalf("cache-hit result lost facts: %v external=%v", targets, external)
+	}
+	st := eng.Stats()
+	if st.Jobs != 3 || st.CacheHits != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestEngineCacheBounded: CacheEntries caps occupancy under churn; the
+// overflow shows up as evictions.
+func TestEngineCacheBounded(t *testing.T) {
+	eng := NewEngine(BatchOptions{Workers: 2, Cache: true, CacheEntries: 3})
+	mods := batchModules(t, 9)
+	for _, br := range eng.AnalyzeBatch(mods, DefaultConfig(), nil) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheEntries > 3 {
+		t.Fatalf("cache occupancy %d exceeds cap 3", st.CacheEntries)
+	}
+	if st.CacheEvictions != int64(len(mods)-3) {
+		t.Fatalf("evictions %d, want %d", st.CacheEvictions, len(mods)-3)
+	}
+	if eng.CacheCap() != 3 {
+		t.Fatalf("CacheCap = %d", eng.CacheCap())
+	}
+}
+
 // TestAnalyzeBatchIsolatesFailures: a nil module must fail its own slot
 // only.
 func TestAnalyzeBatchIsolatesFailures(t *testing.T) {

@@ -37,6 +37,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline,smoke")
 	budgetStr := flag.String("budget", "", "per-solve budget, e.g. 100ms, 5000f, or 100ms,5000f; files that exhaust it degrade soundly")
 	showStats := flag.Bool("stats", false, "print aggregated engine stats and solver telemetry as JSON at the end")
+	cacheEntries := flag.Int("cache-entries", 0, "solution-cache capacity for caching drivers (0 = unbounded)")
 	flag.Parse()
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
@@ -78,6 +79,7 @@ func main() {
 		}
 		corpus.Budget = b
 	}
+	corpus.CacheEntries = *cacheEntries
 	fmt.Printf("%s [%.1fs]\n\n", corpus, time.Since(start).Seconds())
 
 	if enabled("table3") {

@@ -1,0 +1,195 @@
+// Command pipserve is the long-running analysis service: an HTTP/JSON
+// daemon that accepts mini-C or MIR modules and answers points-to and
+// alias queries from a shared, cached analysis engine.
+//
+// Usage:
+//
+//	pipserve [-addr HOST:PORT] [-config CFG] [-budget B] [-cache-entries N]
+//	         [-concurrent N] [-queue N] [-workers N]
+//	pipserve -smoke        (ephemeral port, one end-to-end request, exit)
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"c": "...", "queries": ["p"]}      points-to sets
+//	POST /v1/alias   {"c": "...", "pairs": [["p","q"]]}  alias verdicts
+//	GET  /healthz    liveness; 503 while draining
+//	GET  /metrics    engine stats, cache occupancy, request counters
+//
+// SIGINT/SIGTERM starts a graceful drain: new requests get 503 and the
+// process exits once every in-flight solve has answered (or after
+// -drain-timeout).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pipserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process plumbing, so tests can drive the full
+// lifecycle — flags, listener, signal-triggered drain — in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pipserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7411", "listen address")
+	configName := fs.String("config", pip.DefaultConfig().String(),
+		"default solver configuration (requests may override with config/?config=)")
+	budgetStr := fs.String("budget", "",
+		"default solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausted budgets yield the sound Ω-degraded solution")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", serve.DefaultCacheEntries,
+		"solution cache capacity (LRU eviction beyond it)")
+	concurrent := fs.Int("concurrent", serve.DefaultMaxConcurrent,
+		"max solves running at once")
+	queue := fs.Int("queue", serve.DefaultMaxQueue,
+		"max requests waiting for a solve slot before 429")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight solves")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	smoke := fs.Bool("smoke", false,
+		"self-test: listen on an ephemeral port, run one end-to-end request, drain, exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	cfg, err := pip.ParseConfig(*configName)
+	if err != nil {
+		return err
+	}
+	opts := serve.Options{
+		Config:        cfg,
+		HasConfig:     true,
+		Workers:       *workers,
+		CacheEntries:  *cacheEntries,
+		MaxConcurrent: *concurrent,
+		MaxQueue:      *queue,
+	}
+	if *budgetStr != "" {
+		b, err := pip.ParseBudget(*budgetStr)
+		if err != nil {
+			return err
+		}
+		opts.DefaultBudget = b
+	}
+	if !*quiet {
+		opts.LogWriter = stderr
+	}
+
+	s := serve.New(opts)
+	s.Engine().Publish("pipserve.engine")
+
+	listenAddr := *addr
+	if *smoke {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "pipserve listening on %s (config %s)\n", ln.Addr(), cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *smoke {
+		if err := smokeCheck("http://" + ln.Addr().String()); err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("smoke: %w", err)
+		}
+		fmt.Fprintln(stdout, "smoke ok")
+	} else {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "signal received, draining")
+		case err := <-serveErr:
+			return err
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "pipserve stopped")
+	return nil
+}
+
+// smokeCheck exercises the service end to end: one solve with a points-to
+// query, then /healthz and /metrics.
+func smokeCheck(base string) error {
+	body, err := json.Marshal(map[string]any{
+		"name":    "smoke.c",
+		"c":       "static int x;\nint *p = &x;\nextern void take(int**);\nvoid f() { take(&p); }\n",
+		"queries": []string{"p"},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("solve: status %d: %s", resp.StatusCode, b)
+	}
+	var solved struct {
+		Degraded bool `json:"degraded"`
+		PointsTo map[string]struct {
+			Targets  []string `json:"targets"`
+			External bool     `json:"external"`
+		} `json:"points_to"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	pe, ok := solved.PointsTo["p"]
+	if !ok || solved.Degraded || !pe.External || len(pe.Targets) == 0 {
+		return fmt.Errorf("solve: unexpected answer %+v", solved)
+	}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			return err
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, r.StatusCode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing run()'s output
+// while it executes on another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSmokeMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-smoke", "-quiet"}, &out, &errOut); err != nil {
+		t.Fatalf("run -smoke: %v\nstderr:\n%s", err, errOut.String())
+	}
+	for _, frag := range []string{"pipserve listening on", "smoke ok", "pipserve stopped"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-config", "BOGUS"}, &out, &errOut); err == nil {
+		t.Fatal("bad -config accepted")
+	}
+	if err := run([]string{"-budget", "10parsecs"}, &out, &errOut); err == nil {
+		t.Fatal("bad -budget accepted")
+	}
+	if err := run([]string{"stray"}, &out, &errOut); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+}
+
+var listenRE = regexp.MustCompile(`pipserve listening on (\S+)`)
+
+// startServer runs the daemon on an ephemeral port and returns its base
+// URL plus the channel run()'s error will arrive on.
+func startServer(t *testing.T, out *syncBuffer, extra ...string) (string, chan error) {
+	t.Helper()
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	go func() { done <- run(args, out, os.Stderr) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], done
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never started:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSIGTERMDrain: the daemon serves requests, then exits cleanly on
+// SIGTERM, draining before it returns.
+func TestSIGTERMDrain(t *testing.T) {
+	var out syncBuffer
+	base, done := startServer(t, &out, "-budget", "500ms,200000f")
+
+	resp, err := http.Post(base+"/v1/solve", "application/json",
+		strings.NewReader(`{"c": "static int x; int *p = &x;", "queries": ["p"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solved struct {
+		PointsTo map[string]struct {
+			Targets []string `json:"targets"`
+		} `json:"points_to"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(solved.PointsTo["p"].Targets) == 0 {
+		t.Fatalf("solve failed: %d %+v", resp.StatusCode, solved)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", out.String())
+	}
+	for _, frag := range []string{"signal received, draining", "pipserve stopped"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+}

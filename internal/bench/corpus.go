@@ -36,6 +36,9 @@ type Corpus struct {
 	// Budget bounds every solve the drivers run; files that exhaust it
 	// produce Ω-degraded (still sound) rows. The zero value means none.
 	Budget core.Budget
+	// CacheEntries bounds the solution cache of caching drivers; <= 0
+	// means unbounded (fine for a bounded corpus, wrong for a daemon).
+	CacheEntries int
 
 	// engines tracks every engine the drivers created, so EngineStats can
 	// aggregate pool counters across a whole measurement run.
@@ -67,7 +70,7 @@ func BuildCorpusParallel(opts workload.Options, workers int) *Corpus {
 // engineFor returns a fresh engine sized for this corpus's drivers and
 // remembers it for EngineStats aggregation.
 func (c *Corpus) engineFor(cache bool) *engine.Engine {
-	e := engine.New(engine.Options{Workers: c.Workers, Cache: cache, Budget: c.Budget})
+	e := engine.New(engine.Options{Workers: c.Workers, Cache: cache, CacheEntries: c.CacheEntries, Budget: c.Budget})
 	c.engines = append(c.engines, e)
 	return e
 }

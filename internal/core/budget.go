@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -86,6 +87,35 @@ func ParseBudget(s string) (Budget, error) {
 		return b, err
 	}
 	return b, nil
+}
+
+// BudgetFromContext tightens base so a solve started now finishes within
+// the context's deadline: the effective wall-clock limit is the smaller of
+// base.Deadline and the time remaining until ctx's deadline. A context
+// without a deadline leaves base unchanged; a context whose deadline has
+// already passed yields the no-firings budget, which degrades before any
+// propagation work (the wall-clock check is strided for cheapness, so a
+// tiny positive deadline could let a small solve run to completion — the
+// firing cap cannot). Either way the caller gets the sound Ω-degraded
+// solution instead of an error or a wasted solve.
+//
+// This is how a server maps request deadlines onto solver budgets: an
+// overloaded or slow request degrades soundly inside its deadline rather
+// than timing out with nothing.
+func BudgetFromContext(ctx context.Context, base Budget) Budget {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return base
+	}
+	remaining := time.Until(d)
+	if remaining <= 0 {
+		base.Firings = -1
+		return base
+	}
+	if base.Deadline == 0 || remaining < base.Deadline {
+		base.Deadline = remaining
+	}
+	return base
 }
 
 // degradedSolution builds the trivially sound Ω-degraded solution for a

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -255,5 +257,133 @@ func TestTelemetryMerge(t *testing.T) {
 	}
 	if !a.Degraded {
 		t.Fatal("Degraded did not propagate")
+	}
+}
+
+// TestBudgetFromContext covers the deadline → budget mapping a server uses
+// for per-request budgets.
+func TestBudgetFromContext(t *testing.T) {
+	base := Budget{Deadline: 50 * time.Millisecond, Firings: 99}
+
+	// No deadline: base passes through untouched.
+	if got := BudgetFromContext(context.Background(), base); got != base {
+		t.Fatalf("no-deadline context changed the budget: %+v", got)
+	}
+
+	// A context deadline tighter than the base deadline wins.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	got := BudgetFromContext(ctx, base)
+	if got.Deadline <= 0 || got.Deadline > 5*time.Millisecond {
+		t.Fatalf("context deadline not applied: %+v", got)
+	}
+	if got.Firings != 99 {
+		t.Fatalf("firing cap lost: %+v", got)
+	}
+
+	// A base deadline tighter than the context's wins.
+	loose, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	if got := BudgetFromContext(loose, base); got.Deadline != base.Deadline {
+		t.Fatalf("loose context tightened the budget: %+v", got)
+	}
+
+	// A deadline on an unbudgeted base creates a deadline-only budget.
+	if got := BudgetFromContext(ctx, Budget{}); got.Deadline <= 0 || got.Firings != 0 {
+		t.Fatalf("unbudgeted base: %+v", got)
+	}
+
+	// An expired context yields the no-firings budget, which degrades
+	// deterministically before any propagation work — a strided wall-clock
+	// check could let a small solve slip through a tiny positive deadline.
+	expired, cancel3 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel3()
+	eb := BudgetFromContext(expired, base)
+	if err := eb.Validate(); err != nil {
+		t.Fatalf("expired context produced an invalid budget: %v", err)
+	}
+	if eb.Firings != -1 {
+		t.Fatalf("expired context budget = %+v, want the no-firings cap", eb)
+	}
+	cfg := DefaultConfig()
+	cfg.Budget = eb
+	sol := MustSolve(Generate(workload.GenerateLinked(1).A).Problem, cfg)
+	if !sol.Degraded {
+		t.Fatal("expired-context budget did not degrade the solve")
+	}
+}
+
+// TestDegradedSolutionQueriesTolerateNilSets is the nil-pts audit:
+// degradedSolution leaves every explicit set nil, so every Solution query
+// method must tolerate nil sets without panicking and still report the
+// sound top element. Exercises each exported query plus the DOT dump.
+func TestDegradedSolutionQueriesTolerateNilSets(t *testing.T) {
+	prob := Generate(workload.GenerateLinked(3).A).Problem
+	cfg := DefaultConfig()
+	cfg.Budget = Budget{Firings: -1}
+	sol := MustSolve(prob, cfg)
+	if !sol.Degraded {
+		t.Fatal("no-firings budget did not degrade")
+	}
+	n := VarID(sol.NumVars())
+	if int(n) != prob.NumVars() {
+		t.Fatalf("NumVars = %d, want %d", n, prob.NumVars())
+	}
+	if sol.Problem() != prob {
+		t.Fatal("Problem() lost the problem")
+	}
+	ext := sol.ExternalSet()
+	if len(ext) != int(n) {
+		t.Fatalf("ExternalSet has %d entries, want all %d", len(ext), n)
+	}
+	for v := VarID(0); v < n; v++ {
+		if sol.Rep(v) != v {
+			t.Fatalf("degraded rep of %d is %d", v, sol.Rep(v))
+		}
+		if got := sol.Explicit(v); got != nil {
+			t.Fatalf("Explicit(%d) = %v on nil set", v, got)
+		}
+		if !sol.Escaped(v) {
+			t.Fatalf("var %d not escaped", v)
+		}
+		pts := sol.PointsTo(v)
+		if prob.PtrCompat[v] {
+			if !sol.PointsToExternal(v) {
+				t.Fatalf("ptr-compat var %d lacks p ⊒ Ω", v)
+			}
+			// Sol(v) = E ∪ {Ω}: every location plus the external marker.
+			if len(pts) != int(n)+1 {
+				t.Fatalf("PointsTo(%d) has %d entries, want %d", v, len(pts), int(n)+1)
+			}
+			if pts[len(pts)-1] != OmegaPointee {
+				t.Fatalf("PointsTo(%d) lacks the Ω marker: %v", v, pts)
+			}
+		} else if len(pts) != 0 {
+			t.Fatalf("non-pointer var %d has pointees %v", v, pts)
+		}
+		for w := VarID(0); w < n; w++ {
+			if prob.PtrCompat[v] && prob.PtrCompat[w] && !sol.MayShareTargets(v, w) {
+				t.Fatalf("degraded MayShareTargets(%d,%d) = false", v, w)
+			}
+		}
+	}
+	if got := sol.CountExplicitPointees(); got != 0 {
+		t.Fatalf("CountExplicitPointees = %d on nil sets", got)
+	}
+	if sol.ApproxBytes() != 0 {
+		t.Fatal("ApproxBytes counted nil sets")
+	}
+	for label, s := range map[string]string{
+		"Canonical":   sol.Canonical(),
+		"Fingerprint": sol.Fingerprint(),
+		"Dump":        sol.Dump(),
+		"DOT":         SolutionDOT(prob, sol),
+	} {
+		if s == "" {
+			t.Fatalf("%s rendered empty on the degraded solution", label)
+		}
+	}
+	if !strings.HasPrefix(sol.Fingerprint(), "degraded\n") {
+		t.Fatal("fingerprint lost the degraded marker")
 	}
 }

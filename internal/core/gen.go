@@ -11,6 +11,11 @@ import (
 // to look up points-to sets for instruction operands.
 type Gen struct {
 	Problem *Problem
+	// Module is the module the constraints were generated from. The VarOf /
+	// MemOf / RetOf keys are this module's values: clients resolving names
+	// against a Gen (e.g. after a cache hit returns another instance's Gen)
+	// must look them up in this module, not in a structurally equal copy.
+	Module *ir.Module
 	// VarOf maps pointer-compatible registers, parameters, and symbol
 	// addresses to their constraint variable.
 	VarOf map[ir.Value]VarID
@@ -54,6 +59,7 @@ func GenerateWith(m *ir.Module, extra map[string]Summary) *Gen {
 	g := &genState{
 		Gen: Gen{
 			Problem: NewProblem(),
+			Module:  m,
 			VarOf:   map[ir.Value]VarID{},
 			MemOf:   map[ir.Value]VarID{},
 			RetOf:   map[*ir.Function]VarID{},

@@ -1,0 +1,68 @@
+package engine
+
+import "container/list"
+
+// solutionCache is the engine's content-hash-keyed solution cache: a
+// size-bounded LRU. The batch engine originally used a plain map, which is
+// fine for a short-lived benchmark process but grows without bound under
+// the unbounded request stream of a long-running service (pipserve): every
+// distinct (module, configuration) pair would stay resident forever. The
+// LRU bounds resident solutions while keeping the hot set — repeated
+// queries over the same modules — cached.
+//
+// The cache is not internally synchronized; the engine calls it under its
+// own mutex.
+type solutionCache struct {
+	// max bounds the number of resident entries; <= 0 means unbounded
+	// (the original map behaviour, still right for one-shot batch runs).
+	max       int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val cached
+}
+
+func newSolutionCache(max int) *solutionCache {
+	return &solutionCache{
+		max:     max,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// get returns the cached value and marks the entry most recently used.
+func (c *solutionCache) get(key string) (cached, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return cached{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts or refreshes an entry, evicting least-recently-used entries
+// until occupancy is back under the cap.
+func (c *solutionCache) put(key string, val cached) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.max > 0 && len(c.entries) > c.max {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// len returns the current occupancy.
+func (c *solutionCache) len() int { return len(c.entries) }

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+)
+
+// TestSolutionCacheLRU unit-tests the eviction order: the least recently
+// *used* entry goes first, and get refreshes recency.
+func TestSolutionCacheLRU(t *testing.T) {
+	c := newSolutionCache(2)
+	c.put("a", cached{})
+	c.put("b", cached{})
+	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", cached{}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived past the cap")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 || c.evictions != 1 {
+		t.Fatalf("len=%d evictions=%d, want 2/1", c.len(), c.evictions)
+	}
+	// Re-putting an existing key refreshes, never evicts.
+	c.put("c", cached{})
+	if c.len() != 2 || c.evictions != 1 {
+		t.Fatalf("re-put changed occupancy: len=%d evictions=%d", c.len(), c.evictions)
+	}
+}
+
+// TestCacheBoundedUnderChurn is the lifecycle regression test for the
+// unbounded-map cache: a churning workload of distinct jobs must never
+// push occupancy past the configured cap, while the hot tail stays cached.
+func TestCacheBoundedUnderChurn(t *testing.T) {
+	const cap = 8
+	mods := testModules(3)
+	eng := New(Options{Workers: 4, Cache: true, CacheEntries: cap})
+	// 60 distinct cache keys over 3 modules: explicit keys make every job
+	// a distinct entry without generating 60 modules.
+	var jobs []Job
+	for round := 0; round < 20; round++ {
+		for i, m := range mods {
+			jobs = append(jobs, Job{
+				Key:    fmt.Sprintf("churn-%d-%d", round, i),
+				Module: m,
+				Config: core.DefaultConfig(),
+			})
+		}
+	}
+	for start := 0; start < len(jobs); start += 6 {
+		end := start + 6
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		for i, r := range eng.Run(jobs[start:end]) {
+			if r.Err != nil {
+				t.Fatalf("job %d: %v", start+i, r.Err)
+			}
+		}
+		if occ := eng.Stats().CacheEntries; occ > cap {
+			t.Fatalf("cache occupancy %d exceeds cap %d after %d jobs", occ, cap, end)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheEntries != cap {
+		t.Fatalf("occupancy %d, want full cache %d", st.CacheEntries, cap)
+	}
+	if want := int64(len(jobs) - cap); st.CacheEvictions != want {
+		t.Fatalf("evictions %d, want %d", st.CacheEvictions, want)
+	}
+	// The most recent cap keys are still resident: re-running them is all
+	// cache hits and evicts nothing.
+	before := st.CacheHits
+	for i, r := range eng.Run(jobs[len(jobs)-cap:]) {
+		if r.Err != nil || !r.CacheHit {
+			t.Fatalf("tail job %d: err=%v hit=%v", i, r.Err, r.CacheHit)
+		}
+	}
+	st = eng.Stats()
+	if st.CacheHits != before+cap {
+		t.Fatalf("cache hits %d, want %d", st.CacheHits, before+cap)
+	}
+	if want := int64(len(jobs) - cap); st.CacheEvictions != want {
+		t.Fatalf("hot re-run evicted entries: %d, want %d", st.CacheEvictions, want)
+	}
+}
+
+// TestCacheUnboundedWithoutCap preserves the batch default: CacheEntries 0
+// means every solution stays resident and nothing is ever evicted.
+func TestCacheUnboundedWithoutCap(t *testing.T) {
+	mods := testModules(5)
+	eng := New(Options{Workers: 2, Cache: true})
+	for i, r := range eng.Run(jobsFor(mods, core.DefaultConfig())) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.CacheEntries != len(mods) || st.CacheEvictions != 0 {
+		t.Fatalf("unbounded cache: entries=%d evictions=%d, want %d/0",
+			st.CacheEntries, st.CacheEvictions, len(mods))
+	}
+}

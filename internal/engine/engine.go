@@ -43,6 +43,13 @@ type Options struct {
 	// solutions are shared between results; Solution queries are
 	// read-only, so sharing is safe across goroutines.
 	Cache bool
+	// CacheEntries bounds the number of resident cached solutions; when a
+	// new solution would exceed the bound, the least recently used entry
+	// is evicted (counted in Stats.CacheEvictions). <= 0 means unbounded,
+	// which is fine for one-shot batch runs but not for a long-running
+	// process serving an unbounded stream of distinct modules — servers
+	// must set a cap.
+	CacheEntries int
 	// Budget is the default per-solve budget, applied to every job whose
 	// own Config.Budget is zero. The effective budget is folded into the
 	// job's configuration before the cache key is computed, so budgeted
@@ -97,7 +104,16 @@ type Stats struct {
 	// Degraded counts jobs whose solve exhausted its budget and returned
 	// the Ω-degraded solution.
 	Degraded int `json:"degraded"`
-	// Wall accumulates the wall-clock time of Run calls.
+	// CacheEntries is the cache occupancy at snapshot time, bounded by
+	// Options.CacheEntries when a cap is configured.
+	CacheEntries int `json:"cache_entries"`
+	// CacheEvictions counts solutions dropped by the LRU bound.
+	CacheEvictions int64 `json:"cache_evictions"`
+	// Wall accumulates the engine's busy span: the wall-clock time during
+	// which at least one job was running. Each busy span opens when a job
+	// starts on an idle engine and closes when the last in-flight job
+	// finishes, so overlapping Run calls (or RunOne calls racing a Run)
+	// are counted once, not once per call.
 	Wall time.Duration `json:"wall_ns"`
 	// CPU accumulates per-job solve durations (the sequential-equivalent
 	// cost of the work performed).
@@ -135,6 +151,8 @@ func (st *Stats) Merge(u Stats) {
 	st.CacheHits += u.CacheHits
 	st.Failures += u.Failures
 	st.Degraded += u.Degraded
+	st.CacheEntries += u.CacheEntries
+	st.CacheEvictions += u.CacheEvictions
 	st.Wall += u.Wall
 	st.CPU += u.CPU
 	if u.PeakInFlight > st.PeakInFlight {
@@ -146,21 +164,35 @@ func (st *Stats) Merge(u Stats) {
 	st.Telemetry.Merge(u.Telemetry)
 }
 
-// publishMu serializes the expvar existence check in Publish; expvar
-// itself panics on duplicate names.
-var publishMu sync.Mutex
+// published maps expvar names to the engine currently exported under each
+// name. Guarded by publishMu; the atomic holder lets the expvar closure
+// read the current engine without taking the mutex. Registering through
+// this table (instead of an expvar.Get existence check followed by
+// expvar.Publish) removes the check-then-act window in which two engines
+// registering the same name concurrently could both miss the check and
+// double-Publish — expvar panics on duplicate names.
+var (
+	publishMu sync.Mutex
+	published = map[string]*atomic.Pointer[Engine]{}
+)
 
 // Publish registers the engine's live stats under the given expvar name
 // (exported as JSON on /debug/vars when the host process serves it).
-// Publishing the same name twice is a no-op: the first engine wins, which
-// keeps Publish safe to call from tests and short-lived tools.
+// Publishing a name that is already registered re-points the export at
+// this engine — the latest engine wins — so a long-running process that
+// rebuilds its engine keeps exporting live stats instead of a dead
+// engine's frozen counters. Publish is safe to call concurrently.
 func (e *Engine) Publish(name string) {
 	publishMu.Lock()
 	defer publishMu.Unlock()
-	if expvar.Get(name) != nil {
+	if h, ok := published[name]; ok {
+		h.Store(e)
 		return
 	}
-	expvar.Publish(name, expvar.Func(func() any { return e.Stats() }))
+	h := &atomic.Pointer[Engine]{}
+	h.Store(e)
+	published[name] = h
+	expvar.Publish(name, expvar.Func(func() any { return h.Load().Stats() }))
 }
 
 type cached struct {
@@ -172,10 +204,11 @@ type cached struct {
 type Engine struct {
 	opts Options
 
-	mu       sync.Mutex
-	cache    map[string]cached
-	stats    Stats
-	inFlight int
+	mu        sync.Mutex
+	cache     *solutionCache
+	stats     Stats
+	inFlight  int
+	busyStart time.Time // start of the current busy span; valid while inFlight > 0
 }
 
 // New returns an engine with the given options.
@@ -186,7 +219,7 @@ func New(opts Options) *Engine {
 	e := &Engine{opts: opts}
 	e.stats.Workers = opts.Workers
 	if opts.Cache {
-		e.cache = map[string]cached{}
+		e.cache = newSolutionCache(opts.CacheEntries)
 	}
 	return e
 }
@@ -194,11 +227,31 @@ func New(opts Options) *Engine {
 // Workers returns the configured pool bound.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
+// CacheCap returns the configured cache bound (0 means unbounded, or no
+// cache at all when Options.Cache is off).
+func (e *Engine) CacheCap() int {
+	if e.opts.CacheEntries < 0 {
+		return 0
+	}
+	return e.opts.CacheEntries
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	if e.cache != nil {
+		st.CacheEntries = e.cache.len()
+		st.CacheEvictions = e.cache.evictions
+	}
+	// An engine mid-run has an open busy span; fold the elapsed part in so
+	// live exports (expvar, /metrics) show monotonic wall time instead of
+	// a value frozen at the last idle point.
+	if e.inFlight > 0 {
+		st.Wall += time.Since(e.busyStart)
+	}
+	return st
 }
 
 // ModuleHash returns the content hash of a module (over its printed MIR
@@ -225,7 +278,6 @@ func (e *Engine) Run(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	start := time.Now()
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -244,9 +296,6 @@ func (e *Engine) Run(jobs []Job) []Result {
 		}()
 	}
 	wg.Wait()
-	e.mu.Lock()
-	e.stats.Wall += time.Since(start)
-	e.mu.Unlock()
 	return out
 }
 
@@ -261,6 +310,9 @@ func (e *Engine) RunOne(j Job) Result {
 
 func (e *Engine) noteStart() {
 	e.mu.Lock()
+	if e.inFlight == 0 {
+		e.busyStart = time.Now()
+	}
 	e.inFlight++
 	if e.inFlight > e.stats.PeakInFlight {
 		e.stats.PeakInFlight = e.inFlight
@@ -271,6 +323,12 @@ func (e *Engine) noteStart() {
 func (e *Engine) noteDone(res Result) {
 	e.mu.Lock()
 	e.inFlight--
+	if e.inFlight == 0 {
+		// Close the busy span: wall time is first-job-in to last-job-out,
+		// so concurrent Run/RunOne callers never double-count an overlap,
+		// and a lone RunOne contributes its span too.
+		e.stats.Wall += time.Since(e.busyStart)
+	}
 	e.stats.Jobs++
 	if res.CacheHit {
 		e.stats.CacheHits++
@@ -293,13 +351,12 @@ func (e *Engine) noteDone(res Result) {
 func (e *Engine) lookup(key string) (cached, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c, ok := e.cache[key]
-	return c, ok
+	return e.cache.get(key)
 }
 
 func (e *Engine) store(key string, c cached) {
 	e.mu.Lock()
-	e.cache[key] = c
+	e.cache.put(key, c)
 	e.mu.Unlock()
 }
 

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/ir"
@@ -150,6 +152,77 @@ func TestRepsKeepFastestDuration(t *testing.T) {
 	// the first solution's recorded duration.
 	if r.Duration > r.Sol.Stats.Duration {
 		t.Fatalf("duration %v exceeds first-solve duration %v", r.Duration, r.Sol.Stats.Duration)
+	}
+}
+
+// TestRunOneCountsWall: RunOne must contribute to Stats.Wall exactly like
+// Run — the original implementation only accumulated wall time in Run, so
+// a service built on RunOne would report zero busy time forever.
+func TestRunOneCountsWall(t *testing.T) {
+	m := testModules(1)[0]
+	eng := New(Options{Workers: 1})
+	if r := eng.RunOne(Job{Module: m, Config: core.DefaultConfig()}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	st := eng.Stats()
+	if st.Wall <= 0 {
+		t.Fatalf("RunOne left Stats.Wall at %v", st.Wall)
+	}
+	if st.Wall < st.CPU {
+		t.Fatalf("single sequential job: wall %v < cpu %v", st.Wall, st.CPU)
+	}
+}
+
+// TestOverlappingRunsWallNotDoubleCounted: wall time is a busy span (first
+// job in → last job out), so N overlapping Run calls must accumulate at
+// most the enclosing elapsed time, not N times it.
+func TestOverlappingRunsWallNotDoubleCounted(t *testing.T) {
+	mods := testModules(6)
+	eng := New(Options{Workers: 4})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, r := range eng.Run(jobsFor(mods, core.DefaultConfig())) {
+				if r.Err != nil {
+					t.Errorf("job %d: %v", i, r.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	if st.Wall <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	// Busy spans are disjoint sub-intervals of [start, start+elapsed], so
+	// their sum cannot exceed the enclosing elapsed time. Under the old
+	// per-Run accounting this could reach 3x elapsed.
+	if st.Wall > elapsed {
+		t.Fatalf("wall %v exceeds enclosing elapsed %v: overlap double-counted", st.Wall, elapsed)
+	}
+}
+
+// TestLiveStatsIncludeOpenBusySpan: a snapshot taken mid-run (what a
+// /metrics scrape does) must include the elapsed part of the open busy
+// span instead of freezing at the last idle point.
+func TestLiveStatsIncludeOpenBusySpan(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	eng.noteStart()
+	time.Sleep(5 * time.Millisecond)
+	if st := eng.Stats(); st.Wall < 4*time.Millisecond {
+		t.Fatalf("mid-run snapshot wall %v, want the open span included", st.Wall)
+	}
+	eng.noteDone(Result{})
+	base := eng.Stats().Wall
+	if base < 4*time.Millisecond {
+		t.Fatalf("closed span lost: wall %v", base)
+	}
+	if again := eng.Stats().Wall; again != base {
+		t.Fatalf("idle engine wall drifted: %v -> %v", base, again)
 	}
 }
 

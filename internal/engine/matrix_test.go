@@ -200,9 +200,18 @@ func TestEngineStatsExport(t *testing.T) {
 	if !strings.Contains(v.String(), "\"telemetry\"") {
 		t.Fatalf("expvar export lacks telemetry: %s", v.String())
 	}
-	// Re-publishing (same or another engine) is a harmless no-op.
+	// Re-publishing re-points the export: the latest engine wins, so a
+	// process that rebuilds its engine keeps exporting live stats.
 	eng.Publish("pip-engine-test")
-	New(Options{}).Publish("pip-engine-test")
+	fresh := New(Options{})
+	fresh.Publish("pip-engine-test")
+	if s := expvar.Get("pip-engine-test").String(); !strings.Contains(s, "\"jobs\":0") {
+		t.Fatalf("expvar still exports the old engine after re-publish: %s", s)
+	}
+	eng.Publish("pip-engine-test")
+	if s := expvar.Get("pip-engine-test").String(); !strings.Contains(s, "\"jobs\":1") {
+		t.Fatalf("expvar not re-pointed back: %s", s)
+	}
 }
 
 // TestStatsMerge covers the cross-engine aggregation used by the bench

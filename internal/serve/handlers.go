@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/pip-analysis/pip"
+)
+
+// moduleRequest is the common module-bearing part of analysis requests:
+// exactly one of MIR or C must be set. Config and Budget override the
+// server defaults per request; the ?budget=, ?config=, and ?timeout=
+// query parameters override the body fields in turn (so curl one-liners
+// can reuse a canned body).
+type moduleRequest struct {
+	// Name labels the module in logs and responses (mini-C diagnostics
+	// use it as the file name).
+	Name string `json:"name,omitempty"`
+	// MIR is the module in MIR textual IR.
+	MIR string `json:"mir,omitempty"`
+	// C is the module in mini-C source.
+	C string `json:"c,omitempty"`
+	// Config names a solver configuration, e.g. "IP+WL(FIFO)+PIP".
+	Config string `json:"config,omitempty"`
+	// Budget bounds the solve, e.g. "100ms", "5000f", "100ms,5000f".
+	Budget string `json:"budget,omitempty"`
+}
+
+// solveRequest asks for points-to facts about one module.
+type solveRequest struct {
+	moduleRequest
+	// Queries names values to report points-to sets for ("global",
+	// "func.local", "func.$ret"). Empty means: return the full dump.
+	Queries []string `json:"queries,omitempty"`
+}
+
+// pointsToEntry is one query's answer.
+type pointsToEntry struct {
+	// Targets are the named memory locations the value may point to.
+	Targets []string `json:"targets"`
+	// External reports that the value may additionally point to external
+	// (unknown) memory — always true on degraded solves.
+	External bool `json:"external"`
+	// Error reports a name-resolution failure for this query only.
+	Error string `json:"error,omitempty"`
+}
+
+// solveResponse is the answer to a solveRequest.
+type solveResponse struct {
+	Name     string `json:"name,omitempty"`
+	Config   string `json:"config"`
+	Degraded bool   `json:"degraded"`
+	CacheHit bool   `json:"cache_hit"`
+	// DurationNS is the solve time in nanoseconds (0 on cache hits).
+	DurationNS int64                    `json:"duration_ns"`
+	PointsTo   map[string]pointsToEntry `json:"points_to,omitempty"`
+	// Escaped lists every externally accessible memory object.
+	Escaped []string `json:"escaped"`
+	// Dump is the full human-readable points-to report, returned when the
+	// request named no queries.
+	Dump string `json:"dump,omitempty"`
+}
+
+// aliasRequest asks pairwise alias queries about one module.
+type aliasRequest struct {
+	moduleRequest
+	// Pairs are value-name pairs to run through the combined
+	// Andersen+BasicAA analysis.
+	Pairs [][2]string `json:"pairs"`
+	// Size is the access width in bytes for every query; <= 0 means 1.
+	Size int64 `json:"size,omitempty"`
+}
+
+// aliasAnswer is one pair's verdict.
+type aliasAnswer struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	Result string `json:"result,omitempty"` // NoAlias | MayAlias | MustAlias
+	Error  string `json:"error,omitempty"`
+}
+
+// aliasResponse is the answer to an aliasRequest.
+type aliasResponse struct {
+	Name     string        `json:"name,omitempty"`
+	Config   string        `json:"config"`
+	Degraded bool          `json:"degraded"`
+	CacheHit bool          `json:"cache_hit"`
+	Answers  []aliasAnswer `json:"answers"`
+}
+
+// errBadRequest marks client errors (malformed body, unparsable module,
+// unknown configuration) that must map to 400, not 500.
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// decode reads a JSON body into v with the configured size bound.
+func (s *Server) decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// analyze runs the shared request pipeline: resolve configuration and
+// budget (body fields, then query parameters, then the request deadline),
+// compile or parse the module, and solve it on the shared engine.
+func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, pip.Config, error) {
+	cfg := s.opts.Config
+	q := r.URL.Query()
+	if name := req.Config; name != "" {
+		c, err := pip.ParseConfig(name)
+		if err != nil {
+			return pip.BatchResult{}, cfg, badRequestf("config: %v", err)
+		}
+		cfg = c
+	}
+	if name := q.Get("config"); name != "" {
+		c, err := pip.ParseConfig(name)
+		if err != nil {
+			return pip.BatchResult{}, cfg, badRequestf("config: %v", err)
+		}
+		cfg = c
+	}
+
+	budget := s.opts.DefaultBudget
+	for _, src := range []string{req.Budget, q.Get("budget")} {
+		if src == "" {
+			continue
+		}
+		b, err := pip.ParseBudget(src)
+		if err != nil {
+			return pip.BatchResult{}, cfg, badRequestf("budget: %v", err)
+		}
+		budget = b
+	}
+	ctx := r.Context()
+	if ts := q.Get("timeout"); ts != "" {
+		d, err := time.ParseDuration(ts)
+		if err != nil || d <= 0 {
+			return pip.BatchResult{}, cfg, badRequestf("timeout: bad duration %q", ts)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	// The effective budget is the tightest of: server default, request
+	// budget, and the request deadline — so a solve never outlives its
+	// caller, it degrades soundly instead.
+	cfg.Budget = pip.BudgetFromContext(ctx, budget)
+
+	var m *pip.Module
+	var err error
+	switch {
+	case req.MIR != "" && req.C != "":
+		return pip.BatchResult{}, cfg, badRequestf(`both "mir" and "c" set; send exactly one`)
+	case req.MIR != "":
+		m, err = pip.ParseIR(req.MIR)
+	case req.C != "":
+		name := req.Name
+		if name == "" {
+			name = "<request>"
+		}
+		m, err = pip.CompileC(name, req.C)
+	default:
+		return pip.BatchResult{}, cfg, badRequestf(`module missing: send "mir" or "c"`)
+	}
+	if err != nil {
+		return pip.BatchResult{}, cfg, badRequestf("module: %v", err)
+	}
+	res := s.eng.AnalyzeWithSummaries(m, cfg, s.opts.Summaries)
+	if res.Err != nil {
+		// Engine-level failure (solver error or recovered panic): the
+		// module parsed, so this is on the server, not the client.
+		return pip.BatchResult{}, cfg, fmt.Errorf("analysis failed: %v", res.Err)
+	}
+	if res.Degraded {
+		s.degraded.Add(1)
+	}
+	return res, cfg, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := s.decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, cfg, err := s.analyze(r, &req.moduleRequest)
+	if err != nil {
+		s.writeAnalyzeError(w, err)
+		return
+	}
+	resp := solveResponse{
+		Name:       req.Name,
+		Config:     cfg.String(),
+		Degraded:   res.Degraded,
+		CacheHit:   res.CacheHit,
+		DurationNS: res.Duration.Nanoseconds(),
+		Escaped:    res.Result.ExternallyAccessible(),
+	}
+	if len(req.Queries) == 0 {
+		resp.Dump = res.Result.Dump()
+	} else {
+		resp.PointsTo = make(map[string]pointsToEntry, len(req.Queries))
+		for _, name := range req.Queries {
+			targets, external, err := res.Result.PointsTo(name)
+			if err != nil {
+				resp.PointsTo[name] = pointsToEntry{Error: err.Error()}
+				continue
+			}
+			if targets == nil {
+				targets = []string{}
+			}
+			resp.PointsTo[name] = pointsToEntry{Targets: targets, External: external}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
+	var req aliasRequest
+	if err := s.decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeError(w, http.StatusBadRequest, `"pairs" missing or empty`)
+		return
+	}
+	res, cfg, err := s.analyze(r, &req.moduleRequest)
+	if err != nil {
+		s.writeAnalyzeError(w, err)
+		return
+	}
+	resp := aliasResponse{
+		Name:     req.Name,
+		Config:   cfg.String(),
+		Degraded: res.Degraded,
+		CacheHit: res.CacheHit,
+		Answers:  make([]aliasAnswer, 0, len(req.Pairs)),
+	}
+	for _, pair := range req.Pairs {
+		ans := aliasAnswer{A: pair[0], B: pair[1]}
+		verdict, err := res.Result.Alias(pair[0], pair[1], req.Size)
+		if err != nil {
+			ans.Error = err.Error()
+		} else {
+			ans.Result = verdict.String()
+		}
+		resp.Answers = append(resp.Answers, ans)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeAnalyzeError maps pipeline errors to 400 (client fault) or 500.
+func (s *Server) writeAnalyzeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBadRequest) {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status   string `json:"status"` // "ok" | "draining"
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{Status: "ok", InFlight: s.running.Load(), Queued: s.queued.Load()}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// metricsResponse is the /metrics body: the engine's cumulative stats
+// (including aggregated solver telemetry), cache occupancy against its
+// cap, and the server's request counters.
+type metricsResponse struct {
+	Engine pip.EngineStats `json:"engine"`
+	Cache  cacheMetrics    `json:"cache"`
+	Server serverMetrics   `json:"server"`
+}
+
+type cacheMetrics struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+	Hits      int   `json:"hits"`
+}
+
+type serverMetrics struct {
+	Accepted    int64 `json:"accepted"`
+	Rejected    int64 `json:"rejected"`
+	BadRequests int64 `json:"bad_requests"`
+	Failures    int64 `json:"failures"`
+	Degraded    int64 `json:"degraded"`
+	InFlight    int64 `json:"in_flight"`
+	Queued      int64 `json:"queued"`
+	Draining    bool  `json:"draining"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	s.writeJSON(w, http.StatusOK, metricsResponse{
+		Engine: st,
+		Cache: cacheMetrics{
+			Entries:   st.CacheEntries,
+			Capacity:  s.eng.CacheCap(),
+			Evictions: st.CacheEvictions,
+			Hits:      st.CacheHits,
+		},
+		Server: serverMetrics{
+			Accepted:    s.accepted.Load(),
+			Rejected:    s.rejected.Load(),
+			BadRequests: s.badRequests.Load(),
+			Failures:    s.failures.Load(),
+			Degraded:    s.degraded.Load(),
+			InFlight:    s.running.Load(),
+			Queued:      s.queued.Load(),
+			Draining:    s.draining.Load(),
+		},
+	})
+}

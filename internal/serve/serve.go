@@ -1,0 +1,284 @@
+// Package serve is the long-running analysis service: an HTTP/JSON front
+// end over a shared pip.Engine. Modules (MIR or mini-C) arrive one request
+// at a time — the incomplete-program setting of the paper, where results
+// must be usable before the whole program exists — and points-to/alias
+// answers go back, sound no matter what the rest of the program turns out
+// to be.
+//
+// The server is built around the lifecycle properties a daemon needs that
+// a batch run does not:
+//
+//   - admission control: a bounded queue in front of a bounded number of
+//     concurrent solves; requests beyond both bounds are rejected with
+//     429 instead of piling up goroutines without limit;
+//   - per-request budgets: a ?budget= parameter or request deadline maps
+//     onto core.Budget, so an overloaded or slow solve returns the sound
+//     Ω-degraded solution inside its deadline instead of timing out;
+//   - a bounded solution cache: the shared engine's LRU keeps the hot set
+//     resident and evicts the tail, so memory stays bounded under an
+//     unbounded stream of distinct modules;
+//   - graceful shutdown: Shutdown stops admitting work and drains every
+//     in-flight solve before returning, so no accepted request is dropped;
+//   - observability: /healthz for liveness/readiness, /metrics for engine
+//     stats plus cache occupancy and server counters, and structured
+//     per-request logging.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pip-analysis/pip"
+)
+
+// Options configures a Server. The zero value serves with sane defaults.
+type Options struct {
+	// Config is the solver configuration used when a request names none.
+	// The zero value means pip.DefaultConfig().
+	Config pip.Config
+	// HasConfig marks Config as explicitly set (the zero Config is a valid
+	// configuration, EP+Naive, so "unset" needs a flag).
+	HasConfig bool
+
+	// Workers bounds the engine pool used for batch endpoints; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the solution cache; <= 0 means DefaultCacheEntries.
+	// A long-running server must not run an unbounded cache.
+	CacheEntries int
+
+	// MaxConcurrent bounds solves running at once; <= 0 means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot; beyond it the
+	// server answers 429. <= 0 means DefaultMaxQueue.
+	MaxQueue int
+
+	// DefaultBudget bounds every solve that names no budget of its own.
+	// Zero means unbudgeted (not recommended for exposed servers).
+	DefaultBudget pip.Budget
+
+	// MaxBodyBytes bounds request bodies; <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
+	// LogWriter receives structured (JSON) request logs; nil disables
+	// request logging.
+	LogWriter io.Writer
+
+	// Summaries are extra imported-function summaries applied to every
+	// analyzed module.
+	Summaries map[string]pip.Summary
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultCacheEntries  = 1024
+	DefaultMaxConcurrent = 8
+	DefaultMaxQueue      = 64
+	DefaultMaxBodyBytes  = 8 << 20
+)
+
+// Server is the analysis service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	opts Options
+	eng  *pip.Engine
+	log  *slog.Logger
+	mux  *http.ServeMux
+
+	// queueSlots bounds admitted-but-not-yet-running requests, runSlots
+	// bounds concurrent solves. Admission takes a queue slot without
+	// blocking (full queue → 429), then blocks for a run slot.
+	queueSlots chan struct{}
+	runSlots   chan struct{}
+
+	// inFlight tracks admitted requests for the shutdown drain. admitMu
+	// orders admission against Shutdown: without it a request could pass
+	// the draining check, lose the CPU while Shutdown flips the flag and
+	// starts Wait() on a zero counter, and only then Add(1) — an admitted
+	// request the drain never waits for (and a WaitGroup Add/Wait race).
+	admitMu  sync.Mutex
+	inFlight sync.WaitGroup
+	draining atomic.Bool
+
+	// Request counters, exported on /metrics.
+	accepted    atomic.Int64 // admitted analysis requests
+	rejected    atomic.Int64 // 429s from admission control
+	badRequests atomic.Int64 // 4xx other than 429
+	failures    atomic.Int64 // 5xx
+	degraded    atomic.Int64 // solves that returned the Ω-degraded solution
+	running     atomic.Int64 // solves currently holding a run slot
+	queued      atomic.Int64 // requests currently waiting for a run slot
+}
+
+// New returns a server around a fresh shared engine.
+func New(opts Options) *Server {
+	if !opts.HasConfig {
+		opts.Config = pip.DefaultConfig()
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = DefaultCacheEntries
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = DefaultMaxQueue
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		opts:       opts,
+		eng:        pip.NewEngine(pip.BatchOptions{Workers: opts.Workers, Cache: true, CacheEntries: opts.CacheEntries}),
+		queueSlots: make(chan struct{}, opts.MaxQueue+opts.MaxConcurrent),
+		runSlots:   make(chan struct{}, opts.MaxConcurrent),
+		mux:        http.NewServeMux(),
+	}
+	if opts.LogWriter != nil {
+		s.log = slog.New(slog.NewJSONHandler(opts.LogWriter, nil))
+	} else {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.logged(s.admitted(s.handleSolve)))
+	s.mux.HandleFunc("POST /v1/alias", s.logged(s.admitted(s.handleAlias)))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the server's shared engine (for expvar publishing).
+func (s *Server) Engine() *pip.Engine { return s.eng }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new analysis requests are refused with 503,
+// /healthz flips to draining, and Shutdown blocks until every in-flight
+// solve has finished or ctx expires. It returns ctx.Err() on a timed-out
+// drain, nil on a clean one. No admitted request is ever dropped: whatever
+// was past admission when Shutdown began completes and its response is
+// written as usual.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter captures the response status for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logged wraps a handler with structured request logging.
+func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// admitted wraps an analysis handler with the drain check and admission
+// control: take a queue slot without blocking (429 when the server is
+// saturated), then block for a run slot.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.admitMu.Lock()
+		if s.draining.Load() {
+			s.admitMu.Unlock()
+			s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		select {
+		case s.queueSlots <- struct{}{}:
+		default:
+			s.admitMu.Unlock()
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "server overloaded: request queue full")
+			return
+		}
+		s.inFlight.Add(1)
+		s.admitMu.Unlock()
+		s.accepted.Add(1)
+		s.queued.Add(1)
+		defer func() {
+			<-s.queueSlots
+			s.inFlight.Done()
+		}()
+		// Wait for a run slot; give up if the client goes away first.
+		select {
+		case s.runSlots <- struct{}{}:
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			s.writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
+			return
+		}
+		s.queued.Add(-1)
+		s.running.Add(1)
+		defer func() {
+			<-s.runSlots
+			s.running.Add(-1)
+		}()
+		h(w, r)
+	}
+}
+
+// writeJSON writes v with the given status; encoding failures turn into a
+// plain 500 (v is built from marshalable fields, so this is defensive).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+	switch {
+	case status == http.StatusTooManyRequests:
+		// counted at the admission site
+	case status >= 500:
+		s.failures.Add(1)
+	case status >= 400:
+		s.badRequests.Add(1)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -18,9 +18,11 @@
 package pip
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/pip-analysis/pip/internal/alias"
 	"github.com/pip-analysis/pip/internal/callgraph"
@@ -58,6 +60,14 @@ type Budget = core.Budget
 // ParseBudget parses a budget string: a duration ("100ms"), a firing cap
 // ("5000f"), or both separated by a comma.
 func ParseBudget(s string) (Budget, error) { return core.ParseBudget(s) }
+
+// BudgetFromContext tightens base so a solve started now finishes within
+// ctx's deadline; an already-expired context yields a budget that degrades
+// immediately. This is how a server maps request deadlines onto solver
+// budgets: overloaded requests degrade soundly instead of timing out.
+func BudgetFromContext(ctx context.Context, base Budget) Budget {
+	return core.BudgetFromContext(ctx, base)
+}
 
 // Telemetry is the per-solve instrumentation block: phase timers, rule
 // firing counts, and the worklist high-water mark.
@@ -115,13 +125,18 @@ func AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) (
 	return &Result{Module: m, gen: gen, sol: sol}, nil
 }
 
-// BatchOptions configures AnalyzeBatch.
+// BatchOptions configures AnalyzeBatch and NewEngine.
 type BatchOptions struct {
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 	// Cache reuses solutions for modules with identical content (keyed by
-	// content hash + configuration) within this batch call.
+	// content hash + configuration).
 	Cache bool
+	// CacheEntries bounds the number of resident cached solutions; the
+	// least recently used entry is evicted beyond the bound. <= 0 means
+	// unbounded — fine for one-shot batch runs, but long-running processes
+	// (servers) must set a cap or the cache grows without bound.
+	CacheEntries int
 	// Summaries are extra handwritten summaries applied to every module.
 	Summaries map[string]Summary
 	// Budget bounds each module's solve; modules that exhaust it yield
@@ -129,18 +144,98 @@ type BatchOptions struct {
 	Budget Budget
 }
 
-// BatchResult is one module's outcome from AnalyzeBatch: either Result or
-// Err is set. CacheHit reports that the solution was reused from an
-// earlier, content-identical module in the batch.
+// BatchResult is one module's outcome: either Result or Err is set.
+// CacheHit reports that the solution was reused from an earlier,
+// content-identical analysis on the same engine.
 type BatchResult struct {
 	Result   *Result
 	Err      error
 	CacheHit bool
-	// Degraded reports that this module's solve exhausted the batch Budget.
+	// Degraded reports that this module's solve exhausted its Budget.
 	Degraded bool
+	// Duration is the solve time (zero on cache hits).
+	Duration time.Duration
 }
 
-// AnalyzeBatch analyzes many independent modules concurrently on the
+// Engine is a shared, reusable analysis engine: a bounded worker pool with
+// a size-bounded LRU solution cache, per-solve budgets, and per-job panic
+// recovery. Unlike the one-shot AnalyzeBatch helper, an Engine is built to
+// live for the whole process — a long-running service shares one Engine
+// across every request so cached solutions and stats accumulate.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine returns a shared engine with the given options.
+func NewEngine(opts BatchOptions) *Engine {
+	return &Engine{eng: engine.New(engine.Options{
+		Workers:      opts.Workers,
+		Cache:        opts.Cache,
+		CacheEntries: opts.CacheEntries,
+		Budget:       opts.Budget,
+	})}
+}
+
+// Analyze runs one module through the shared engine: the solve hits the
+// engine's cache, honours its default budget (tightened by cfg.Budget when
+// set), and converts panics into errors.
+func (e *Engine) Analyze(m *Module, cfg Config) BatchResult {
+	return e.AnalyzeWithSummaries(m, cfg, nil)
+}
+
+// AnalyzeWithSummaries is Analyze with extra imported-function summaries.
+func (e *Engine) AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) BatchResult {
+	return toBatchResult(m, e.eng.RunOne(engine.Job{Module: m, Config: cfg, Summaries: summaries}))
+}
+
+// AnalyzeBatch analyzes many independent modules concurrently across the
+// engine's worker pool; results come back in input order.
+func (e *Engine) AnalyzeBatch(mods []*Module, cfg Config, summaries map[string]Summary) []BatchResult {
+	jobs := make([]engine.Job, len(mods))
+	for i, m := range mods {
+		jobs[i] = engine.Job{Module: m, Config: cfg, Summaries: summaries}
+	}
+	out := make([]BatchResult, len(mods))
+	for i, r := range e.eng.Run(jobs) {
+		out[i] = toBatchResult(mods[i], r)
+	}
+	return out
+}
+
+// EngineStats is the engine's cumulative counter block (jobs, cache hits
+// and occupancy, failures, degradations, busy wall time, telemetry).
+type EngineStats = engine.Stats
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
+// CacheCap returns the configured cache bound (0 = unbounded or no cache).
+func (e *Engine) CacheCap() int { return e.eng.CacheCap() }
+
+// Publish exports the engine's live stats under the given expvar name.
+func (e *Engine) Publish(name string) { e.eng.Publish(name) }
+
+func toBatchResult(m *Module, r engine.Result) BatchResult {
+	if r.Err != nil {
+		return BatchResult{Err: r.Err}
+	}
+	// On a cache hit r.Gen belongs to the module instance that populated
+	// the cache, and its value→variable maps are keyed by that instance's
+	// values. Pair the Result with that module so name queries resolve;
+	// pairing it with m (a structurally equal but distinct instance) would
+	// make every lookup miss.
+	if r.Gen != nil && r.Gen.Module != nil {
+		m = r.Gen.Module
+	}
+	return BatchResult{
+		Result:   &Result{Module: m, gen: r.Gen, sol: r.Sol},
+		CacheHit: r.CacheHit,
+		Degraded: r.Degraded,
+		Duration: r.Duration,
+	}
+}
+
+// AnalyzeBatch analyzes many independent modules concurrently on a fresh
 // batch-analysis engine. Each translation unit is an independent
 // incomplete-program analysis, so batches parallelize perfectly; results
 // come back in input order and are bit-identical to analyzing each module
@@ -148,24 +243,7 @@ type BatchResult struct {
 // fails — even one whose analysis panics — yields an Err entry without
 // affecting the other modules.
 func AnalyzeBatch(mods []*Module, cfg Config, opts BatchOptions) []BatchResult {
-	eng := engine.New(engine.Options{Workers: opts.Workers, Cache: opts.Cache, Budget: opts.Budget})
-	jobs := make([]engine.Job, len(mods))
-	for i, m := range mods {
-		jobs[i] = engine.Job{Module: m, Config: cfg, Summaries: opts.Summaries}
-	}
-	out := make([]BatchResult, len(mods))
-	for i, r := range eng.Run(jobs) {
-		if r.Err != nil {
-			out[i] = BatchResult{Err: r.Err}
-			continue
-		}
-		out[i] = BatchResult{
-			Result:   &Result{Module: mods[i], gen: r.Gen, sol: r.Sol},
-			CacheHit: r.CacheHit,
-			Degraded: r.Degraded,
-		}
-	}
-	return out
+	return NewEngine(opts).AnalyzeBatch(mods, cfg, opts.Summaries)
 }
 
 // AnalyzeC compiles and analyzes mini-C source.
@@ -368,6 +446,27 @@ type AliasAnalysis struct {
 	Basic    alias.Analysis
 	Andersen alias.Analysis
 	Combined alias.Analysis
+}
+
+// Alias answers a pairwise alias query between two named pointer values
+// using the combined Andersen+BasicAA analysis: may the memory ranges
+// addressed by a and b (each sized bytes wide; <= 0 means 1) overlap?
+// Names resolve like PointsTo names: "global", "func.local". On a
+// Degraded result the answer is conservative (typically MayAlias), never
+// unsound.
+func (r *Result) Alias(a, b string, size int64) (AliasResult, error) {
+	va, err := r.lookupValue(a)
+	if err != nil {
+		return MayAlias, err
+	}
+	vb, err := r.lookupValue(b)
+	if err != nil {
+		return MayAlias, err
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return r.AliasAnalysis().Combined.Alias(va, size, vb, size), nil
 }
 
 // MayAliasRate runs the paper's load/store conflict-rate client over the

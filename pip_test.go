@@ -295,3 +295,92 @@ long h() {
 		t.Fatalf("interprocedural elimination failed: %+v", stats2)
 	}
 }
+
+// TestDegradedResultClientsTolerateNilSets audits every high-level client
+// against a budget-degraded solution (whose explicit points-to sets are all
+// nil): points-to and escape queries, the solution dump, the constraint
+// graph DOT, alias analysis, the call graph, and mod/ref summaries must all
+// answer — conservatively — instead of panicking. This is what a serving
+// process relies on when an overloaded request degrades soundly.
+func TestDegradedResultClientsTolerateNilSets(t *testing.T) {
+	src := `
+static int x;
+int *p = &x;
+static int *q;
+extern void take(int**);
+void f() { q = p; take(&p); }
+int *get() { return q; }
+`
+	cfg := DefaultConfig()
+	cfg.Budget = Budget{Firings: -1} // degrade before any propagation
+	res, err := AnalyzeC("deg.c", src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded() {
+		t.Fatal("no-firings budget did not degrade")
+	}
+
+	targets, external, err := res.PointsTo("p")
+	if err != nil {
+		t.Fatalf("PointsTo on degraded result: %v", err)
+	}
+	if !external {
+		t.Fatal("degraded points-to set lost the external marker")
+	}
+	// The degraded answer is the top element: @p may target every location,
+	// in particular @x (which the exact solution reports too).
+	found := false
+	for _, tgt := range targets {
+		if tgt == "@x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded PointsTo(@p) lacks @x: %v", targets)
+	}
+	if ext, err := res.PointsToExternal("p"); err != nil || !ext {
+		t.Fatalf("PointsToExternal: %v %v", ext, err)
+	}
+	if esc, err := res.Escaped("x"); err != nil || !esc {
+		t.Fatalf("Escaped(@x) on degraded result: %v %v", esc, err)
+	}
+	if len(res.ExternallyAccessible()) == 0 {
+		t.Fatal("degraded solution reports nothing externally accessible")
+	}
+	if dump := res.Dump(); !strings.Contains(dump, "<external>") {
+		t.Fatalf("degraded dump lacks the external marker:\n%s", dump)
+	}
+	if dot := res.ConstraintGraphDOT(); !strings.Contains(dot, "digraph constraints") {
+		t.Fatal("DOT dump broke on the degraded solution")
+	}
+
+	aa := res.AliasAnalysis()
+	andersen := res.MayAliasRate(aa.Andersen)
+	if andersen < 0 || andersen > 1 {
+		t.Fatalf("degraded may-alias rate out of range: %v", andersen)
+	}
+	// The degraded Andersen analysis is maximally conservative, so the
+	// combined analysis can only be at least as precise — never panic, and
+	// never report more conflicts than the degraded component alone.
+	if comb := res.MayAliasRate(aa.Combined); comb > andersen {
+		t.Fatalf("combined rate %v exceeds degraded Andersen rate %v", comb, andersen)
+	}
+
+	cg := res.CallGraph()
+	if !strings.Contains(cg.DOT(), "digraph") {
+		t.Fatal("call graph DOT broke on the degraded solution")
+	}
+	mr := res.ModRef(cg)
+	if mr.Report() == "" {
+		t.Fatal("mod/ref report empty on the degraded solution")
+	}
+	// Everything escaped, so @f may modify any global through external code.
+	may, err := res.FunctionMayModify(mr, "f", "q")
+	if err != nil {
+		t.Fatalf("FunctionMayModify: %v", err)
+	}
+	if !may {
+		t.Fatal("degraded mod/ref claims @f cannot modify @q")
+	}
+}
