@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke serve-smoke bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,22 @@ fmt-check:
 bench-smoke:
 	$(GO) run ./cmd/pipbench -scale 0.04 -sizescale 0.12 -reps 1 -run smoke
 
+# Machine-readable solver-effort snapshot (per-configuration solve wall,
+# rule firings, worklist peak); CI archives the same shape as
+# BENCH_PR4.json.
+bench-snapshot:
+	$(GO) run ./cmd/pipbench -scale 0.02 -sizescale 0.1 -maxinstrs 4000 -reps 1 -run headline -json results/BENCH_PR4.json
+
 # End-to-end check of the analysis service: ephemeral port, one real
-# HTTP solve + healthz + metrics, graceful drain.
+# HTTP solve + healthz + a validated Prometheus /metrics scrape +
+# legacy JSON metrics, graceful drain.
 serve-smoke:
 	$(GO) run ./cmd/pipserve -smoke
+
+# Lint beyond go vet; CI installs the tool, it is not a module
+# dependency.
+staticcheck:
+	staticcheck ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

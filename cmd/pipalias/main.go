@@ -21,6 +21,7 @@ func main() {
 	inline := flag.String("c", "", "inline mini-C source instead of a file")
 	configName := flag.String("config", pip.DefaultConfig().String(), "solver configuration")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -47,9 +48,25 @@ func main() {
 		}
 		src = string(data)
 	}
-	res, err := pip.AnalyzeC(name, src, cfg)
+	var tr *pip.Trace
+	var lane pip.TraceLane
+	if *tracePath != "" {
+		tr = pip.NewTrace("pipalias", 0)
+		lane = tr.NewTrack("solve")
+	}
+	m, err := pip.CompileC(name, src)
 	if err != nil {
 		fatal(err)
+	}
+	res, err := pip.AnalyzeTraced(m, cfg, lane)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipalias: wrote trace (%d records) to %s\n", tr.Len(), *tracePath)
 	}
 	if res.Degraded() {
 		fmt.Println("NOTE: budget exhausted; precision below reflects the sound Ω-degraded solution.")

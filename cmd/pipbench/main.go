@@ -22,6 +22,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/bench"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/workload"
 )
 
@@ -38,6 +39,8 @@ func main() {
 	budgetStr := flag.String("budget", "", "per-solve budget, e.g. 100ms, 5000f, or 100ms,5000f; files that exhaust it degrade soundly")
 	showStats := flag.Bool("stats", false, "print aggregated engine stats and solver telemetry as JSON at the end")
 	cacheEntries := flag.Int("cache-entries", 0, "solution-cache capacity for caching drivers (0 = unbounded)")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark snapshot (per-configuration solve wall, rule firings, worklist peak) to this file; implies the runtime measurement")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the measurement's job and solve spans (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
@@ -80,6 +83,13 @@ func main() {
 		corpus.Budget = b
 	}
 	corpus.CacheEntries = *cacheEntries
+	var tr *obs.Trace
+	if *tracePath != "" {
+		// The measurement loop emits a span per job plus per-solve phase
+		// spans; size the ring for a full default run.
+		tr = obs.New("pipbench", 1<<18)
+		corpus.Trace = tr
+	}
 	fmt.Printf("%s [%.1fs]\n\n", corpus, time.Since(start).Seconds())
 
 	if enabled("table3") {
@@ -95,7 +105,8 @@ func main() {
 		fmt.Println("running precision client (Figure 9)...")
 		emit("precision.txt", bench.RenderFigure9(bench.Figure9(corpus)))
 	}
-	needRuntime := enabled("table5") || enabled("fig10") || enabled("table6") || enabled("headline")
+	needRuntime := enabled("table5") || enabled("fig10") || enabled("table6") ||
+		enabled("headline") || *jsonPath != ""
 	if needRuntime {
 		fmt.Printf("measuring solver runtime (%d configurations x %d files x %d reps)...\n",
 			len(bench.Table5Configs)+len(bench.EPOracleConfigs), len(corpus.Files), *reps)
@@ -123,6 +134,19 @@ func main() {
 		if enabled("headline") {
 			emit("headline.txt", bench.RenderHeadline(bench.Headline(res)))
 		}
+		if *jsonPath != "" {
+			snap := bench.Snapshot(corpus, res, *reps)
+			if err := os.WriteFile(*jsonPath, []byte(snap.JSON()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote benchmark snapshot to %s\n", *jsonPath)
+		}
+	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace (%d records, %d dropped) to %s\n", tr.Len(), tr.Dropped(), *tracePath)
 	}
 	if *showStats {
 		st := corpus.EngineStats()

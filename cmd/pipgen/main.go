@@ -20,6 +20,7 @@ import (
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/ir"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/workload"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size for printing/writing (0 = GOMAXPROCS)")
 	showStats := flag.Bool("stats", false, "solve every generated file under the default configuration and print engine stats with aggregated solver telemetry as JSON")
 	budgetStr := flag.String("budget", "", "per-solve budget for -stats, e.g. 100ms, 5000f, or 100ms,5000f")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the -stats solve phase (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	opts := workload.Options{Seed: *seed, Scale: *scale, SizeScale: *sizeScale, MaxInstrs: *maxInstrs}
@@ -58,6 +60,9 @@ func main() {
 	}
 	fmt.Printf("wrote %d files (%d IR instructions) to %s\n", len(files), totalInstrs, *out)
 
+	if *tracePath != "" && !*showStats {
+		fatal(fmt.Errorf("-trace records the solve phase, which only runs with -stats"))
+	}
 	if *showStats {
 		var budget core.Budget
 		if *budgetStr != "" {
@@ -67,7 +72,11 @@ func main() {
 			}
 			budget = b
 		}
-		eng := engine.New(engine.Options{Workers: *workers, Budget: budget})
+		var tr *obs.Trace
+		if *tracePath != "" {
+			tr = obs.New("pipgen", 0)
+		}
+		eng := engine.New(engine.Options{Workers: *workers, Budget: budget, Trace: tr})
 		jobs := make([]engine.Job, len(files))
 		for i, f := range files {
 			jobs[i] = engine.Job{Module: f.Module, Config: core.DefaultConfig()}
@@ -79,6 +88,12 @@ func main() {
 		}
 		st := eng.Stats()
 		fmt.Printf("%s\n%s\n", st, st.JSON())
+		if tr != nil {
+			if err := tr.WriteChromeFile(*tracePath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote trace (%d records) to %s\n", tr.Len(), *tracePath)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ func main() {
 	printAfter := flag.Bool("print", false, "print the optimized MIR")
 	configName := flag.String("config", pip.DefaultConfig().String(), "solver configuration")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; a degraded (budget-exhausted) solution stays sound, so the optimizations remain valid, just weaker")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the Andersen solve (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -80,18 +81,31 @@ func main() {
 		return m
 	}
 
+	var tr *pip.Trace
+	var lane pip.TraceLane
+	if *tracePath != "" {
+		tr = pip.NewTrace("pipopt", 0)
+		lane = tr.NewTrack("andersen")
+	}
+
 	run("BasicAA only:", func(m *ir.Module) alias.Analysis {
 		return alias.NewBasicAA(m)
 	})
 	optimized := run("Andersen+BasicAA:", func(m *ir.Module) alias.Analysis {
 		gen := core.Generate(m)
-		sol, err := core.Solve(gen.Problem, cfg)
+		sol, err := core.SolveTraced(gen.Problem, cfg, lane)
 		if err != nil {
 			fatal(err)
 		}
 		return alias.Combined{alias.NewBasicAA(m), alias.NewAndersen(gen, sol)}
 	})
 
+	if tr != nil {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipopt: wrote trace (%d records) to %s\n", tr.Len(), *tracePath)
+	}
 	if *printAfter {
 		fmt.Println()
 		fmt.Print(ir.Print(optimized))

@@ -13,7 +13,9 @@
 //	POST /v1/solve   {"c": "...", "queries": ["p"]}      points-to sets
 //	POST /v1/alias   {"c": "...", "pairs": [["p","q"]]}  alias verdicts
 //	GET  /healthz    liveness; 503 while draining
-//	GET  /metrics    engine stats, cache occupancy, request counters
+//	GET  /metrics    Prometheus text exposition (?format=json for the
+//	                 legacy JSON body)
+//	GET  /debug/pprof/*  Go profiling, only with -pprof
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 and the
 // process exits once every in-flight solve has answered (or after
@@ -32,10 +34,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/serve"
 )
 
@@ -66,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight solves")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	enablePprof := fs.Bool("pprof", false,
+		"expose Go profiling under /debug/pprof/ (off by default: profiles leak internals, keep the port private)")
+	tracePath := fs.String("trace", "",
+		"write a Chrome trace_event JSON file of per-request solve spans on shutdown (open in Perfetto or chrome://tracing)")
 	smoke := fs.Bool("smoke", false,
 		"self-test: listen on an ephemeral port, run one end-to-end request, drain, exit")
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +94,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		CacheEntries:  *cacheEntries,
 		MaxConcurrent: *concurrent,
 		MaxQueue:      *queue,
+		EnablePprof:   *enablePprof,
+	}
+	var tr *pip.Trace
+	if *tracePath != "" {
+		tr = pip.NewTrace("pipserve", 1<<16)
+		opts.Trace = tr
 	}
 	if *budgetStr != "" {
 		b, err := pip.ParseBudget(*budgetStr)
@@ -143,12 +157,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "wrote trace (%d records, %d dropped) to %s\n",
+			tr.Len(), tr.Dropped(), *tracePath)
+	}
 	fmt.Fprintln(stdout, "pipserve stopped")
 	return nil
 }
 
 // smokeCheck exercises the service end to end: one solve with a points-to
-// query, then /healthz and /metrics.
+// query (carrying a request ID, so a -trace run records a named lane),
+// then /healthz, the Prometheus /metrics exposition, and the legacy JSON
+// metrics.
 func smokeCheck(base string) error {
 	body, err := json.Marshal(map[string]any{
 		"name":    "smoke.c",
@@ -158,7 +181,13 @@ func smokeCheck(base string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest("POST", base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "smoke-1")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -166,6 +195,9 @@ func smokeCheck(base string) error {
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("solve: status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "smoke-1" {
+		return fmt.Errorf("solve: request ID not echoed (got %q)", got)
 	}
 	var solved struct {
 		Degraded bool `json:"degraded"`
@@ -181,15 +213,52 @@ func smokeCheck(base string) error {
 	if !ok || solved.Degraded || !pe.External || len(pe.Targets) == 0 {
 		return fmt.Errorf("solve: unexpected answer %+v", solved)
 	}
-	for _, path := range []string{"/healthz", "/metrics"} {
-		r, err := http.Get(base + path)
-		if err != nil {
-			return err
-		}
-		r.Body.Close()
-		if r.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: status %d", path, r.StatusCode)
-		}
+
+	r, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz: status %d", r.StatusCode)
+	}
+
+	// The default /metrics body must be valid Prometheus text exposition
+	// with the solve we just ran visible in the latency histogram.
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d", r.StatusCode)
+	}
+	if err := obs.CheckExposition(string(text)); err != nil {
+		return fmt.Errorf("/metrics: invalid exposition: %w", err)
+	}
+	if !strings.Contains(string(text), "pip_solve_latency_seconds_count 1") {
+		return fmt.Errorf("/metrics: solve latency histogram not populated:\n%s", text)
+	}
+
+	r, err = http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	var legacy struct {
+		Server struct {
+			Accepted int64 `json:"accepted"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&legacy); err != nil {
+		return fmt.Errorf("/metrics?format=json: %w", err)
+	}
+	if legacy.Server.Accepted != 1 {
+		return fmt.Errorf("/metrics?format=json: accepted = %d, want 1", legacy.Server.Accepted)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ func main() {
 	modRef := flag.Bool("modref", false, "print per-function mod/ref summaries and exit")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausting it yields the sound Ω-degraded solution")
 	showStats := flag.Bool("stats", false, "print solver telemetry (phase timers, rule firings, worklist peak)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
 	flag.Parse()
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -61,14 +62,31 @@ func main() {
 		}
 	}
 
-	var res *pip.Result
+	var tr *pip.Trace
+	var lane pip.TraceLane
+	if *tracePath != "" {
+		tr = pip.NewTrace("pipsolve", 0)
+		lane = tr.NewTrack("solve")
+	}
+
+	var m *pip.Module
 	if *isIR {
-		res, err = pip.AnalyzeIR(src, cfg)
+		m, err = pip.ParseIR(src)
 	} else {
-		res, err = pip.AnalyzeC(name, src, cfg)
+		m, err = pip.CompileC(name, src)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	res, err := pip.AnalyzeTraced(m, cfg, lane)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipsolve: wrote trace (%d records) to %s\n", tr.Len(), *tracePath)
 	}
 
 	if *dot {

@@ -13,6 +13,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/workload"
 )
 
@@ -39,6 +40,9 @@ type Corpus struct {
 	// CacheEntries bounds the solution cache of caching drivers; <= 0
 	// means unbounded (fine for a bounded corpus, wrong for a daemon).
 	CacheEntries int
+	// Trace, when set, records job and solve spans from every engine the
+	// drivers create (pipbench -trace).
+	Trace *obs.Trace
 
 	// engines tracks every engine the drivers created, so EngineStats can
 	// aggregate pool counters across a whole measurement run.
@@ -70,7 +74,7 @@ func BuildCorpusParallel(opts workload.Options, workers int) *Corpus {
 // engineFor returns a fresh engine sized for this corpus's drivers and
 // remembers it for EngineStats aggregation.
 func (c *Corpus) engineFor(cache bool) *engine.Engine {
-	e := engine.New(engine.Options{Workers: c.Workers, Cache: cache, CacheEntries: c.CacheEntries, Budget: c.Budget})
+	e := engine.New(engine.Options{Workers: c.Workers, Cache: cache, CacheEntries: c.CacheEntries, Budget: c.Budget, Trace: c.Trace})
 	c.engines = append(c.engines, e)
 	return e
 }

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: the -json snapshot covers every measured
+// configuration with non-trivial telemetry and survives a JSON round
+// trip.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := BuildCorpus(tinyOpts)
+	if len(c.Files) == 0 {
+		t.Fatal("empty corpus")
+	}
+	res := MeasureRuntime(c, 1)
+	snap := Snapshot(c, res, 1)
+
+	if snap.Files != len(c.Files) || snap.Instrs == 0 || snap.Reps != 1 {
+		t.Fatalf("corpus header wrong: %+v", snap)
+	}
+	if len(snap.Configs) != len(res.PerFile) {
+		t.Fatalf("snapshot has %d configs, measured %d", len(snap.Configs), len(res.PerFile))
+	}
+	seen := map[string]bool{}
+	for _, cs := range snap.Configs {
+		seen[cs.Config] = true
+		if cs.SolveWallUS <= 0 {
+			t.Errorf("%s: no wall time", cs.Config)
+		}
+		if cs.Firings.Total() == 0 {
+			t.Errorf("%s: no rule firings", cs.Config)
+		}
+		if cs.WorklistPeak == 0 && cs.Config != "EP+Naive" && cs.Config != "EP+OVS+Naive" {
+			t.Errorf("%s: no worklist peak", cs.Config)
+		}
+	}
+	for _, name := range Table5Configs {
+		if !seen[name] {
+			t.Errorf("Table V configuration %s missing from snapshot", name)
+		}
+	}
+	if snap.OracleWallUS <= 0 {
+		t.Error("oracle wall missing")
+	}
+
+	var back RunSnapshot
+	if err := json.Unmarshal([]byte(snap.JSON()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Files != snap.Files || len(back.Configs) != len(snap.Configs) ||
+		back.Configs[0].Firings != snap.Configs[0].Firings {
+		t.Fatalf("round trip lost data:\n%+v\n%+v", snap, back)
+	}
+}

@@ -91,6 +91,12 @@ type RuntimeResult struct {
 	// solution. Degraded rows keep their (budget-bounded) timings but are
 	// excluded from the pointee/bytes aggregates' meaningfulness.
 	Degraded map[string]int
+	// Firings maps configuration name to inference-rule firings summed
+	// across all files (from each solution's telemetry block).
+	Firings map[string]core.RuleFirings
+	// WorklistPeak maps configuration name to the largest per-file
+	// worklist high-water mark.
+	WorklistPeak map[string]int
 	// PointsExtFraction is the fraction of pointers with p ⊒ Ω, measured
 	// on the reference configuration (paper Section VI: 51%).
 	PointsExtFraction float64
@@ -113,10 +119,12 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 		reps = 1
 	}
 	res := &RuntimeResult{
-		PerFile:  map[string][]float64{},
-		Pointees: map[string][]int{},
-		Bytes:    map[string][]int{},
-		Degraded: map[string]int{},
+		PerFile:      map[string][]float64{},
+		Pointees:     map[string][]int{},
+		Bytes:        map[string][]int{},
+		Degraded:     map[string]int{},
+		Firings:      map[string]core.RuleFirings{},
+		WorklistPeak: map[string]int{},
 	}
 	all := map[string]bool{}
 	for _, name := range Table5Configs {
@@ -144,10 +152,15 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 		times := make([]float64, len(c.Files))
 		pointees := make([]int, len(c.Files))
 		bytes := make([]int, len(c.Files))
+		firings := res.Firings[name]
 		for i, r := range rs {
 			times[i] = float64(r.Duration.Nanoseconds()) / 1e3
 			pointees[i] = r.Sol.Stats.ExplicitPointees
 			bytes[i] = r.Sol.ApproxBytes()
+			firings.Add(r.Sol.Telemetry.Firings)
+			if wp := r.Sol.Telemetry.WorklistPeak; wp > res.WorklistPeak[name] {
+				res.WorklistPeak[name] = wp
+			}
 			if r.Degraded {
 				res.Degraded[name]++
 			}
@@ -166,6 +179,7 @@ func MeasureRuntimeVerbose(c *Corpus, reps int, logf func(format string, args ..
 		res.PerFile[name] = times
 		res.Pointees[name] = pointees
 		res.Bytes[name] = bytes
+		res.Firings[name] = firings
 		if n := res.Degraded[name]; n > 0 && logf != nil {
 			logf("  %s: %d/%d files hit the budget and degraded", name, n, len(c.Files))
 		}

@@ -1,5 +1,7 @@
 package core
 
+import "github.com/pip-analysis/pip/internal/obs"
+
 // This file implements the online cycle-detection techniques of Table IV:
 // OCD (detect and collapse every cycle the moment an edge creates one) and
 // the collapse step shared with LCD (lazy detection triggered from
@@ -174,6 +176,8 @@ func (t *tarjanState) strongConnect(v0 VarID) {
 				for _, w := range comp[1:] {
 					merged = s.unify(merged, w)
 				}
+				s.tk.Event("scc_collapse",
+					obs.N("size", int64(len(comp))), obs.N("rep", int64(merged)))
 			}
 		}
 		frames = frames[:len(frames)-1]

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/bitset"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/uf"
 )
 
@@ -69,6 +70,23 @@ type solver struct {
 	stats    SolveStats
 	tel      Telemetry
 
+	// tk is the solve's trace lane (zero when tracing is off: every
+	// recording call below is then a single pointer test). The running
+	// counters feed the sampled convergence profile — they are cheap
+	// plain increments maintained unconditionally so the traced and
+	// untraced solves execute the same code.
+	tk obs.Track
+	// pointeeAdds counts successful explicit-pointee insertions (growth
+	// of ∑|Sol_e|, ignoring unification merges).
+	pointeeAdds int64
+	// extMarks counts variables marked externally accessible (growth of
+	// |E|, the implicit side; IP mode).
+	extMarks int64
+	// flagMarks counts pointer-side flag inferences (p ⊒ Ω and friends).
+	flagMarks int64
+	// loopIters strides the convergence-profile sampling.
+	loopIters uint64
+
 	// Budget state: fired mirrors tel.Firings.Total() as a single counter
 	// cheap enough to compare on every loop iteration; aborted latches
 	// budget exhaustion; deadline is the absolute wall-clock cutoff (zero
@@ -95,6 +113,17 @@ type solver struct {
 
 // Solve runs analysis phase 2 on prob under configuration cfg.
 func Solve(prob *Problem, cfg Config) (*Solution, error) {
+	return SolveTraced(prob, cfg, obs.Track{})
+}
+
+// SolveTraced is Solve recording structured spans and events onto the
+// given trace lane: phase spans (offline with OVS/HCD children, the solve
+// loop, cycle collapses), per-collapse SCC events, wave boundaries,
+// budget-stride samples, and the sampled convergence profile (worklist
+// depth and explicit/implicit growth over time). The zero Track disables
+// recording; the traced and untraced paths run the same solver code, so
+// tracing never changes the solution.
+func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,17 +132,29 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 	}
 	start := time.Now()
 	s := newSolver(prob, cfg)
+	s.tk = tk
 	if cfg.Budget.Deadline > 0 {
 		s.deadline = start.Add(cfg.Budget.Deadline)
 	}
+	solveSpan := tk.Begin("solve",
+		obs.S("config", cfg.String()),
+		obs.N("vars", int64(prob.NumVars())),
+		obs.N("constraints", int64(prob.NumConstraints())))
+	offSpan := tk.Begin("offline")
 	if cfg.OVS {
+		sp := tk.Begin("ovs")
 		s.runOVS()
+		sp.End(obs.N("unifications", int64(s.stats.Unifications)))
 	}
 	if cfg.HCD {
+		sp := tk.Begin("hcd-offline")
 		s.runHCDOffline()
+		sp.End(obs.N("table", int64(len(s.hcdRef))))
 	}
+	offSpan.End()
 	s.tel.Offline = time.Since(start)
 	solveStart := time.Now()
+	propSpan := tk.Begin("propagate")
 	s.seed()
 	switch cfg.Solver {
 	case Naive:
@@ -123,6 +164,7 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 	default:
 		s.solveWorklist()
 	}
+	propSpan.End(obs.N("firings", s.fired), obs.N("visits", int64(s.stats.Visits)))
 	// Propagation time is the solve loop minus the collapse spans timed
 	// inside it.
 	if s.tel.Propagate = time.Since(solveStart) - s.tel.Collapse; s.tel.Propagate < 0 {
@@ -137,12 +179,43 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 		sol.Stats = s.stats
 		sol.Stats.ExplicitPointees = 0
 	} else {
+		fin := tk.Begin("finish")
 		sol = s.finish()
+		fin.End()
 	}
+	s.sampleConvergence()
 	s.tel.Degraded = sol.Degraded
 	sol.Telemetry = s.tel
 	sol.Stats.Duration = time.Since(start)
+	solveSpan.End(
+		obs.N("degraded", boolArg(sol.Degraded)),
+		obs.N("explicit_pointees", int64(sol.Stats.ExplicitPointees)))
 	return sol, nil
+}
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// sampleConvergence records one convergence-profile sample: current
+// worklist depth, cumulative explicit-pointee insertions, external marks
+// (the implicit side), flag inferences, and total rule firings.
+func (s *solver) sampleConvergence() {
+	if !s.tk.Enabled() {
+		return
+	}
+	depth := 0
+	if s.wl != nil {
+		depth = s.wl.size()
+	}
+	s.tk.Count("worklist_depth", int64(depth))
+	s.tk.Count("explicit_pointees", s.pointeeAdds)
+	s.tk.Count("escaped_marks", s.extMarks)
+	s.tk.Count("flag_marks", s.flagMarks)
+	s.tk.Count("firings", s.fired)
 }
 
 // MustSolve is Solve that panics on error; for tests and examples.
@@ -227,6 +300,7 @@ func (s *solver) setFlag(v VarID, bit Flags) bool {
 	}
 	s.repFlags[r] |= bit
 	s.fullVisit[r] = true
+	s.flagMarks++
 	s.fire(&s.tel.Firings.Flag)
 	s.noteProgress()
 	s.enqueue(r)
@@ -352,6 +426,7 @@ func (s *solver) addPointee(r, x VarID) bool {
 	if !s.ptsOf(r).Add(x) {
 		return false
 	}
+	s.pointeeAdds++
 	if s.cfg.DP {
 		s.difOf(r).Add(x)
 	}
@@ -412,6 +487,7 @@ func (s *solver) markExternallyAccessible(x VarID) {
 		return
 	}
 	s.external[x] = true
+	s.extMarks++
 	s.noteProgress()
 	if s.ptrCompat[s.find(x)] {
 		s.setFlag(x, FlagPointsExt)

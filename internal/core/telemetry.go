@@ -61,6 +61,16 @@ type Telemetry struct {
 // Merge accumulates u into t: durations and firings sum, the worklist
 // high-water mark takes the maximum, and Degraded ors. The engine uses
 // this to aggregate telemetry across all jobs of a pool.
+//
+// Merged durations are CPU-time sums: each solve contributes the time its
+// own goroutine spent in each phase, so when solves overlap on a worker
+// pool the summed phase durations can (and routinely do) exceed the
+// busy-span wall clock of the pool (engine.Stats.Wall). Consumers that
+// want elapsed time must use the busy-span measurement; consumers that
+// want total work done (e.g. phase-time breakdowns, cost attribution)
+// want these sums. The /metrics endpoint exposes both, under
+// pip_engine_phase_seconds_total (these sums) and
+// pip_engine_busy_seconds_total (busy-span wall).
 func (t *Telemetry) Merge(u Telemetry) {
 	t.Offline += u.Offline
 	t.Propagate += u.Propagate

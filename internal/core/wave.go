@@ -1,5 +1,7 @@
 package core
 
+import "github.com/pip-analysis/pip/internal/obs"
+
 // Wave-propagation solver (Pereira and Berlin, cited as reference [11] in
 // the paper's related work) — an extension beyond the paper's Table IV
 // configuration space. Each wave collapses every strongly connected
@@ -23,10 +25,12 @@ func (s *solver) solveWave() {
 		if s.budgetExhausted() {
 			return
 		}
+		wave := s.tk.Begin("wave", obs.N("pass", int64(s.stats.Passes+1)))
 		s.collapseAllSCCs()
 		order := s.topoOrder()
 		for _, r := range order {
 			if s.budgetExhausted() {
+				wave.End(obs.N("nodes", int64(len(order))))
 				return
 			}
 			if s.find(r) != r {
@@ -36,6 +40,8 @@ func (s *solver) solveWave() {
 			s.visit(r)
 		}
 		s.stats.Passes++
+		wave.End(obs.N("nodes", int64(len(order))))
+		s.sampleConvergence()
 		if !s.progress {
 			// Drain the change sink: anything enqueued during the last
 			// wave was already (or will be) covered because no progress

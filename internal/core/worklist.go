@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"github.com/pip-analysis/pip/internal/obs"
+)
 
 // This file implements Algorithm 1 from the paper: the worklist solver for
 // the combined inference rules of Figure 2 (TRANS/LOAD/STORE/CALL) and
@@ -31,11 +35,13 @@ func (s *solver) budgetExhausted() bool {
 	b := s.cfg.Budget
 	if b.Firings != 0 && (b.Firings < 0 || s.fired >= b.Firings) {
 		s.aborted = true
+		s.tk.Event("budget_exhausted", obs.S("reason", "firings"), obs.N("fired", s.fired))
 		return true
 	}
 	if !s.deadline.IsZero() {
 		if s.budgetTick++; s.budgetTick&63 == 0 && time.Now().After(s.deadline) {
 			s.aborted = true
+			s.tk.Event("budget_exhausted", obs.S("reason", "deadline"), obs.N("fired", s.fired))
 			return true
 		}
 	}
@@ -51,9 +57,11 @@ func (s *solver) collapseSpan() func() {
 		return func() { s.collapseDepth-- }
 	}
 	t0 := time.Now()
+	sp := s.tk.Begin("collapse")
 	return func() {
 		s.collapseDepth--
 		s.tel.Collapse += time.Since(t0)
+		sp.End()
 	}
 }
 
@@ -73,9 +81,16 @@ func (s *solver) solveWorklist() {
 		s.fullVisit[r] = true
 		s.wl.push(r)
 	}
+	traced := s.tk.Enabled()
 	for {
 		if s.budgetExhausted() {
 			return
+		}
+		// Convergence profile: sample worklist depth and the growth
+		// counters every 256 iterations so a trace shows the solve's shape
+		// over time without per-iteration overhead.
+		if s.loopIters++; traced && s.loopIters&255 == 0 {
+			s.sampleConvergence()
 		}
 		for len(s.pendingHCDUnions) > 0 {
 			pair := s.pendingHCDUnions[len(s.pendingHCDUnions)-1]
@@ -331,20 +346,25 @@ func (s *solver) propagate(from, to VarID, iter []uint32, full bool) {
 	changed := false
 	if len(iter) > 0 {
 		tp := s.ptsOf(to)
+		adds := int64(0) // kept local so the hot loop stays register-only
 		if s.cfg.DP {
 			td := s.difOf(to)
 			for _, x := range iter {
 				if tp.Add(x) {
 					td.Add(x)
-					changed = true
+					adds++
 				}
 			}
 		} else {
 			for _, x := range iter {
 				if tp.Add(x) {
-					changed = true
+					adds++
 				}
 			}
+		}
+		if adds > 0 {
+			s.pointeeAdds += adds
+			changed = true
 		}
 	}
 	if s.repFlags[from]&FlagPointsExt != 0 && s.repFlags[to]&FlagPointsExt == 0 {

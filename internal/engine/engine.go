@@ -33,6 +33,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/ir"
+	"github.com/pip-analysis/pip/internal/obs"
 )
 
 // Options configures an Engine.
@@ -56,6 +57,12 @@ type Options struct {
 	// and unbudgeted runs never share cached solutions. Degraded
 	// solutions are never cached (a deadline abort is nondeterministic).
 	Budget core.Budget
+	// Trace, when non-nil, records engine activity onto the trace: one
+	// track per pool worker carrying a span per job (queue wait and run
+	// time) with the solve's own phase spans nested inside. A nil trace
+	// costs nothing. Jobs can redirect their solve spans to a different
+	// lane (e.g. a request-scoped trace) via Job.Trace.
+	Trace *obs.Trace
 }
 
 // Job is one unit of work: solve one problem under one configuration.
@@ -77,6 +84,11 @@ type Job struct {
 	// deterministic, so only the timing differs; the first solution is
 	// returned. <= 0 means 1.
 	Reps int
+	// Trace is the lane the solve's phase spans and convergence profile
+	// are recorded onto (core.SolveTraced). The zero Track records
+	// nothing; when unset and the engine has Options.Trace, the worker's
+	// own track is used instead, nesting the solve under the job span.
+	Trace obs.Track
 }
 
 // Result is one job's outcome. Exactly one of Sol/Err is meaningful.
@@ -278,34 +290,72 @@ func (e *Engine) Run(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	submitted := time.Now()
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var wtk obs.Track
+			if e.opts.Trace != nil {
+				wtk = e.opts.Trace.NewTrack(fmt.Sprintf("worker-%d", w))
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(jobs) {
 					return
 				}
+				// Queue wait is submission-to-pickup: all jobs are queued
+				// the moment Run starts, so a deep batch shows later jobs
+				// waiting longer — exactly the pool-saturation signal the
+				// trace is for.
+				sp := wtk.Begin("job",
+					obs.N("index", int64(i)),
+					obs.N("queue_wait_us", time.Since(submitted).Microseconds()))
 				e.noteStart()
-				out[i] = e.runJob(jobs[i])
+				out[i] = e.runJob(jobs[i], e.jobTrack(jobs[i], wtk))
 				e.noteDone(out[i])
+				sp.End(
+					obs.N("cache_hit", b2i(out[i].CacheHit)),
+					obs.N("degraded", b2i(out[i].Degraded)))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
 }
 
 // RunOne executes a single job synchronously (still inside the recovery
-// boundary and the cache).
+// boundary and the cache). With engine tracing on, the job span lands on
+// a shared "inline" track (RunOne has no pool queue, so queue wait is 0).
 func (e *Engine) RunOne(j Job) Result {
+	var wtk obs.Track
+	if e.opts.Trace != nil {
+		wtk = e.opts.Trace.NewTrack("inline")
+	}
+	sp := wtk.Begin("job", obs.N("queue_wait_us", 0))
 	e.noteStart()
-	res := e.runJob(j)
+	res := e.runJob(j, e.jobTrack(j, wtk))
 	e.noteDone(res)
+	sp.End(obs.N("cache_hit", b2i(res.CacheHit)), obs.N("degraded", b2i(res.Degraded)))
 	return res
+}
+
+// jobTrack picks the lane for a job's solve spans: the job's own
+// request-scoped lane when set, else the worker's track.
+func (e *Engine) jobTrack(j Job, wtk obs.Track) obs.Track {
+	if j.Trace.Enabled() {
+		return j.Trace
+	}
+	return wtk
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (e *Engine) noteStart() {
@@ -363,7 +413,7 @@ func (e *Engine) store(key string, c cached) {
 // runJob executes one job. Any panic below this frame — in constraint
 // generation, the solver, or cache-key hashing — is converted into a
 // Result.Err so one bad file cannot take down a batch run.
-func (e *Engine) runJob(j Job) (res Result) {
+func (e *Engine) runJob(j Job, tk obs.Track) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: fmt.Errorf("engine: job panicked: %v\n%s", r, debug.Stack())}
@@ -401,7 +451,7 @@ func (e *Engine) runJob(j Job) (res Result) {
 	var sol *core.Solution
 	var best time.Duration
 	for r := 0; r < reps; r++ {
-		s, err := core.Solve(gen.Problem, j.Config)
+		s, err := core.SolveTraced(gen.Problem, j.Config, tk)
 		if err != nil {
 			return Result{Err: err}
 		}

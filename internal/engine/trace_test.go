@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/obs"
+)
+
+// TestEngineTraceRecordsJobsAndSolves asserts the pool's trace wiring:
+// with Options.Trace set, every job gets a span on a worker track carrying
+// queue-wait and outcome args, and the solve's own phase spans land on the
+// same trace.
+func TestEngineTraceRecordsJobsAndSolves(t *testing.T) {
+	tr := obs.New("engine-test", 1<<14)
+	eng := New(Options{Workers: 3, Trace: tr})
+	mods := testModules(6)
+	rs := eng.Run(jobsFor(mods, core.DefaultConfig()))
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+	}
+	tree := tr.Tree()
+	// Scheduling decides which workers pick up jobs; at least one worker
+	// track must exist, but not any particular one.
+	if !strings.Contains(tree, "worker-") {
+		t.Fatalf("no worker track in trace:\n%s", tree)
+	}
+	for _, want := range []string{"job", "solve", "propagate"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("trace missing %q spans:\n%s", want, tree)
+		}
+	}
+	// RunOne lands on the shared inline track.
+	eng.RunOne(Job{Module: mods[0], Config: core.DefaultConfig()})
+	if !strings.Contains(tr.Tree(), "inline:") {
+		t.Fatalf("RunOne did not record on the inline track:\n%s", tr.Tree())
+	}
+}
+
+// TestJobTraceOverridesWorkerTrack asserts a request-scoped Job.Trace lane
+// receives the solve spans even when the engine has no trace of its own.
+func TestJobTraceOverridesWorkerTrack(t *testing.T) {
+	tr := obs.New("request", 1<<12)
+	eng := New(Options{Workers: 2})
+	mods := testModules(1)
+	res := eng.RunOne(Job{Module: mods[0], Config: core.DefaultConfig(),
+		Trace: tr.NewTrack("req-abc")})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	tree := tr.Tree()
+	if !strings.Contains(tree, "req-abc:") || !strings.Contains(tree, "solve") {
+		t.Fatalf("solve spans missing from the request lane:\n%s", tree)
+	}
+}
+
+// TestTelemetryAggregationAcrossOverlappingRuns is the Telemetry.Merge
+// contract test for concurrent work (run under -race in CI): overlapping
+// Run and RunOne calls on one engine must aggregate telemetry to exactly
+// the sum of the per-job telemetries, while the busy-span wall clock
+// counts overlap once. Phase-duration sums are CPU time, so they may
+// exceed the busy-span wall — that is documented behavior, not a bug.
+func TestTelemetryAggregationAcrossOverlappingRuns(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	mods := testModules(8)
+	cfg := core.DefaultConfig()
+
+	var (
+		mu      sync.Mutex
+		results []Result
+		wg      sync.WaitGroup
+	)
+	collect := func(rs ...Result) {
+		mu.Lock()
+		results = append(results, rs...)
+		mu.Unlock()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			collect(eng.Run(jobsFor(mods, cfg))...)
+		}()
+		go func() {
+			defer wg.Done()
+			for _, m := range mods[:3] {
+				collect(eng.RunOne(Job{Module: m, Config: cfg}))
+			}
+		}()
+	}
+	wg.Wait()
+
+	var want core.Telemetry
+	var cpu int64
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d failed: %v", i, r.Err)
+		}
+		want.Merge(r.Sol.Telemetry)
+		cpu += int64(r.Duration)
+	}
+	st := eng.Stats()
+	if st.Jobs != len(results) {
+		t.Fatalf("stats counted %d jobs, collected %d results", st.Jobs, len(results))
+	}
+	if st.Telemetry != want {
+		t.Fatalf("aggregated telemetry diverged:\nengine: %+v\nsum:    %+v", st.Telemetry, want)
+	}
+	if int64(st.CPU) != cpu {
+		t.Fatalf("CPU sum = %v, per-result sum = %v", st.CPU, time.Duration(cpu))
+	}
+	// The busy-span wall counts overlapping work once; with 4 workers and
+	// 3 concurrent submitters it must not exceed the CPU sum (each job
+	// contributes at least its own solve time to CPU while at most one
+	// busy span is open at a time).
+	if st.Wall > st.CPU {
+		t.Logf("wall %v > cpu %v (possible on a starved machine; informational)", st.Wall, st.CPU)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// This file provides the minimal Prometheus instrumentation the service
+// needs without pulling in the client library: an atomic histogram and a
+// text-exposition-format writer (the 0.0.4 format every Prometheus
+// scraper and `promtool check metrics` accepts).
+
+// Histogram is a fixed-bucket, lock-free histogram matching Prometheus
+// semantics: counts[i] holds observations <= bounds[i] (cumulative counts
+// are computed at exposition time), with the implicit +Inf bucket at the
+// end. Observe is safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return h
+}
+
+// LatencyBuckets are the default buckets for solve/queue latencies in
+// seconds: 50µs to ~30s, roughly ×3 per step, spanning a cached lookup on
+// a small module through a budget-bounded corpus solve.
+func LatencyBuckets() []float64 {
+	return []float64{50e-6, 150e-6, 500e-6, 1.5e-3, 5e-3, 15e-3, 50e-3, 150e-3, 0.5, 1.5, 5, 15, 30}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// PromWriter writes Prometheus text exposition format (version 0.0.4).
+// Use one writer per scrape; methods emit complete metric families.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter returns a writer over w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// formatLabels renders a label set ({} omitted when empty). Labels are
+// key/value pairs; values are escaped per the exposition format.
+func formatLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[1])
+		fmt.Fprintf(&b, `%s="%s"`, kv[0], v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Counter emits a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s %s\n", name, formatValue(v))
+}
+
+// CounterVec emits a counter family with one sample per label value.
+// Samples are emitted in sorted label-value order for stable output.
+func (p *PromWriter) CounterVec(name, help, label string, samples map[string]float64) {
+	p.header(name, help, "counter")
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.printf("%s%s %s\n", name, formatLabels([][2]string{{label, k}}), formatValue(samples[k]))
+	}
+}
+
+// Gauge emits a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s %s\n", name, formatValue(v))
+}
+
+// Histogram emits a histogram family with cumulative buckets, sum, and
+// count, the shape Prometheus expects.
+func (p *PromWriter) Histogram(name, help string, h *Histogram) {
+	p.header(name, help, "histogram")
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		p.printf("%s_bucket{le=\"%s\"} %d\n", name, formatValue(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	p.printf("%s_sum %s\n", name, formatValue(h.Sum()))
+	p.printf("%s_count %d\n", name, h.Count())
+}

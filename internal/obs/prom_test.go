@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var buf strings.Builder
+	p := NewPromWriter(&buf)
+	p.Histogram("x_seconds", "test", h)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`x_seconds_bucket{le="0.1"} 1`,
+		`x_seconds_bucket{le="1"} 3`,
+		`x_seconds_bucket{le="10"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		`x_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 7.999 || got > 8.001 {
+		t.Fatalf("sum = %g, want ~8", got)
+	}
+}
+
+func TestCounterVecSortedAndEscaped(t *testing.T) {
+	var buf strings.Builder
+	p := NewPromWriter(&buf)
+	p.CounterVec("pip_rule_firings_total", "per-rule firings", "rule",
+		map[string]float64{"trans": 2, "load": 1})
+	p.Gauge("pip_running", `gauge with "quotes"`, 3)
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := buf.String()
+	loadIdx := strings.Index(out, `rule="load"`)
+	transIdx := strings.Index(out, `rule="trans"`)
+	if loadIdx < 0 || transIdx < 0 || loadIdx > transIdx {
+		t.Fatalf("label samples missing or unsorted:\n%s", out)
+	}
+	if err := CheckExposition(out); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestCheckExpositionRejectsGarbage(t *testing.T) {
+	if err := CheckExposition("this is not a metric\n"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := CheckExposition("pip_x 1\n"); err == nil {
+		t.Fatal("sample without TYPE accepted")
+	}
+	ok := "# HELP pip_x help\n# TYPE pip_x counter\npip_x 1\n"
+	if err := CheckExposition(ok); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// expositionLine matches one sample line of the text format:
+// name{labels} value [timestamp].
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)( [0-9]+)?$`)
+
+// CheckExposition validates text in the Prometheus exposition format
+// (0.0.4): every line is a comment, blank, or a well-formed sample, every
+// sample's family has a preceding TYPE line, and histogram families have
+// _sum, _count, and buckets. The serve tests and the pipserve smoke
+// self-test run scraped /metrics bodies through this, which is what lets
+// CI assert the endpoint actually speaks the format Prometheus scrapes.
+func CheckExposition(text string) error {
+	types := map[string]string{}
+	samples := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q", lineNo, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		samples[name] = true
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE header", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+			if !samples[name+suffix] {
+				return fmt.Errorf("histogram %s missing %s%s", name, name, suffix)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Package obs is the observability layer shared by the solver core, the
+// batch engine, the analysis service, and the CLI binaries: a low-overhead
+// per-solve structured trace recorder plus the Prometheus primitives the
+// service exports on /metrics.
+//
+// The recorder is built for the solver's hot loops. Recording claims a slot
+// in a preallocated ring of records with one atomic add — no locks, no
+// allocation — and every recording method on a nil *Trace (or the zero
+// Track) returns immediately, so instrumented code pays a single pointer
+// test when tracing is off. When the ring fills, further records are
+// dropped and counted rather than overwriting earlier ones: a span that is
+// still open owns its slot until End, so overwrite semantics would tear
+// open spans, and for a solve trace the head of the run (offline phases,
+// first waves) is the part that explains the rest.
+//
+// Traces export to Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing, see chrome.go) and to a plain-text phase tree
+// (tree.go).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity is the record capacity New uses when the caller passes
+// a non-positive one. At 64 bytes + args per record this bounds a trace
+// to a few MiB, enough for the full phase tree and sampled profiles of a
+// corpus-sized solve.
+const DefaultCapacity = 1 << 16
+
+// KV is one argument attached to a span or event. Num carries numeric
+// arguments; a non-empty Str takes precedence and carries string
+// arguments (request IDs, configuration names).
+type KV struct {
+	Key string
+	Num int64
+	Str string
+}
+
+// N builds a numeric argument.
+func N(key string, v int64) KV { return KV{Key: key, Num: v} }
+
+// S builds a string argument.
+func S(key, v string) KV { return KV{Key: key, Str: v} }
+
+// record states: a slot is claimed (filling), then published as a
+// complete event or an open span; End republishes an open span as
+// complete. Exporters read only published slots, and the release/acquire
+// pair on state makes the plain field writes visible — recording never
+// races with export even when a trace is exported while spans are open.
+const (
+	stateEmpty uint32 = iota
+	stateFilling
+	stateOpenSpan
+	stateComplete
+)
+
+type recordKind uint8
+
+const (
+	kindSpan recordKind = iota + 1
+	kindInstant
+	kindCounter
+)
+
+// maxArgs bounds per-record arguments so records stay allocation-free.
+const maxArgs = 4
+
+type record struct {
+	state atomic.Uint32
+	dur   atomic.Int64 // span duration in ns; written by End
+	// nargs is atomic because End extends args while an exporter may be
+	// snapshotting an open span: the release store on nargs (after the
+	// new elements are written) paired with the acquire load in snapshot
+	// orders the plain writes to args.
+	nargs atomic.Int32
+	kind  recordKind
+	track int32
+	start int64 // ns since trace start
+	name  string
+	args  [maxArgs]KV
+}
+
+// Trace is a bounded, lock-free span/event recorder for one logical
+// operation (a solve, a batch run, a server process). Create with New;
+// a nil *Trace is a valid, disabled recorder.
+type Trace struct {
+	id    string
+	label string
+	start time.Time
+
+	buf     []record
+	cursor  atomic.Uint64
+	dropped atomic.Uint64
+
+	// Track registration is rare (a handful per trace), so a mutex is
+	// fine here; recording itself never takes it.
+	trackMu sync.Mutex
+	tracks  []string // index = track id
+}
+
+// New returns a Trace with a fresh random ID. capacity <= 0 means
+// DefaultCapacity.
+func New(label string, capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace{
+		id:    NewID(),
+		label: label,
+		start: time.Now(),
+		buf:   make([]record, capacity),
+	}
+}
+
+// NewID returns a fresh random trace/request ID (16 hex digits).
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to the
+		// clock so IDs stay usable (uniqueness, not secrecy, is the goal).
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace's identifier (empty on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetID overrides the trace ID (a server adopts the request's
+// X-Request-Id). Call before recording threads share the trace.
+func (t *Trace) SetID(id string) {
+	if t != nil && id != "" {
+		t.id = id
+	}
+}
+
+// Label returns the trace's label.
+func (t *Trace) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.label
+}
+
+// Enabled reports whether recording is live.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Len returns the number of claimed records.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := t.cursor.Load()
+	if n > uint64(len(t.buf)) {
+		return len(t.buf)
+	}
+	return int(n)
+}
+
+// Dropped returns the number of records dropped because the ring was full.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// now returns nanoseconds since the trace start.
+func (t *Trace) now() int64 { return int64(time.Since(t.start)) }
+
+// claim reserves the next record slot, or nil when the ring is full.
+func (t *Trace) claim() *record {
+	i := t.cursor.Add(1) - 1
+	if i >= uint64(len(t.buf)) {
+		t.dropped.Add(1)
+		return nil
+	}
+	r := &t.buf[i]
+	r.state.Store(stateFilling)
+	return r
+}
+
+// Track is one logical lane of a trace (a solver phase stack, a worker
+// goroutine, the HTTP front end). Lanes render as separate threads in
+// Perfetto, so spans on one lane nest by time containment. The zero Track
+// is disabled.
+type Track struct {
+	tr  *Trace
+	tid int32
+}
+
+// NewTrack returns the lane with the given name, creating it on first
+// use; repeated calls with one name share a lane (the engine's workers
+// ask by name on every job).
+func (t *Trace) NewTrack(name string) Track {
+	if t == nil {
+		return Track{}
+	}
+	t.trackMu.Lock()
+	defer t.trackMu.Unlock()
+	for i, n := range t.tracks {
+		if n == name {
+			return Track{tr: t, tid: int32(i)}
+		}
+	}
+	t.tracks = append(t.tracks, name)
+	return Track{tr: t, tid: int32(len(t.tracks) - 1)}
+}
+
+// trackNames snapshots the registered lane names.
+func (t *Trace) trackNames() []string {
+	t.trackMu.Lock()
+	defer t.trackMu.Unlock()
+	return append([]string(nil), t.tracks...)
+}
+
+// Enabled reports whether the lane records anywhere.
+func (tk Track) Enabled() bool { return tk.tr != nil }
+
+// Trace returns the lane's trace (nil for the zero Track).
+func (tk Track) Trace() *Trace { return tk.tr }
+
+// Span is an open span handle; close it with End. The zero Span is a
+// no-op (returned whenever recording is off or the ring is full).
+type Span struct {
+	tr  *Trace
+	rec *record
+}
+
+// Begin opens a span on the lane. args recorded at Begin survive even if
+// End never runs (the exporter closes open spans at export time).
+func (tk Track) Begin(name string, args ...KV) Span {
+	if tk.tr == nil {
+		return Span{}
+	}
+	r := tk.tr.claim()
+	if r == nil {
+		return Span{}
+	}
+	r.kind = kindSpan
+	r.track = tk.tid
+	r.name = name
+	r.start = tk.tr.now()
+	r.nargs.Store(int32(copyArgs(&r.args, args)))
+	r.dur.Store(-1)
+	r.state.Store(stateOpenSpan)
+	return Span{tr: tk.tr, rec: r}
+}
+
+// End closes the span, optionally attaching result arguments (they fill
+// the slots left after Begin's).
+func (sp Span) End(args ...KV) {
+	if sp.rec == nil {
+		return
+	}
+	r := sp.rec
+	n := int(r.nargs.Load())
+	for _, a := range args {
+		if n >= maxArgs {
+			break
+		}
+		r.args[n] = a
+		n++
+	}
+	r.nargs.Store(int32(n))
+	r.dur.Store(sp.tr.now() - r.start)
+	r.state.Store(stateComplete)
+}
+
+// Event records an instant event on the lane.
+func (tk Track) Event(name string, args ...KV) {
+	if tk.tr == nil {
+		return
+	}
+	r := tk.tr.claim()
+	if r == nil {
+		return
+	}
+	r.kind = kindInstant
+	r.track = tk.tid
+	r.name = name
+	r.start = tk.tr.now()
+	r.nargs.Store(int32(copyArgs(&r.args, args)))
+	r.state.Store(stateComplete)
+}
+
+// Count records one sample of a named counter series (rendered as a
+// counter track in Perfetto — the convergence profile uses these).
+func (tk Track) Count(name string, v int64) {
+	if tk.tr == nil {
+		return
+	}
+	r := tk.tr.claim()
+	if r == nil {
+		return
+	}
+	r.kind = kindCounter
+	r.track = tk.tid
+	r.name = name
+	r.start = tk.tr.now()
+	r.args[0] = KV{Key: name, Num: v}
+	r.nargs.Store(1)
+	r.state.Store(stateComplete)
+}
+
+func copyArgs(dst *[maxArgs]KV, src []KV) int {
+	n := len(src)
+	if n > maxArgs {
+		n = maxArgs
+	}
+	copy(dst[:n], src[:n])
+	return n
+}
+
+// exported is one published record in plain (exporter-friendly) form.
+type exported struct {
+	kind  recordKind
+	track int32
+	start int64 // ns since trace start
+	dur   int64 // ns; spans only
+	open  bool  // span had not ended at snapshot time
+	name  string
+	args  []KV
+}
+
+// snapshot returns a consistent copy of every published record, closing
+// still-open spans at the current time. Safe to call while recording
+// continues: slots still being filled are skipped.
+func (t *Trace) snapshot() []exported {
+	if t == nil {
+		return nil
+	}
+	n := t.Len()
+	now := t.now()
+	out := make([]exported, 0, n)
+	for i := 0; i < n; i++ {
+		r := &t.buf[i]
+		st := r.state.Load()
+		if st != stateComplete && st != stateOpenSpan {
+			continue
+		}
+		na := r.nargs.Load()
+		c := exported{
+			kind:  r.kind,
+			track: r.track,
+			start: r.start,
+			name:  r.name,
+			args:  append([]KV(nil), r.args[:na]...),
+		}
+		if d := r.dur.Load(); d >= 0 {
+			c.dur = d
+		} else {
+			c.dur = now - r.start // span still open: clip to now
+			c.open = true
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/obs"
 )
 
 // moduleRequest is the common module-bearing part of analysis requests:
@@ -176,7 +177,18 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 	if err != nil {
 		return pip.BatchResult{}, cfg, badRequestf("module: %v", err)
 	}
-	res := s.eng.AnalyzeWithSummaries(m, cfg, s.opts.Summaries)
+	// Attach the solve to a request-scoped trace lane when the server is
+	// tracing, so spans in a captured trace file carry the same ID as the
+	// request's log lines and X-Request-Id header.
+	var lane pip.TraceLane
+	if s.opts.Trace != nil {
+		if id := requestIDFrom(r.Context()); id != "" {
+			lane = s.opts.Trace.NewTrack("req-" + id)
+		}
+	}
+	solveStart := time.Now()
+	res := s.eng.AnalyzeTraced(m, cfg, s.opts.Summaries, lane)
+	s.solveLatency.Observe(time.Since(solveStart).Seconds())
 	if res.Err != nil {
 		// Engine-level failure (solver error or recovered panic): the
 		// module parsed, so this is on the server, not the client.
@@ -314,7 +326,88 @@ type serverMetrics struct {
 	Draining    bool  `json:"draining"`
 }
 
+// handleMetrics serves Prometheus text exposition format (0.0.4) by
+// default; the original JSON body remains available at ?format=json for
+// existing dashboards and the pipserve smoke check.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.handleMetricsJSON(w)
+		return
+	}
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	// Request-path latency split: queue wait vs. solve time.
+	p.Histogram("pip_solve_latency_seconds",
+		"Time spent analyzing one request's module on the shared engine (including cache hits).",
+		s.solveLatency)
+	p.Histogram("pip_queue_wait_seconds",
+		"Time admitted requests waited for a run slot.",
+		s.queueWait)
+
+	// Admission control.
+	p.Counter("pip_requests_accepted_total", "Admitted analysis requests.", float64(s.accepted.Load()))
+	p.Counter("pip_requests_rejected_total", "Requests refused with 429 by admission control.", float64(s.rejected.Load()))
+	p.Counter("pip_requests_bad_total", "Requests refused with a 4xx other than 429.", float64(s.badRequests.Load()))
+	p.Counter("pip_requests_failed_total", "Requests answered with a 5xx.", float64(s.failures.Load()))
+	p.Counter("pip_solves_degraded_total", "Solves that returned the omega-degraded solution.", float64(s.degraded.Load()))
+	p.Gauge("pip_running_solves", "Solves currently holding a run slot.", float64(s.running.Load()))
+	p.Gauge("pip_queued_requests", "Requests currently waiting for a run slot.", float64(s.queued.Load()))
+	p.Gauge("pip_draining", "1 while the server is draining for shutdown.", b2f(s.draining.Load()))
+
+	// Solution cache.
+	p.Gauge("pip_cache_entries", "Resident cached solutions.", float64(st.CacheEntries))
+	p.Gauge("pip_cache_capacity", "Configured cache bound (0 = unbounded).", float64(s.eng.CacheCap()))
+	p.Counter("pip_cache_hits_total", "Solves served from the solution cache.", float64(st.CacheHits))
+	p.Counter("pip_cache_evictions_total", "Cached solutions dropped by the LRU bound.", float64(st.CacheEvictions))
+
+	// Engine counters and the per-rule firing breakdown.
+	p.Counter("pip_engine_jobs_total", "Jobs executed by the shared engine.", float64(st.Jobs))
+	p.Counter("pip_engine_failures_total", "Engine jobs that failed (solver error or recovered panic).", float64(st.Failures))
+	p.CounterVec("pip_rule_firings_total",
+		"Inference-rule applications per rule family, aggregated across all solves.",
+		"rule", map[string]float64{
+			"trans": float64(st.Telemetry.Firings.Trans),
+			"load":  float64(st.Telemetry.Firings.Load),
+			"store": float64(st.Telemetry.Firings.Store),
+			"call":  float64(st.Telemetry.Firings.Call),
+			"flag":  float64(st.Telemetry.Firings.Flag),
+		})
+
+	// Two different time totals, deliberately both exported: busy-span
+	// wall (elapsed time with >= 1 job running; overlap counted once) vs.
+	// summed per-solve phase durations (CPU time; overlapping solves sum,
+	// so phases can legitimately exceed the busy span). See
+	// core.Telemetry.Merge.
+	p.Counter("pip_engine_busy_seconds_total",
+		"Busy-span wall clock: elapsed time during which at least one job was running.",
+		st.Wall.Seconds())
+	p.Counter("pip_engine_cpu_seconds_total",
+		"Sum of per-job solve durations (sequential-equivalent cost).",
+		st.CPU.Seconds())
+	p.CounterVec("pip_engine_phase_seconds_total",
+		"Per-phase solver time summed across solves (CPU time: may exceed the busy span).",
+		"phase", map[string]float64{
+			"offline":   st.Telemetry.Offline.Seconds(),
+			"propagate": st.Telemetry.Propagate.Seconds(),
+			"collapse":  st.Telemetry.Collapse.Seconds(),
+		})
+	p.Gauge("pip_engine_worklist_peak", "Highest worklist depth seen by any solve.", float64(st.Telemetry.WorklistPeak))
+	p.Gauge("pip_engine_workers", "Configured engine pool bound.", float64(st.Workers))
+	if err := p.Err(); err != nil {
+		s.log.Error("write metrics", "err", err)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter) {
 	st := s.eng.Stats()
 	s.writeJSON(w, http.StatusOK, metricsResponse{
 		Engine: st,

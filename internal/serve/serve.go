@@ -19,9 +19,12 @@
 //     unbounded stream of distinct modules;
 //   - graceful shutdown: Shutdown stops admitting work and drains every
 //     in-flight solve before returning, so no accepted request is dropped;
-//   - observability: /healthz for liveness/readiness, /metrics for engine
-//     stats plus cache occupancy and server counters, and structured
-//     per-request logging.
+//   - observability: /healthz for liveness/readiness, /metrics in
+//     Prometheus text exposition format (the legacy JSON body remains at
+//     /metrics?format=json), optional /debug/pprof/* profiling endpoints,
+//     per-request IDs (X-Request-Id, accepted or generated) threaded
+//     through structured logs and solve traces, and latency histograms
+//     split into queue wait and solve time.
 package serve
 
 import (
@@ -30,11 +33,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/obs"
 )
 
 // Options configures a Server. The zero value serves with sane defaults.
@@ -73,6 +79,16 @@ type Options struct {
 	// Summaries are extra imported-function summaries applied to every
 	// analyzed module.
 	Summaries map[string]pip.Summary
+
+	// Trace, when non-nil, records every solve's phase spans onto a
+	// request-scoped lane of the trace, named by the request's ID — so a
+	// captured trace file can be cross-referenced against request logs.
+	Trace *pip.Trace
+
+	// EnablePprof exposes net/http/pprof under /debug/pprof/*. Off by
+	// default: the profiling endpoints reveal internals (heap contents,
+	// goroutine stacks) that an exposed analysis service must not leak.
+	EnablePprof bool
 }
 
 // Defaults for the zero Options value.
@@ -114,6 +130,14 @@ type Server struct {
 	degraded    atomic.Int64 // solves that returned the Ω-degraded solution
 	running     atomic.Int64 // solves currently holding a run slot
 	queued      atomic.Int64 // requests currently waiting for a run slot
+
+	// Latency histograms, exported on /metrics: queueWait is the time an
+	// admitted request spends waiting for a run slot, solveLatency the
+	// time inside the engine (generation + solve, or a cache hit). The
+	// split is the useful one operationally — queue wait grows when the
+	// server is saturated, solve latency when the modules get harder.
+	queueWait    *obs.Histogram
+	solveLatency *obs.Histogram
 }
 
 // New returns a server around a fresh shared engine.
@@ -134,22 +158,61 @@ func New(opts Options) *Server {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		opts:       opts,
-		eng:        pip.NewEngine(pip.BatchOptions{Workers: opts.Workers, Cache: true, CacheEntries: opts.CacheEntries}),
-		queueSlots: make(chan struct{}, opts.MaxQueue+opts.MaxConcurrent),
-		runSlots:   make(chan struct{}, opts.MaxConcurrent),
-		mux:        http.NewServeMux(),
+		opts:         opts,
+		eng:          pip.NewEngine(pip.BatchOptions{Workers: opts.Workers, Cache: true, CacheEntries: opts.CacheEntries}),
+		queueSlots:   make(chan struct{}, opts.MaxQueue+opts.MaxConcurrent),
+		runSlots:     make(chan struct{}, opts.MaxConcurrent),
+		mux:          http.NewServeMux(),
+		queueWait:    obs.NewHistogram(obs.LatencyBuckets()...),
+		solveLatency: obs.NewHistogram(obs.LatencyBuckets()...),
 	}
 	if opts.LogWriter != nil {
 		s.log = slog.New(slog.NewJSONHandler(opts.LogWriter, nil))
 	} else {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
-	s.mux.HandleFunc("POST /v1/solve", s.logged(s.admitted(s.handleSolve)))
-	s.mux.HandleFunc("POST /v1/alias", s.logged(s.admitted(s.handleAlias)))
+	s.mux.HandleFunc("POST /v1/solve", s.requestID(s.logged(s.admitted(s.handleSolve))))
+	s.mux.HandleFunc("POST /v1/alias", s.requestID(s.logged(s.admitted(s.handleAlias))))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		// net/http/pprof registers on DefaultServeMux at import; route the
+		// same handlers explicitly so they exist only when enabled.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// requestIDKey carries the request's ID through its context.
+type requestIDKey struct{}
+
+// requestID accepts a caller-supplied X-Request-Id (so the analysis
+// service slots into a tracing mesh) or generates one, echoes it on the
+// response, and stores it in the request context for logging and trace
+// attachment. Caller-supplied IDs are dropped when unprintable or
+// oversized — they end up in logs and trace files verbatim.
+func (s *Server) requestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 128 || strings.ContainsFunc(id, func(c rune) bool {
+			return c < 0x20 || c > 0x7e
+		}) {
+			id = obs.NewID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// requestIDFrom returns the request's ID, or "" outside the middleware.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // Engine returns the server's shared engine (for expvar publishing).
@@ -207,6 +270,7 @@ func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
 			"status", sw.status,
 			"duration_ms", float64(time.Since(start).Microseconds())/1000,
 			"remote", r.RemoteAddr,
+			"request_id", requestIDFrom(r.Context()),
 		)
 	}
 }
@@ -240,6 +304,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			s.inFlight.Done()
 		}()
 		// Wait for a run slot; give up if the client goes away first.
+		waitStart := time.Now()
 		select {
 		case s.runSlots <- struct{}{}:
 		case <-r.Context().Done():
@@ -247,6 +312,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			s.writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
 			return
 		}
+		s.queueWait.Observe(time.Since(waitStart).Seconds())
 		s.queued.Add(-1)
 		s.running.Add(1)
 		defer func() {

@@ -271,7 +271,7 @@ func TestMalformedRequests(t *testing.T) {
 		t.Fatalf("malformed requests reached the engine: %+v", st)
 	}
 	var m metricsResponse
-	getJSON(t, ts, "/metrics", &m)
+	getJSON(t, ts, "/metrics?format=json", &m)
 	if m.Server.BadRequests == 0 || m.Server.Failures != 0 {
 		t.Fatalf("bad requests not counted: %+v", m.Server)
 	}
@@ -330,7 +330,7 @@ func TestAdmissionControlOverflow(t *testing.T) {
 		}
 	}
 	var m metricsResponse
-	getJSON(t, ts, "/metrics", &m)
+	getJSON(t, ts, "/metrics?format=json", &m)
 	if m.Server.Rejected != 1 || m.Server.Accepted != 2 {
 		t.Fatalf("admission counters: %+v", m.Server)
 	}
@@ -488,7 +488,7 @@ func TestConcurrentLoad(t *testing.T) {
 	}
 
 	var m metricsResponse
-	if code := getJSON(t, ts, "/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts, "/metrics?format=json", &m); code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}
 	// Engine counters line up with what the clients observed.

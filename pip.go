@@ -31,6 +31,7 @@ import (
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/modref"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/opt"
 )
 
@@ -72,6 +73,24 @@ func BudgetFromContext(ctx context.Context, base Budget) Budget {
 // Telemetry is the per-solve instrumentation block: phase timers, rule
 // firing counts, and the worklist high-water mark.
 type Telemetry = core.Telemetry
+
+// Trace is a low-overhead structured trace of one or more solves: a
+// fixed-capacity ring of spans, instant events, and counter samples that
+// can be exported as Chrome trace_event JSON (chrome://tracing, Perfetto)
+// or rendered as a plain-text phase tree. See NewTrace.
+type Trace = obs.Trace
+
+// TraceLane is one named lane (track) of a Trace; pass it to
+// AnalyzeTraced or BatchOptions to direct recording. The zero TraceLane
+// records nothing.
+type TraceLane = obs.Track
+
+// NewTrace returns an enabled trace with the given label. Capacity is the
+// maximum number of resident records; <= 0 picks a default (64k records)
+// that comfortably holds a corpus batch. When the ring fills, new records
+// are dropped (and counted) rather than overwriting the solve's opening
+// phases.
+func NewTrace(label string, capacity int) *Trace { return obs.New(label, capacity) }
 
 // Module is a parsed or compiled translation unit.
 type Module = ir.Module
@@ -117,8 +136,22 @@ func Analyze(m *Module, cfg Config) (*Result, error) {
 // AnalyzeWithSummaries is Analyze with extra handwritten summaries for
 // imported functions (entries override the built-in defaults).
 func AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) (*Result, error) {
+	return analyzeTraced(m, cfg, summaries, obs.Track{})
+}
+
+// AnalyzeTraced is Analyze recording the solve's phase spans, cycle
+// collapses, and convergence profile onto the given trace lane:
+//
+//	tr := pip.NewTrace("my-solve", 0)
+//	res, err := pip.AnalyzeTraced(m, cfg, tr.NewTrack("solver"))
+//	_ = tr.WriteChromeFile("solve.trace.json") // open in Perfetto
+func AnalyzeTraced(m *Module, cfg Config, lane TraceLane) (*Result, error) {
+	return analyzeTraced(m, cfg, nil, lane)
+}
+
+func analyzeTraced(m *Module, cfg Config, summaries map[string]Summary, lane obs.Track) (*Result, error) {
 	gen := core.GenerateWith(m, summaries)
-	sol, err := core.Solve(gen.Problem, cfg)
+	sol, err := core.SolveTraced(gen.Problem, cfg, lane)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +175,10 @@ type BatchOptions struct {
 	// Budget bounds each module's solve; modules that exhaust it yield
 	// Degraded results (see Budget).
 	Budget Budget
+	// Trace, when non-nil, records engine activity (one track per pool
+	// worker, a span per job with queue-wait and outcome, the solve's
+	// phase spans nested inside) onto the trace. Nil costs nothing.
+	Trace *Trace
 }
 
 // BatchResult is one module's outcome: either Result or Err is set.
@@ -173,6 +210,7 @@ func NewEngine(opts BatchOptions) *Engine {
 		Cache:        opts.Cache,
 		CacheEntries: opts.CacheEntries,
 		Budget:       opts.Budget,
+		Trace:        opts.Trace,
 	})}
 }
 
@@ -186,6 +224,14 @@ func (e *Engine) Analyze(m *Module, cfg Config) BatchResult {
 // AnalyzeWithSummaries is Analyze with extra imported-function summaries.
 func (e *Engine) AnalyzeWithSummaries(m *Module, cfg Config, summaries map[string]Summary) BatchResult {
 	return toBatchResult(m, e.eng.RunOne(engine.Job{Module: m, Config: cfg, Summaries: summaries}))
+}
+
+// AnalyzeTraced is AnalyzeWithSummaries recording the solve's phase spans
+// and convergence profile onto the given trace lane — the hook a server
+// uses to attach a request-scoped lane (named by its request ID) to the
+// solve running on the shared engine.
+func (e *Engine) AnalyzeTraced(m *Module, cfg Config, summaries map[string]Summary, lane TraceLane) BatchResult {
+	return toBatchResult(m, e.eng.RunOne(engine.Job{Module: m, Config: cfg, Summaries: summaries, Trace: lane}))
 }
 
 // AnalyzeBatch analyzes many independent modules concurrently across the
