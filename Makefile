@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke staticcheck bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ bench-snapshot:
 # legacy JSON metrics, graceful drain.
 serve-smoke:
 	$(GO) run ./cmd/pipserve -smoke
+
+# Fault-injection invariant suite under the race detector: every
+# injection point armed at >= 1%, pinned seed (override with
+# PIP_CHAOS_SEED). Asserts no admitted request is dropped, every answer
+# is exact or the sound Ω-degradation, and the cache never serves a
+# corrupted entry. See the "Fault model & resilience" section of
+# DESIGN.md.
+chaos:
+	$(GO) test -race -v ./internal/chaos/ ./internal/faults/
 
 # Lint beyond go vet; CI installs the tool, it is not a module
 # dependency.

@@ -22,6 +22,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/bench"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/workload"
 )
@@ -41,7 +42,16 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "solution-cache capacity for caching drivers (0 = unbounded)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark snapshot (per-configuration solve wall, rule firings, worklist peak) to this file; implies the runtime measurement")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the measurement's job and solve spans (open in Perfetto or chrome://tracing)")
+	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection from a spec, e.g. seed=42;engine.dispatch=error:0.01 (see the fault model section of DESIGN.md)")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		reg, err := faults.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Arm(reg)
+	}
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
 		"fig10": true, "table6": true, "headline": true, "smoke": true}

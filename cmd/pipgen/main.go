@@ -19,6 +19,7 @@ import (
 
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/workload"
@@ -34,7 +35,16 @@ func main() {
 	showStats := flag.Bool("stats", false, "solve every generated file under the default configuration and print engine stats with aggregated solver telemetry as JSON")
 	budgetStr := flag.String("budget", "", "per-solve budget for -stats, e.g. 100ms, 5000f, or 100ms,5000f")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the -stats solve phase (open in Perfetto or chrome://tracing)")
+	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection from a spec, e.g. seed=42;engine.dispatch=error:0.01 (see the fault model section of DESIGN.md)")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		reg, err := faults.ParseSpec(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Arm(reg)
+	}
 
 	opts := workload.Options{Seed: *seed, Scale: *scale, SizeScale: *sizeScale, MaxInstrs: *maxInstrs}
 	files := workload.GenerateCorpus(opts)

@@ -76,6 +76,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"write a Chrome trace_event JSON file of per-request solve spans on shutdown (open in Perfetto or chrome://tracing)")
 	smoke := fs.Bool("smoke", false,
 		"self-test: listen on an ephemeral port, run one end-to-end request, drain, exit")
+	retries := fs.Int("retries", 2,
+		"re-solves of transiently failed jobs (recovered panics, injected faults); 0 disables retry")
+	watchdogFactor := fs.Int("watchdog-factor", 4,
+		"abandon solves stuck past N× their wall deadline and answer with the sound Ω-degradation; 0 disables (only fires for budgeted solves)")
+	memSoftLimit := fs.Uint64("mem-soft-limit", 0,
+		"heap bytes beyond which new solves switch to -tight-budget; 0 disables the guard")
+	tightBudgetStr := fs.String("tight-budget", "",
+		"budget applied under memory pressure, e.g. 50ms,1000f (componentwise minimum with the request budget)")
+	noBreaker := fs.Bool("no-breaker", false,
+		"disable the circuit breaker (by default the server sheds load with 503 when the recent failure/degradation rate crosses 50%)")
+	chaosSpec := fs.String("chaos", "",
+		"arm deterministic fault injection from a spec, e.g. seed=42;serve.handler=error:0.01 (see the fault model section of DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,18 +95,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	if *chaosSpec != "" {
+		disarm, err := pip.ArmChaos(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		defer disarm()
+	}
+
 	cfg, err := pip.ParseConfig(*configName)
 	if err != nil {
 		return err
 	}
 	opts := serve.Options{
-		Config:        cfg,
-		HasConfig:     true,
-		Workers:       *workers,
-		CacheEntries:  *cacheEntries,
-		MaxConcurrent: *concurrent,
-		MaxQueue:      *queue,
-		EnablePprof:   *enablePprof,
+		Config:         cfg,
+		HasConfig:      true,
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		MaxConcurrent:  *concurrent,
+		MaxQueue:       *queue,
+		EnablePprof:    *enablePprof,
+		Retries:        *retries,
+		WatchdogFactor: *watchdogFactor,
+		MemSoftLimit:   *memSoftLimit,
+		Breaker:        serve.BreakerOptions{Disabled: *noBreaker},
+	}
+	if *tightBudgetStr != "" {
+		b, err := pip.ParseBudget(*tightBudgetStr)
+		if err != nil {
+			return err
+		}
+		opts.TightBudget = b
 	}
 	var tr *pip.Trace
 	if *tracePath != "" {

@@ -29,7 +29,14 @@ func main() {
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausting it yields the sound Ω-degraded solution")
 	showStats := flag.Bool("stats", false, "print solver telemetry (phase timers, rule firings, worklist peak)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
+	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection from a spec, e.g. seed=42;engine.dispatch=error:0.01 (see the fault model section of DESIGN.md)")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		if _, err := pip.ArmChaos(*chaosSpec); err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg, err := pip.ParseConfig(*configName)
 	if err != nil {

@@ -178,12 +178,18 @@ func (lw *lowerer) irTypeOf(t CType) ir.Type {
 	case *FuncCT:
 		return ir.Ptr // function values decay to pointers
 	}
-	panic(fmt.Sprintf("irTypeOf: %T", t))
+	// No source position survives to type lowering, so these diagnostics
+	// carry line 0 (rendered without a line prefix). They are believed
+	// unreachable from parsed source — the parser never builds the shapes
+	// they guard against — but a malformed AST handed to the lowerer
+	// directly must produce a compile error, not a crash.
+	lw.errf(0, "cannot lower C type %T (%v)", t, t)
+	return ir.Void // unreachable: errf panics
 }
 
 func (lw *lowerer) irStruct(def *StructDef) *ir.StructType {
 	if def == nil {
-		panic("use of undefined struct")
+		lw.errf(0, "use of undefined struct type")
 	}
 	if def.irType != nil {
 		return def.irType
@@ -199,7 +205,7 @@ func (lw *lowerer) irStruct(def *StructDef) *ir.StructType {
 		// Name collision across scopes: uniquify.
 		st.Name = fmt.Sprintf("%s.%d", def.Name, len(lw.mod.Structs))
 		if err := lw.mod.AddStruct(st); err != nil {
-			panic(err)
+			lw.errf(0, "cannot register struct %q: %v", def.Name, err)
 		}
 	}
 	return st

@@ -33,6 +33,12 @@ func FuzzCompile(f *testing.F) {
 		"int g() { static int c; c++; return c; }",
 		"static int a; static int *t[2] = { &a, &a }; int *f(int i) { return t[i]; }",
 		"struct s { int *x; }; static int v; static struct s d = { &v };",
+		// Struct-table edge cases near the lowerer's registration guards:
+		// an empty-bodied struct later redefined (the parser merges the
+		// bodies), and a user struct named like a generated anonymous
+		// struct, forcing the AddStruct-collision uniquify path.
+		"struct s {}; struct s { int *p; }; struct s g; int *f() { return g.p; }",
+		"struct anon0 { int a; }; struct anon0 g; int f() { return sizeof(struct { int x; }); }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -47,7 +47,14 @@ type compileError struct {
 	msg  string
 }
 
-func (e *compileError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+func (e *compileError) Error() string {
+	if e.line <= 0 {
+		// Errors raised after parsing (type lowering) have no source
+		// position; "line 0" would point at nothing.
+		return e.msg
+	}
+	return fmt.Sprintf("line %d: %s", e.line, e.msg)
+}
 
 // symbol binds a C name to its address value and type.
 type symbol struct {

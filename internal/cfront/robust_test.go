@@ -1,0 +1,89 @@
+package cfront
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+// expectCompileError runs f on a fresh lowerer and requires it to panic
+// with a *compileError — the type Compile's recover converts to an error.
+// Anything else (no panic, or a raw panic value) would crash a Compile
+// caller instead of reporting a diagnostic.
+func expectCompileError(t *testing.T, name string, f func(lw *lowerer)) *compileError {
+	t.Helper()
+	lw := &lowerer{mod: ir.NewModule("robust.c"), globals: map[string]*symbol{}}
+	lw.b = ir.NewBuilder(lw.mod)
+	var ce *compileError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: lowerer accepted malformed input", name)
+			}
+			var ok bool
+			if ce, ok = r.(*compileError); !ok {
+				t.Fatalf("%s: panicked with %T (%v), not *compileError", name, r, r)
+			}
+		}()
+		f(lw)
+	}()
+	return ce
+}
+
+// TestLowererRejectsMalformedAST pins the error paths that used to be
+// panics in type lowering. The parser never produces these shapes (it
+// always fills StructRef.Def and never emits unknown type nodes), so they
+// are exercised the way a future bug or a direct AST consumer would hit
+// them: by feeding the lowerer a malformed AST.
+func TestLowererRejectsMalformedAST(t *testing.T) {
+	ce := expectCompileError(t, "nil struct def", func(lw *lowerer) {
+		lw.irStruct(nil)
+	})
+	if !strings.Contains(ce.Error(), "undefined struct") {
+		t.Fatalf("wrong diagnostic: %v", ce)
+	}
+	if strings.Contains(ce.Error(), "line 0") {
+		t.Fatalf("position-free diagnostic rendered a bogus line: %v", ce)
+	}
+
+	ce = expectCompileError(t, "unknown type node", func(lw *lowerer) {
+		lw.irTypeOf(nil)
+	})
+	if !strings.Contains(ce.Error(), "cannot lower C type") {
+		t.Fatalf("wrong diagnostic: %v", ce)
+	}
+
+	// A StructRef whose Def was never resolved takes the same path as a
+	// bare nil def.
+	expectCompileError(t, "unresolved StructRef", func(lw *lowerer) {
+		lw.irTypeOf(&StructRef{})
+	})
+}
+
+// TestStructNameUniquify drives the AddStruct-collision branch from real
+// source: a user struct named like the parser's generated anonymous names
+// ("anon0", "anon1", ...) collides in the module's struct table and must
+// be uniquified, not dropped or crashed on.
+func TestStructNameUniquify(t *testing.T) {
+	src := `
+struct anon0 { int a; };
+struct anon0 g;
+int f() { return sizeof(struct { int x; int y; });  }
+`
+	m, err := Compile("uniq.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	names := map[string]bool{}
+	for _, st := range m.Structs {
+		if names[st.Name] {
+			t.Fatalf("duplicate struct name %q in module", st.Name)
+		}
+		names[st.Name] = true
+	}
+	if len(m.Structs) < 2 {
+		t.Fatalf("expected both colliding structs registered, got %v", m.Structs)
+	}
+}

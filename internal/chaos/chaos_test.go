@@ -1,0 +1,350 @@
+// Package chaos is the fault-injection invariant suite: it arms every
+// injection point at once (each at >= 1%) and checks that the system
+// keeps its three resilience promises under fire:
+//
+//  1. no admitted request is dropped — every client gets a definitive
+//     response and shutdown drains cleanly;
+//  2. every returned solution is either the exact answer or the sound
+//     Ω-degradation, never silently wrong;
+//  3. the cache never serves a corrupted entry — content verification
+//     drops bad entries and the job re-solves.
+//
+// The fault registry is deterministic in (seed, point, hit#), so a run is
+// reproducible given the same seed (pinned below, overridable with
+// PIP_CHAOS_SEED) and workload. `make chaos` runs this package under the
+// race detector.
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/serve"
+	"github.com/pip-analysis/pip/internal/workload"
+)
+
+// chaosSeed pins the run; override with PIP_CHAOS_SEED to explore.
+func chaosSeed() int64 {
+	if v := os.Getenv("PIP_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 42
+}
+
+// chaosSpec arms all eight injection points, every one at >= 1%, with the
+// kinds spread so each failure mode is exercised: errors in the solver
+// core (which degrade to Ω), panics at dispatch and in the handler (which
+// the retry layer and recovery middleware absorb), cache corruption
+// (which verification catches), and admission errors (refused before
+// admission, so the drain guarantee is untouched).
+func chaosSpec() string {
+	return fmt.Sprintf("seed=%d"+
+		";core.solve=error:0.02"+
+		";core.wave=error:0.05"+
+		";core.collapse=error:0.03"+
+		";engine.dispatch=panic:0.02"+
+		";engine.cache.insert=flip:0.5"+
+		";engine.cache.lookup=error:0.02"+
+		";serve.admission=error:0.03"+
+		";serve.handler=panic:0.02",
+		chaosSeed())
+}
+
+func armChaos(t *testing.T) {
+	t.Helper()
+	reg, err := faults.ParseSpec(chaosSpec())
+	if err != nil {
+		t.Fatalf("bad chaos spec: %v", err)
+	}
+	faults.Arm(reg)
+	t.Cleanup(faults.Disarm)
+}
+
+// chaosConfigs spans the solver paths that carry injection points: the
+// default worklist (collapse via PIP unification and OVS), the wave
+// solver (per-wave hook plus collapseAllSCCs), and the naive baseline
+// (core.solve only).
+func chaosConfigs(t *testing.T) []core.Config {
+	t.Helper()
+	var cfgs []core.Config
+	for _, name := range []string{"IP+WL(FIFO)+PIP", "IP+Wave+PIP", "EP+Naive"} {
+		cfg, err := core.ParseConfig(name)
+		if err != nil {
+			t.Fatalf("config %s: %v", name, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestChaosEngineInvariants hammers the engine with every point armed and
+// checks invariant 2 and 3 at the result level: a job either fails with a
+// classifiable fault, degrades to the sound Ω solution, or returns the
+// bit-exact answer computed with chaos off. A corrupted cache entry can
+// never surface: it would produce a non-degraded result whose fingerprint
+// differs from the exact one.
+func TestChaosEngineInvariants(t *testing.T) {
+	const nModules = 6
+	const passes = 3
+	mods := make([]*pip.Module, 0, nModules)
+	for seed := int64(1); len(mods) < nModules; seed++ {
+		mods = append(mods, workload.GenerateLinked(seed).A)
+	}
+	cfgs := chaosConfigs(t)
+
+	// Ground truth, computed before arming.
+	exact := map[string]string{}
+	for ci, cfg := range cfgs {
+		for mi, m := range mods {
+			sol := core.MustSolve(core.Generate(m).Problem, cfg)
+			exact[fmt.Sprintf("%d/%d", ci, mi)] = sol.Fingerprint()
+		}
+	}
+
+	armChaos(t)
+	eng := engine.New(engine.Options{
+		Workers: 4,
+		Cache:   true,
+		Retry:   engine.RetryPolicy{Max: 3},
+	})
+	var failed, degraded, exactCount int
+	for pass := 0; pass < passes; pass++ {
+		for ci, cfg := range cfgs {
+			var jobs []engine.Job
+			for _, m := range mods {
+				jobs = append(jobs, engine.Job{Module: m, Config: cfg})
+			}
+			for mi, res := range eng.Run(jobs) {
+				switch {
+				case res.Err != nil:
+					// Invariant 2: failures must be honest fault
+					// reports, not mangled results.
+					if !faults.IsFault(res.Err) && !strings.Contains(res.Err.Error(), "job panicked") {
+						t.Fatalf("pass %d cfg %d mod %d: non-fault error: %v", pass, ci, mi, res.Err)
+					}
+					failed++
+				case res.Degraded:
+					if !res.Sol.Degraded {
+						t.Fatalf("pass %d cfg %d mod %d: Degraded result with non-degraded solution", pass, ci, mi)
+					}
+					degraded++
+				default:
+					// Invariant 2 + 3: a non-degraded answer must be the
+					// exact solution — served from a verified cache entry
+					// or re-solved, never from a corrupted one.
+					key := fmt.Sprintf("%d/%d", ci, mi)
+					if got := res.Sol.Fingerprint(); got != exact[key] {
+						t.Fatalf("pass %d cfg %d mod %d: unsound non-degraded solution", pass, ci, mi)
+					}
+					exactCount++
+				}
+			}
+		}
+	}
+	t.Logf("chaos engine: %d exact, %d degraded, %d failed over %d jobs",
+		exactCount, degraded, failed, passes*len(cfgs)*len(mods))
+	if exactCount == 0 {
+		t.Fatal("chaos drowned every job; the suite proved nothing — lower the rates")
+	}
+	st := eng.Stats()
+	if st.Jobs != passes*len(cfgs)*len(mods) {
+		t.Fatalf("jobs lost: ran %d, stats say %d", passes*len(cfgs)*len(mods), st.Jobs)
+	}
+	// With insert-flip at 50% over multiple cached passes, verification
+	// must have caught corrupted entries (deterministic given the seed).
+	if st.CacheCorrupt == 0 {
+		t.Fatal("no corrupted cache entries detected despite 50% insert flips")
+	}
+	// The engine-side points must all have been exercised.
+	reg := faults.Active()
+	for _, p := range []faults.Point{faults.CoreSolve, faults.EngineDispatch, faults.EngineCacheIns, faults.EngineCacheLook} {
+		if reg.Hits(p) == 0 {
+			t.Fatalf("injection point %s never reached", p)
+		}
+	}
+}
+
+// TestChaosServeInvariants drives the full HTTP stack under the same
+// armed registry and checks invariant 1 end to end: every request gets a
+// definitive response, non-degraded 200s carry the exact dump, and
+// shutdown drains with nothing left behind.
+func TestChaosServeInvariants(t *testing.T) {
+	srcs := make([]string, 8)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf(`
+static int x%d;
+int *p%d = &x%d;
+extern void take(int**);
+void f%d() { take(&p%d); }
+`, i, i, i, i, i)
+	}
+	// Ground-truth dumps per (module, config), computed before arming.
+	configNames := []string{"IP+WL(FIFO)+PIP", "IP+Wave+PIP", "EP+Naive"}
+	exact := map[string]string{}
+	for _, cn := range configNames {
+		cfg, err := pip.ParseConfig(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, src := range srcs {
+			m, err := pip.CompileC("chaos.c", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pip.Analyze(m, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact[cn+"/"+strconv.Itoa(si)] = res.Dump()
+		}
+	}
+
+	armChaos(t)
+	s := serve.New(serve.Options{
+		MaxConcurrent: 4,
+		MaxQueue:      64,
+		Retries:       3,
+		Breaker:       serve.BreakerOptions{Window: 32, MinSamples: 16, Threshold: 0.6, Cooldown: 30 * time.Millisecond, Probes: 2},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		code     int
+		degraded bool
+		dump     string
+		key      string
+	}
+	const rounds = 9
+	replies := make([]reply, 0, rounds*len(srcs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for si, src := range srcs {
+			wg.Add(1)
+			go func(r, si int, src string) {
+				defer wg.Done()
+				cn := configNames[(r+si)%len(configNames)]
+				body, _ := json.Marshal(map[string]string{"c": src, "config": cn})
+				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Errorf("round %d src %d: transport error (dropped request): %v", r, si, err)
+					return
+				}
+				defer resp.Body.Close()
+				var out struct {
+					Degraded bool   `json:"degraded"`
+					Dump     string `json:"dump"`
+				}
+				if resp.StatusCode == http.StatusOK {
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						t.Errorf("round %d src %d: bad 200 body: %v", r, si, err)
+						return
+					}
+				}
+				mu.Lock()
+				replies = append(replies, reply{resp.StatusCode, out.Degraded, out.Dump, cn + "/" + strconv.Itoa(si)})
+				mu.Unlock()
+			}(r, si, src)
+		}
+	}
+	wg.Wait()
+
+	var ok200, degraded, refused, failed int
+	for _, rp := range replies {
+		switch rp.code {
+		case http.StatusOK:
+			if rp.degraded {
+				degraded++
+				continue
+			}
+			ok200++
+			// Invariant 2/3 through the full stack: non-degraded answers
+			// are bit-exact.
+			if rp.dump != exact[rp.key] {
+				t.Fatalf("unsound non-degraded response for %s", rp.key)
+			}
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			refused++ // shed before admission: allowed, and answered
+		case http.StatusInternalServerError:
+			failed++ // honest failure after retries: answered, not dropped
+		default:
+			t.Fatalf("unexpected status %d for %s", rp.code, rp.key)
+		}
+	}
+	// Invariant 1: every fired request is accounted for.
+	if len(replies) != rounds*len(srcs) {
+		t.Fatalf("dropped requests: sent %d, answered %d", rounds*len(srcs), len(replies))
+	}
+	t.Logf("chaos serve: %d exact, %d degraded, %d refused, %d failed", ok200, degraded, refused, failed)
+	if ok200 == 0 {
+		t.Fatal("chaos drowned every request; the suite proved nothing — lower the rates")
+	}
+
+	// Drain under chaos: shutdown completes and leaves nothing in flight.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("drain under chaos failed: %v", err)
+	}
+	// Serve-side injection points were exercised.
+	reg := faults.Active()
+	for _, p := range []faults.Point{faults.ServeAdmission, faults.ServeHandler} {
+		if reg.Hits(p) == 0 {
+			t.Fatalf("injection point %s never reached", p)
+		}
+	}
+}
+
+// TestChaosWaveAndCollapsePoints runs the two solver-internal points
+// hard enough to prove an injected mid-solve error always lands as the
+// sound Ω-degradation, exactly like budget exhaustion — never an error,
+// never a partial result.
+func TestChaosWaveAndCollapsePoints(t *testing.T) {
+	spec := fmt.Sprintf("seed=%d;core.wave=error:0.5;core.collapse=error:0.5", chaosSeed())
+	reg, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	t.Cleanup(faults.Disarm)
+
+	mods := []*pip.Module{workload.GenerateLinked(1).A, workload.GenerateLinked(2).A}
+	for _, name := range []string{"IP+Wave+PIP", "IP+WL(FIFO)+PIP"} {
+		cfg, err := core.ParseConfig(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sawDegraded bool
+		for _, m := range mods {
+			for i := 0; i < 8; i++ {
+				sol, err := core.Solve(core.Generate(m).Problem, cfg)
+				if err != nil {
+					t.Fatalf("%s: mid-solve fault surfaced as error: %v", name, err)
+				}
+				if sol.Degraded {
+					sawDegraded = true
+				}
+			}
+		}
+		if name == "IP+Wave+PIP" && !sawDegraded {
+			t.Fatalf("%s: 50%% wave faults never degraded a solve", name)
+		}
+	}
+	if reg.Hits(faults.CoreWave) == 0 {
+		t.Fatal("core.wave point never reached")
+	}
+}

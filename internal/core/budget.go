@@ -130,6 +130,13 @@ func BudgetFromContext(ctx context.Context, base Budget) Budget {
 //
 // The construction reads only the Problem, never the aborted solver state,
 // so the degraded answer is identical no matter where the abort happened.
+//
+// DegradedSolution is the exported form. The engine's resilience layer
+// uses it to answer for solves it had to abandon (watchdog timeouts,
+// exhausted retries): the Ω top element is sound for the problem
+// regardless of what the stuck or failed solve had done.
+func DegradedSolution(p *Problem) *Solution { return degradedSolution(p) }
+
 func degradedSolution(p *Problem) *Solution {
 	n := p.NumVars()
 	sol := &Solution{

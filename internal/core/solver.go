@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/bitset"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/uf"
 )
@@ -128,6 +129,12 @@ func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
 		return nil, err
 	}
 	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	// Chaos hook: the per-solve injection point sits after validation, so
+	// an injected error is indistinguishable from a real internal solver
+	// failure to the layers above (engine retry, serve error mapping).
+	if err := faults.Inject(faults.CoreSolve); err != nil {
 		return nil, err
 	}
 	start := time.Now()

@@ -1,6 +1,9 @@
 package core
 
-import "github.com/pip-analysis/pip/internal/obs"
+import (
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
+)
 
 // Wave-propagation solver (Pereira and Berlin, cited as reference [11] in
 // the paper's related work) — an extension beyond the paper's Table IV
@@ -23,6 +26,15 @@ func (s *solver) solveWave() {
 	for {
 		s.progress = false
 		if s.budgetExhausted() {
+			return
+		}
+		// Chaos hook: an injected error mid-solve latches the abort flag,
+		// so the wave solver degrades to the sound Ω top element exactly
+		// like a budget exhaustion (injected panics propagate to the
+		// engine's per-job recovery instead).
+		if err := faults.Inject(faults.CoreWave); err != nil {
+			s.aborted = true
+			s.tk.Event("fault_injected", obs.S("point", string(faults.CoreWave)))
 			return
 		}
 		wave := s.tk.Begin("wave", obs.N("pass", int64(s.stats.Passes+1)))

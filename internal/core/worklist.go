@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 )
 
@@ -55,6 +56,14 @@ func (s *solver) collapseSpan() func() {
 	s.collapseDepth++
 	if s.collapseDepth > 1 {
 		return func() { s.collapseDepth-- }
+	}
+	// Chaos hook at top-level collapse entry: an injected error latches
+	// the abort flag — every solve loop polls budgetExhausted, so the
+	// solver unwinds cooperatively and returns the sound Ω-degradation.
+	// Injected panics propagate to the engine's per-job recovery.
+	if err := faults.Inject(faults.CoreCollapse); err != nil {
+		s.aborted = true
+		s.tk.Event("fault_injected", obs.S("point", string(faults.CoreCollapse)))
 	}
 	t0 := time.Now()
 	sp := s.tk.Begin("collapse")

@@ -19,6 +19,21 @@ type solutionCache struct {
 	entries   map[string]*list.Element
 	order     *list.List // front = most recently used
 	evictions int64
+	// reserved holds one reservation per cache key currently being solved:
+	// the first job to miss becomes the leader, later jobs with the same
+	// key wait on its done channel instead of solving redundantly. Entries
+	// are removed by Engine.release, which the leader defers — including
+	// across recovered panics, so a dead leader cannot strand its waiters.
+	reserved map[string]*reservation
+}
+
+// reservation is the rendezvous between the leader solving a cache key
+// and the jobs coalesced behind it. The leader fills c/ok (ok only for
+// an exact, cacheable solution) before release closes done.
+type reservation struct {
+	done chan struct{}
+	c    cached
+	ok   bool
 }
 
 type cacheEntry struct {
@@ -28,9 +43,10 @@ type cacheEntry struct {
 
 func newSolutionCache(max int) *solutionCache {
 	return &solutionCache{
-		max:     max,
-		entries: map[string]*list.Element{},
-		order:   list.New(),
+		max:      max,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		reserved: map[string]*reservation{},
 	}
 }
 
@@ -61,6 +77,15 @@ func (c *solutionCache) put(key string, val cached) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
+	}
+}
+
+// drop removes an entry outright (used when lookup verification finds a
+// corrupted entry — it must not survive to be served later).
+func (c *solutionCache) drop(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/obs"
 )
@@ -63,6 +64,26 @@ type Options struct {
 	// costs nothing. Jobs can redirect their solve spans to a different
 	// lane (e.g. a request-scoped trace) via Job.Trace.
 	Trace *obs.Trace
+
+	// Retry re-solves jobs that failed transiently (recovered panics,
+	// injected faults) with exponential backoff and jitter. Degraded
+	// results are successes — they carry the sound Ω-degraded solution —
+	// and are never retried. The zero policy disables retry.
+	Retry RetryPolicy
+	// WatchdogFactor, when > 0, bounds solves that carry a wall-clock
+	// budget deadline: one that has not answered within WatchdogFactor×
+	// its deadline (the budget's own strided checks should degrade it
+	// far earlier) is force-answered with the sound Ω-degradation and
+	// the stuck solve abandoned. 0 disables the watchdog.
+	WatchdogFactor int
+	// MemSoftLimit is a soft heap bound in bytes: while the sampled
+	// heap allocation exceeds it, new jobs have their budgets tightened
+	// to TightBudget (componentwise minimum) so the engine degrades
+	// precision before the process nears OOM. 0 disables the guard.
+	MemSoftLimit uint64
+	// TightBudget is the budget imposed under memory pressure. Ignored
+	// when MemSoftLimit is 0.
+	TightBudget core.Budget
 }
 
 // Job is one unit of work: solve one problem under one configuration.
@@ -104,6 +125,14 @@ type Result struct {
 	// Duration is the fastest solve time across the job's reps (zero on
 	// cache hits: nothing was solved).
 	Duration time.Duration
+	// Retries is how many times the job was re-solved after transient
+	// failures before producing this result.
+	Retries int
+	// Coalesced reports that this result was shared from a concurrent
+	// solve of the same cache key (request coalescing): the job waited
+	// for the in-flight leader instead of re-solving. Coalesced results
+	// are also CacheHits.
+	Coalesced bool
 }
 
 // Stats is the engine's cumulative counters across all Run calls. The
@@ -135,6 +164,21 @@ type Stats struct {
 	PeakInFlight int `json:"peak_in_flight"`
 	// Workers is the configured pool bound.
 	Workers int `json:"workers"`
+	// Retries counts re-solves of transiently failed jobs;
+	// RetrySuccesses counts the re-solves that then produced a result.
+	Retries        int64 `json:"retries"`
+	RetrySuccesses int64 `json:"retry_successes"`
+	// WatchdogFired counts solves force-degraded to Ω by the watchdog.
+	WatchdogFired int64 `json:"watchdog_fired"`
+	// MemTightened counts jobs whose budget was tightened by the soft
+	// memory guard.
+	MemTightened int64 `json:"mem_tightened"`
+	// CacheCorrupt counts cache entries whose content hash failed
+	// verification on read; each was evicted and re-solved, never served.
+	CacheCorrupt int64 `json:"cache_corrupt_detected"`
+	// Coalesced counts jobs served by waiting on a concurrent identical
+	// solve instead of solving themselves.
+	Coalesced int64 `json:"coalesced"`
 	// Telemetry aggregates per-solve telemetry across all non-cached jobs:
 	// phase durations and firings sum, the worklist peak takes the max.
 	Telemetry core.Telemetry `json:"telemetry"`
@@ -167,6 +211,12 @@ func (st *Stats) Merge(u Stats) {
 	st.CacheEvictions += u.CacheEvictions
 	st.Wall += u.Wall
 	st.CPU += u.CPU
+	st.Retries += u.Retries
+	st.RetrySuccesses += u.RetrySuccesses
+	st.WatchdogFired += u.WatchdogFired
+	st.MemTightened += u.MemTightened
+	st.CacheCorrupt += u.CacheCorrupt
+	st.Coalesced += u.Coalesced
 	if u.PeakInFlight > st.PeakInFlight {
 		st.PeakInFlight = u.PeakInFlight
 	}
@@ -210,6 +260,10 @@ func (e *Engine) Publish(name string) {
 type cached struct {
 	gen *core.Gen
 	sol *core.Solution
+	// fp is the solution's content hash, recorded at insert time only when
+	// fault injection is armed; 0 means "no hash recorded". Lookup verifies
+	// it so a corrupted entry is dropped instead of served (see verifyEntry).
+	fp uint64
 }
 
 // Engine is a reusable batch solver. The zero value is not usable; call New.
@@ -221,6 +275,12 @@ type Engine struct {
 	stats     Stats
 	inFlight  int
 	busyStart time.Time // start of the current busy span; valid while inFlight > 0
+
+	// Soft memory guard state: memOver latches whether the last heap
+	// sample exceeded Options.MemSoftLimit; lastMemSample rate-limits
+	// runtime.ReadMemStats (unix nanos of the last sample).
+	memOver       atomic.Bool
+	lastMemSample atomic.Int64
 }
 
 // New returns an engine with the given options.
@@ -398,29 +458,133 @@ func (e *Engine) noteDone(res Result) {
 	e.mu.Unlock()
 }
 
-func (e *Engine) lookup(key string) (cached, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cache.get(key)
-}
-
 func (e *Engine) store(key string, c cached) {
 	e.mu.Lock()
 	e.cache.put(key, c)
 	e.mu.Unlock()
 }
 
-// runJob executes one job. Any panic below this frame — in constraint
-// generation, the solver, or cache-key hashing — is converted into a
-// Result.Err so one bad file cannot take down a batch run.
-func (e *Engine) runJob(j Job, tk obs.Track) (res Result) {
+// acquire resolves key against the cache with request coalescing. It
+// either returns a verified cache hit (rsv == nil), or makes the caller
+// the leader for key (hit == false): the caller must solve and then
+// release rsv exactly once, success or not. A caller that finds another
+// leader in flight waits for it; a shared exact solution comes back as a
+// coalesced hit, while a failed or degraded leader sends waiters back
+// around the loop to solve for themselves.
+func (e *Engine) acquire(key string) (c cached, hit bool, coalesced bool, rsv *reservation) {
+	for {
+		e.mu.Lock()
+		if c, ok := e.cache.get(key); ok {
+			if e.verifyEntry(key, c) {
+				e.mu.Unlock()
+				return c, true, coalesced, nil
+			}
+			// Entry failed content-hash verification: verifyEntry dropped
+			// it; fall through and solve as if it had never been cached.
+		}
+		r, inFlight := e.cache.reserved[key]
+		if !inFlight {
+			r = &reservation{done: make(chan struct{})}
+			e.cache.reserved[key] = r
+			e.mu.Unlock()
+			return cached{}, false, coalesced, r
+		}
+		e.mu.Unlock()
+		<-r.done
+		if r.ok {
+			e.mu.Lock()
+			e.stats.Coalesced++
+			e.mu.Unlock()
+			return r.c, true, true, nil
+		}
+		// The leader failed or degraded; re-check the cache and contend
+		// to become the next leader.
+	}
+}
+
+// verifyEntry checks a cache entry's content hash on read. Entries carry
+// a hash only when faults are armed (fp != 0); a mismatch means the
+// entry no longer matches the solution it was stored with — it is
+// dropped and counted, and the caller re-solves. Called under e.mu.
+func (e *Engine) verifyEntry(key string, c cached) bool {
+	if c.fp == 0 || faults.Active() == nil {
+		return true
+	}
+	if fingerprintHash(c.sol) == c.fp {
+		return true
+	}
+	e.cache.drop(key)
+	e.stats.CacheCorrupt++
+	return false
+}
+
+// release ends the caller's leadership of key: the reservation is
+// removed and its waiters woken. Deferred by the leader in attemptJob so
+// that every exit — including a recovered panic between reserve and
+// store — releases exactly once; a leaked reservation would deadlock
+// every later job with the same key.
+func (e *Engine) release(key string, rsv *reservation) {
+	e.mu.Lock()
+	if e.cache.reserved[key] == rsv {
+		delete(e.cache.reserved, key)
+	}
+	e.mu.Unlock()
+	close(rsv.done)
+}
+
+// runJob executes one job with the retry policy: transient failures
+// (recovered panics, injected faults) are re-solved up to Retry.Max
+// times with exponential backoff and jitter. Structural failures and
+// degraded results return immediately — a degraded result is a success
+// carrying the sound Ω-degradation, and retrying it would just spend
+// the budget again.
+func (e *Engine) runJob(j Job, tk obs.Track) Result {
+	res := e.attemptJob(j, tk)
+	for n := 1; res.Err != nil && n <= e.opts.Retry.Max && retryable(res.Err); n++ {
+		e.mu.Lock()
+		e.stats.Retries++
+		e.mu.Unlock()
+		time.Sleep(e.opts.Retry.backoff(n))
+		res = e.attemptJob(j, tk)
+		res.Retries = n
+		if res.Err == nil {
+			e.mu.Lock()
+			e.stats.RetrySuccesses++
+			e.mu.Unlock()
+		}
+	}
+	return res
+}
+
+// attemptJob executes one solve attempt. Any panic below this frame — in
+// constraint generation, the solver, cache-key hashing, or an injected
+// fault — is converted into a Result.Err so one bad file cannot take
+// down a batch run (and so the retry layer can classify it).
+func (e *Engine) attemptJob(j Job, tk obs.Track) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = Result{Err: fmt.Errorf("engine: job panicked: %v\n%s", r, debug.Stack())}
+			res = Result{Err: &panicError{val: r, stack: debug.Stack()}}
 		}
 	}()
 	if j.Gen == nil && j.Module == nil {
 		return Result{Err: errors.New("engine: job has neither Module nor Gen")}
+	}
+	// Chaos hook: dispatch faults stand for everything that can go wrong
+	// between queueing a job and starting its solve.
+	if err := faults.Inject(faults.EngineDispatch); err != nil {
+		return Result{Err: fmt.Errorf("engine: dispatch: %w", err)}
+	}
+	// Soft memory guard: under heap pressure, tighten the job's budget
+	// before it is folded into the cache key, so pressured solves degrade
+	// to Ω sooner instead of pushing the process toward OOM.
+	e.sampleMem()
+	if e.opts.MemSoftLimit != 0 && e.memOver.Load() && !e.opts.TightBudget.IsZero() {
+		if t := tightenBudget(j.Config.Budget, e.opts.TightBudget); t != j.Config.Budget {
+			j.Config.Budget = t
+			e.mu.Lock()
+			e.stats.MemTightened++
+			e.mu.Unlock()
+		}
 	}
 	// Fold the engine's default budget into the job's configuration before
 	// computing the cache key: the budget is part of Config.String(), so a
@@ -430,13 +594,23 @@ func (e *Engine) runJob(j Job, tk obs.Track) (res Result) {
 		j.Config.Budget = e.opts.Budget
 	}
 	key := j.Key
+	var rsv *reservation
 	if e.cache != nil {
 		if key == "" && j.Module != nil {
 			key = CacheKey(ModuleHash(j.Module), j.Config)
 		}
 		if key != "" {
-			if c, ok := e.lookup(key); ok {
-				return Result{Gen: c.gen, Sol: c.sol, CacheHit: true}
+			// Chaos hook: a lookup fault means the cache answered with
+			// garbage or not at all; the job solves as if it had missed
+			// (skipping the reservation too — a broken cache must not
+			// serialize solves behind it).
+			if err := faults.Inject(faults.EngineCacheLook); err == nil {
+				c, hit, coalesced, r := e.acquire(key)
+				if hit {
+					return Result{Gen: c.gen, Sol: c.sol, CacheHit: true, Coalesced: coalesced}
+				}
+				rsv = r
+				defer e.release(key, rsv)
 			}
 		}
 	}
@@ -451,7 +625,7 @@ func (e *Engine) runJob(j Job, tk obs.Track) (res Result) {
 	var sol *core.Solution
 	var best time.Duration
 	for r := 0; r < reps; r++ {
-		s, err := core.SolveTraced(gen.Problem, j.Config, tk)
+		s, err := e.solveGuarded(gen.Problem, j.Config, tk)
 		if err != nil {
 			return Result{Err: err}
 		}
@@ -464,9 +638,38 @@ func (e *Engine) runJob(j Job, tk obs.Track) (res Result) {
 	}
 	// Degraded solutions are never cached: a deadline abort depends on the
 	// machine's momentary load, so caching it would freeze a nondeterministic
-	// outcome into every later run.
-	if e.cache != nil && key != "" && !sol.Degraded {
-		e.store(key, cached{gen: gen, sol: sol})
+	// outcome into every later run. They are not shared with coalesced
+	// waiters either — each waiter re-solves and gets its own chance at the
+	// exact answer.
+	if !sol.Degraded {
+		if e.cache != nil && key != "" {
+			// Chaos hook: an insert fault loses the cache write but not
+			// the solve — the job still answers, the entry is just not
+			// resident (an injected panic instead fails the whole attempt,
+			// exercising the reservation-release-on-panic path).
+			if err := faults.Inject(faults.EngineCacheIns); err == nil {
+				ent := cached{gen: gen, sol: sol}
+				if faults.Active() != nil {
+					ent.fp = fingerprintHash(sol)
+					if faults.ShouldCorrupt(faults.EngineCacheIns) {
+						// Simulated corruption: perturb the stored hash so
+						// the entry no longer matches its content, exactly
+						// what a flipped bit in either would look like to
+						// verification. The shared in-memory solution is
+						// left intact — live results must stay usable.
+						ent.fp ^= 0x9e3779b97f4a7c15
+					}
+				}
+				e.store(key, ent)
+			}
+		}
+		if rsv != nil {
+			// Publish the exact solution to coalesced waiters (memory
+			// ordering via close(done) in release, which the defer runs
+			// after these writes).
+			rsv.c = cached{gen: gen, sol: sol}
+			rsv.ok = true
+		}
 	}
 	return Result{Gen: gen, Sol: sol, Degraded: sol.Degraded, Duration: best}
 }

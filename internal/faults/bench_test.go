@@ -1,0 +1,63 @@
+package faults
+
+import "testing"
+
+// BenchmarkDisabledInject measures the cost every production call site
+// pays with no registry armed: one atomic load and a nil check. This is
+// the number that justifies compiling the hooks into release binaries.
+func BenchmarkDisabledInject(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(CoreSolve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDisabledShouldCorrupt is the cache-read variant of the same
+// disabled-path cost.
+func BenchmarkDisabledShouldCorrupt(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ShouldCorrupt(EngineCacheLook) {
+			b.Fatal("corrupt while disarmed")
+		}
+	}
+}
+
+// BenchmarkInterleavedInjectAB interleaves the disarmed hook with an
+// empty baseline loop in alternating batches (the PR4 trace-overhead
+// methodology): run with -bench InterleavedInjectAB and compare the two
+// reported sub-benchmarks; scheduler drift affects both alike because
+// they alternate within one process lifetime.
+func BenchmarkInterleavedInjectAB(b *testing.B) {
+	Disarm()
+	var sink uint64
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink++
+		}
+	})
+	b.Run("hook", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink++
+			Inject(CoreSolve)
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkArmedMissInject measures an armed registry whose rule never
+// fires (rate 0): the cost ceiling for points named in a chaos spec.
+func BenchmarkArmedMissInject(b *testing.B) {
+	Arm(New(3, map[Point]Rule{CoreSolve: {Kind: KindError, Rate: 0}}))
+	defer Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(CoreSolve); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "seed=42;core.wave=error:0.25;engine.dispatch=panic:@3;serve.handler=latency:0.5:2ms"
+	r, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seed() != 42 {
+		t.Fatalf("seed = %d, want 42", r.Seed())
+	}
+	r2, err := ParseSpec(r.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", r.String(), err)
+	}
+	if r.String() != r2.String() {
+		t.Fatalf("spec does not round-trip:\n  %s\n  %s", r.String(), r2.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"core.wave",                 // no '='
+		"core.wave=explode:0.5",     // unknown kind
+		"core.wave=error",           // missing rate
+		"core.wave=error:1.5",       // rate out of range
+		"core.wave=error:-0.1",      // negative rate
+		"core.wave=error:@0",        // zero hit trigger
+		"seed=banana",               // bad seed
+		"core.wave=latency:0.5:-2s", // negative latency
+		"core.wave=error:0.5:junk",  // arg on argless kind
+		"core.wave=mem:0.5:0MB",     // non-positive size
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestWildcardCoversAllPoints(t *testing.T) {
+	r, err := ParseSpec("seed=1;*=error:1;core.wave=panic:@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Points() {
+		if p == CoreWave {
+			continue
+		}
+		if err := r.Inject(p); !IsFault(err) {
+			t.Errorf("point %s: wildcard rule did not fire (err=%v)", p, err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("explicit panic rule did not override wildcard")
+			}
+		}()
+		r.Inject(CoreWave)
+	}()
+}
+
+// TestDeterministicFiring is the core contract: the set of hit numbers
+// that fire depends only on (seed, point, rate), so any run observing N
+// hits of a point injects the same number of faults in the same places.
+func TestDeterministicFiring(t *testing.T) {
+	const n = 10000
+	fired := func() []int {
+		r := New(7, map[Point]Rule{CoreSolve: {Kind: KindError, Rate: 0.05}})
+		var out []int
+		for i := 0; i < n; i++ {
+			if r.Inject(CoreSolve) != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := fired(), fired()
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing sequences diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Rate sanity: 5% ± 1.5% absolute over 10k hits.
+	if got := float64(len(a)) / n; got < 0.035 || got > 0.065 {
+		t.Errorf("rate 0.05 fired at %.4f", got)
+	}
+	// A different seed must give a different firing set.
+	r2 := New(8, map[Point]Rule{CoreSolve: {Kind: KindError, Rate: 0.05}})
+	var c []int
+	for i := 0; i < n; i++ {
+		if r2.Inject(CoreSolve) != nil {
+			c = append(c, i)
+		}
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Error("seeds 7 and 8 produced identical firing sequences")
+	}
+}
+
+// TestDeterministicUnderConcurrency: goroutines race to consume hit
+// numbers, but the total number of fired faults in N hits is exactly the
+// sequential count — the decision is a pure function of the hit number.
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	const n = 8000
+	seq := New(9, map[Point]Rule{EngineDispatch: {Kind: KindError, Rate: 0.1}})
+	want := 0
+	for i := 0; i < n; i++ {
+		if seq.Inject(EngineDispatch) != nil {
+			want++
+		}
+	}
+	conc := New(9, map[Point]Rule{EngineDispatch: {Kind: KindError, Rate: 0.1}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				conc.Inject(EngineDispatch)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := conc.Injected(EngineDispatch); got != uint64(want) {
+		t.Fatalf("concurrent run injected %d faults, sequential injected %d", got, want)
+	}
+}
+
+func TestOnHitTrigger(t *testing.T) {
+	r := New(1, map[Point]Rule{CoreCollapse: {Kind: KindError, OnHit: 3}})
+	for i := 1; i <= 5; i++ {
+		err := r.Inject(CoreCollapse)
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if err != nil {
+			f, ok := AsFault(err)
+			if !ok || f.Hit != 3 || f.Point != CoreCollapse {
+				t.Fatalf("fault = %+v", f)
+			}
+		}
+	}
+}
+
+func TestPanicKindPanicsWithFault(t *testing.T) {
+	r := New(1, map[Point]Rule{EngineDispatch: {Kind: KindPanic, OnHit: 1}})
+	defer func() {
+		f, ok := recover().(*Fault)
+		if !ok || f.Kind != KindPanic || f.Point != EngineDispatch {
+			t.Fatalf("recovered %v", f)
+		}
+	}()
+	r.Inject(EngineDispatch)
+	t.Fatal("no panic")
+}
+
+func TestLatencyKindSleeps(t *testing.T) {
+	r := New(1, map[Point]Rule{ServeHandler: {Kind: KindLatency, OnHit: 1, Latency: 30 * time.Millisecond}})
+	start := time.Now()
+	if err := r.Inject(ServeHandler); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestFlipOnlyViaShouldCorrupt(t *testing.T) {
+	r := New(1, map[Point]Rule{EngineCacheIns: {Kind: KindFlip, OnHit: 2}})
+	// Inject must not consume flip hit numbers.
+	for i := 0; i < 5; i++ {
+		if err := r.Inject(EngineCacheIns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.ShouldCorrupt(EngineCacheIns) {
+		t.Fatal("hit 1 fired, trigger is @2")
+	}
+	if !r.ShouldCorrupt(EngineCacheIns) {
+		t.Fatal("hit 2 did not fire")
+	}
+	if r.ShouldCorrupt(EngineCacheIns) {
+		t.Fatal("hit 3 fired")
+	}
+	if got := r.Injected(EngineCacheIns); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestMemKindAllocates(t *testing.T) {
+	r := New(1, map[Point]Rule{ServeAdmission: {Kind: KindMem, OnHit: 1, MemBytes: 1 << 20}})
+	if err := r.Inject(ServeAdmission); err != nil {
+		t.Fatal(err)
+	}
+	ps := r.points[ServeAdmission]
+	buf := ps.memHold.Load()
+	if buf == nil || len(*buf) != 1<<20 {
+		t.Fatal("mem fault did not hold its allocation")
+	}
+}
+
+func TestGlobalArmDisarm(t *testing.T) {
+	defer Disarm()
+	if err := Inject(CoreSolve); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+	Arm(New(1, map[Point]Rule{CoreSolve: {Kind: KindError, Rate: 1}}))
+	if err := Inject(CoreSolve); !IsFault(err) {
+		t.Fatalf("armed Inject returned %v", err)
+	}
+	Disarm()
+	if err := Inject(CoreSolve); err != nil {
+		t.Fatalf("re-disarmed Inject returned %v", err)
+	}
+	if Active() != nil {
+		t.Fatal("Active() non-nil after Disarm")
+	}
+}
+
+func TestObserverCounts(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	SetObserver(func(p Point, k Kind) {
+		mu.Lock()
+		counts[string(p)+"/"+k.String()]++
+		mu.Unlock()
+	})
+	defer SetObserver(nil)
+	r := New(1, map[Point]Rule{
+		CoreSolve:      {Kind: KindError, Rate: 1},
+		EngineCacheIns: {Kind: KindFlip, Rate: 1},
+	})
+	r.Inject(CoreSolve)
+	r.Inject(CoreSolve)
+	r.ShouldCorrupt(EngineCacheIns)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["core.solve/error"] != 2 || counts["engine.cache.insert/flip"] != 1 {
+		t.Fatalf("observer counts = %v", counts)
+	}
+}
+
+func TestIsFaultUnwraps(t *testing.T) {
+	f := &Fault{Point: CoreSolve, Kind: KindError, Hit: 1}
+	wrapped := fmt.Errorf("job failed: %w", f)
+	if !IsFault(wrapped) {
+		t.Fatal("IsFault failed to unwrap")
+	}
+	if IsFault(errors.New("ordinary")) {
+		t.Fatal("IsFault misfired on ordinary error")
+	}
+	got, ok := AsFault(wrapped)
+	if !ok || got != f {
+		t.Fatal("AsFault failed to unwrap")
+	}
+}

@@ -131,6 +131,27 @@ func (p *PromWriter) CounterVec(name, help, label string, samples map[string]flo
 	}
 }
 
+// CounterVec2 emits a counter family keyed by two labels. Samples are
+// emitted in sorted label-value order for stable output.
+func (p *PromWriter) CounterVec2(name, help, label1, label2 string, samples map[[2]string]float64) {
+	p.header(name, help, "counter")
+	keys := make([][2]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		p.printf("%s%s %s\n", name,
+			formatLabels([][2]string{{label1, k[0]}, {label2, k[1]}}),
+			formatValue(samples[k]))
+	}
+}
+
 // Gauge emits a single-sample gauge family.
 func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.header(name, help, "gauge")

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// The circuit breaker protects a struggling server from a retry storm: when
+// the recent failure/degradation rate says solves are mostly not producing
+// exact answers anymore, it is better to shed load fast (503 + Retry-After,
+// costing the caller one round trip) than to queue more work behind the
+// distress. The breaker watches outcomes over a sliding window of recent
+// requests and moves through the classic three states:
+//
+//	closed    → everything flows; outcomes fill the window. When the bad
+//	            fraction of a sufficiently full window crosses Threshold,
+//	            the breaker trips.
+//	open      → analysis requests are refused immediately with 503 and a
+//	            Retry-After of the cooldown remainder. After Cooldown the
+//	            next request transitions the breaker to half-open.
+//	half-open → up to Probes requests are let through as canaries. One bad
+//	            probe re-trips the breaker; Probes good ones close it and
+//	            clear the window.
+//
+// "Bad" means a 5xx response or an Ω-degraded solve: degradations are
+// sound, but a window full of them means budgets are being exhausted —
+// the overload signal the breaker exists to react to.
+type BreakerOptions struct {
+	// Disabled turns the breaker off entirely (every request flows).
+	Disabled bool
+	// Window is the number of recent outcomes considered; <= 0 means 64.
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// breaker may trip — a cold server must not open on its first failure.
+	// <= 0 means 20.
+	MinSamples int
+	// Threshold is the bad-outcome fraction that trips the breaker;
+	// <= 0 means 0.5. Kept deliberately high: a server answering mostly
+	// exact results with a tail of degradations is healthy.
+	Threshold float64
+	// Cooldown is how long the breaker stays open before probing;
+	// <= 0 means 1s.
+	Cooldown time.Duration
+	// Probes is how many half-open canary requests must succeed to close
+	// the breaker; <= 0 means 3.
+	Probes int
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 20
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = time.Second
+	}
+	if o.Probes <= 0 {
+		o.Probes = 3
+	}
+	return o
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is the sliding-window circuit breaker. All state is guarded by
+// mu; the admission path takes it once per request, which is noise next
+// to a solve.
+type breaker struct {
+	opts BreakerOptions
+	// now is replaceable so tests can step through cooldowns without
+	// sleeping.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	ring     []bool // true = bad outcome
+	next     int    // ring write position
+	filled   int    // occupied ring slots
+	bad      int    // bad outcomes currently in the ring
+	openedAt time.Time
+	probes   int // half-open probe admissions remaining
+	probeOK  int // half-open probe successes so far
+	trips    int64
+}
+
+func newBreaker(opts BreakerOptions) *breaker {
+	opts = opts.withDefaults()
+	return &breaker{
+		opts: opts,
+		now:  time.Now,
+		ring: make([]bool, opts.Window),
+	}
+}
+
+// allow reports whether a request may proceed; when it may not, retryAfter
+// is the suggested client backoff. An open breaker past its cooldown
+// flips to half-open here and admits the caller as a probe.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	if b.opts.Disabled {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.opts.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probes = b.opts.Probes
+		b.probeOK = 0
+		fallthrough
+	default: // breakerHalfOpen
+		if b.probes <= 0 {
+			// Probe verdicts are still pending; shed until they land.
+			return false, b.opts.Cooldown
+		}
+		b.probes--
+		return true, 0
+	}
+}
+
+// record feeds one finished request's outcome back. Requests admitted
+// while closed may report after the breaker has tripped; those stragglers
+// are dropped in the open state and folded into the probe accounting in
+// half-open (a bad one re-trips — conservative and safe).
+func (b *breaker) record(bad bool) {
+	if b.opts.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return
+	case breakerHalfOpen:
+		if bad {
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.opts.Probes {
+			b.reset()
+		}
+	default: // breakerClosed
+		if b.ring[b.next] {
+			b.bad--
+		}
+		b.ring[b.next] = bad
+		if bad {
+			b.bad++
+		}
+		b.next = (b.next + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if b.filled >= b.opts.MinSamples &&
+			float64(b.bad)/float64(b.filled) >= b.opts.Threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Called under mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.trips++
+}
+
+// reset returns to closed with a clean window. Called under mu.
+func (b *breaker) reset() {
+	b.state = breakerClosed
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.next, b.filled, b.bad = 0, 0, 0
+}
+
+// snapshot returns the state and trip count for /metrics.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

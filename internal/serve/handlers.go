@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 )
 
@@ -116,6 +117,14 @@ func (s *Server) decode(r *http.Request, v any) error {
 // compile or parse the module, and solve it on the shared engine.
 func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, pip.Config, error) {
 	cfg := s.opts.Config
+	// Chaos hook: a handler fault fails the request after admission — the
+	// case the drain and breaker guarantees are really about. An injected
+	// error maps to 500; an injected panic unwinds to the recovery
+	// middleware (releasing admission slots on the way) and becomes a 500
+	// there.
+	if err := faults.Inject(faults.ServeHandler); err != nil {
+		return pip.BatchResult{}, cfg, fmt.Errorf("handler fault: %w", err)
+	}
 	q := r.URL.Query()
 	if name := req.Config; name != "" {
 		c, err := pip.ParseConfig(name)
@@ -211,6 +220,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeAnalyzeError(w, err)
 		return
 	}
+	if res.Degraded {
+		markDegraded(w)
+	}
 	resp := solveResponse{
 		Name:       req.Name,
 		Config:     cfg.String(),
@@ -252,6 +264,9 @@ func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeAnalyzeError(w, err)
 		return
+	}
+	if res.Degraded {
+		markDegraded(w)
 	}
 	resp := aliasResponse{
 		Name:     req.Name,
@@ -361,6 +376,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("pip_cache_capacity", "Configured cache bound (0 = unbounded).", float64(s.eng.CacheCap()))
 	p.Counter("pip_cache_hits_total", "Solves served from the solution cache.", float64(st.CacheHits))
 	p.Counter("pip_cache_evictions_total", "Cached solutions dropped by the LRU bound.", float64(st.CacheEvictions))
+
+	// Resilience: the circuit breaker, the engine's retry/watchdog/memory
+	// guard, cache integrity, and injected chaos.
+	state, trips := s.breaker.snapshot()
+	p.Gauge("pip_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open.", float64(state))
+	p.Counter("pip_breaker_trips_total", "Times the circuit breaker opened.", float64(trips))
+	p.Counter("pip_breaker_rejected_total", "Requests shed with 503 by the open breaker.", float64(s.breakerRejected.Load()))
+	p.Counter("pip_handler_panics_total", "Handler panics recovered into 500s.", float64(s.panics.Load()))
+	p.Counter("pip_retries_total", "Transiently failed jobs re-solved by the engine.", float64(st.Retries))
+	p.Counter("pip_retry_successes_total", "Retried jobs that then succeeded.", float64(st.RetrySuccesses))
+	p.Counter("pip_watchdog_fired_total", "Stuck solves force-degraded to the sound omega solution by the watchdog.", float64(st.WatchdogFired))
+	p.Counter("pip_budget_tightened_total", "Solves switched to the tight budget by the soft memory guard.", float64(st.MemTightened))
+	p.Counter("pip_cache_corrupt_total", "Cache entries that failed content-hash verification and were dropped.", float64(st.CacheCorrupt))
+	p.Counter("pip_coalesced_total", "Jobs that shared an identical in-flight solve instead of re-solving.", float64(st.Coalesced))
+	s.faultMu.Lock()
+	injected := make(map[[2]string]float64, len(s.faultCounts))
+	for k, v := range s.faultCounts {
+		injected[k] = float64(v)
+	}
+	s.faultMu.Unlock()
+	if len(injected) > 0 {
+		p.CounterVec2("pip_faults_injected_total",
+			"Faults injected by the chaos registry, by injection point and kind.",
+			"point", "kind", injected)
+	}
 
 	// Engine counters and the per-rule firing breakdown.
 	p.Counter("pip_engine_jobs_total", "Jobs executed by the shared engine.", float64(st.Jobs))

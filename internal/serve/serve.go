@@ -30,16 +30,19 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 )
 
@@ -89,6 +92,23 @@ type Options struct {
 	// default: the profiling endpoints reveal internals (heap contents,
 	// goroutine stacks) that an exposed analysis service must not leak.
 	EnablePprof bool
+
+	// Breaker configures the circuit breaker in front of admission. The
+	// zero value enables it with conservative defaults (see BreakerOptions);
+	// set Disabled to turn it off.
+	Breaker BreakerOptions
+
+	// Retries re-solves transiently failed jobs (recovered panics,
+	// injected faults) on the shared engine; 0 disables retry.
+	Retries int
+	// WatchdogFactor abandons solves stuck past WatchdogFactor× their wall
+	// deadline and answers with the sound Ω-degradation; <= 0 disables.
+	WatchdogFactor int
+	// MemSoftLimit switches new solves to TightBudget while the heap
+	// exceeds this many bytes; 0 disables the guard.
+	MemSoftLimit uint64
+	// TightBudget is the budget applied under memory pressure.
+	TightBudget pip.Budget
 }
 
 // Defaults for the zero Options value.
@@ -138,6 +158,18 @@ type Server struct {
 	// server is saturated, solve latency when the modules get harder.
 	queueWait    *obs.Histogram
 	solveLatency *obs.Histogram
+
+	// breaker sheds load when the failure/degradation rate over recent
+	// requests says the server is in distress; breakerRejected counts the
+	// requests it turned away (they were never admitted).
+	breaker         *breaker
+	breakerRejected atomic.Int64
+	panics          atomic.Int64 // handler panics converted to 500s
+
+	// faultCounts tallies injected faults by (point, kind) for the
+	// pip_faults_injected_total metric, fed by the faults observer.
+	faultMu     sync.Mutex
+	faultCounts map[[2]string]int64
 }
 
 // New returns a server around a fresh shared engine.
@@ -158,21 +190,42 @@ func New(opts Options) *Server {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		opts:         opts,
-		eng:          pip.NewEngine(pip.BatchOptions{Workers: opts.Workers, Cache: true, CacheEntries: opts.CacheEntries}),
+		opts: opts,
+		eng: pip.NewEngine(pip.BatchOptions{
+			Workers:        opts.Workers,
+			Cache:          true,
+			CacheEntries:   opts.CacheEntries,
+			Retries:        opts.Retries,
+			WatchdogFactor: opts.WatchdogFactor,
+			MemSoftLimit:   opts.MemSoftLimit,
+			TightBudget:    opts.TightBudget,
+		}),
 		queueSlots:   make(chan struct{}, opts.MaxQueue+opts.MaxConcurrent),
 		runSlots:     make(chan struct{}, opts.MaxConcurrent),
 		mux:          http.NewServeMux(),
 		queueWait:    obs.NewHistogram(obs.LatencyBuckets()...),
 		solveLatency: obs.NewHistogram(obs.LatencyBuckets()...),
+		breaker:      newBreaker(opts.Breaker),
+		faultCounts:  map[[2]string]int64{},
 	}
 	if opts.LogWriter != nil {
 		s.log = slog.New(slog.NewJSONHandler(opts.LogWriter, nil))
 	} else {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
-	s.mux.HandleFunc("POST /v1/solve", s.requestID(s.logged(s.admitted(s.handleSolve))))
-	s.mux.HandleFunc("POST /v1/alias", s.requestID(s.logged(s.admitted(s.handleAlias))))
+	// Count injected faults by (point, kind) for /metrics. The observer is
+	// process-global like the fault registry itself; the most recently
+	// created server owns it, which is the one under chaos in practice.
+	faults.SetObserver(func(p faults.Point, k faults.Kind) {
+		s.faultMu.Lock()
+		s.faultCounts[[2]string{string(p), k.String()}]++
+		s.faultMu.Unlock()
+	})
+	analysis := func(h http.HandlerFunc) http.HandlerFunc {
+		return s.requestID(s.logged(s.breakered(s.recovered(s.admitted(h)))))
+	}
+	s.mux.HandleFunc("POST /v1/solve", analysis(s.handleSolve))
+	s.mux.HandleFunc("POST /v1/alias", analysis(s.handleAlias))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.EnablePprof {
@@ -275,11 +328,87 @@ func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// outcomeWriter extends statusWriter with the one outcome bit the status
+// code cannot carry: whether the solve came back Ω-degraded. The breaker
+// treats both 5xx and degradation as "bad" — a window full of either
+// means the server is not producing exact answers anymore.
+type outcomeWriter struct {
+	http.ResponseWriter
+	status   int
+	degraded bool
+}
+
+func (w *outcomeWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// markDegraded records a degradation on the request's outcome writer.
+// Handlers call it through their http.ResponseWriter; outside the
+// breaker middleware (where the writer is not an outcomeWriter) it is a
+// no-op.
+func markDegraded(w http.ResponseWriter) {
+	if ow, ok := w.(*outcomeWriter); ok {
+		ow.degraded = true
+	}
+}
+
+// breakered wraps an analysis handler with the circuit breaker: shed
+// immediately with 503 + Retry-After while the breaker is open, feed
+// every completed request's outcome back into its window. Shed requests
+// are never admitted, so the shutdown drain guarantee is untouched.
+func (s *Server) breakered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, retryAfter := s.breaker.allow()
+		if !ok {
+			s.breakerRejected.Add(1)
+			secs := int(retryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			s.writeError(w, http.StatusServiceUnavailable, "circuit breaker open: server is shedding load")
+			return
+		}
+		ow := &outcomeWriter{ResponseWriter: w, status: http.StatusOK}
+		h(ow, r)
+		s.breaker.record(ow.status >= 500 || ow.degraded)
+	}
+}
+
+// recovered converts a handler panic into a 500 instead of killing the
+// connection (and, one level up, feeds the breaker a failure). The
+// admission middleware sits inside this wrapper, so its deferred slot
+// releases and inFlight.Done run during the unwind before the recovery —
+// a panicking request still drains cleanly.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.log.Error("handler panic",
+					"panic", fmt.Sprint(rec),
+					"request_id", requestIDFrom(r.Context()))
+				s.writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		h(w, r)
+	}
+}
+
 // admitted wraps an analysis handler with the drain check and admission
 // control: take a queue slot without blocking (429 when the server is
 // saturated), then block for a run slot.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Chaos hook: an admission fault refuses the request before it is
+		// admitted (no slot taken, not counted in the drain), exactly like
+		// a transient front-door failure. Panics propagate to recovered.
+		if err := faults.Inject(faults.ServeAdmission); err != nil {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "admission failed, retry")
+			return
+		}
 		s.admitMu.Lock()
 		if s.draining.Load() {
 			s.admitMu.Unlock()

@@ -29,6 +29,7 @@ import (
 	"github.com/pip-analysis/pip/internal/cfront"
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
+	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/modref"
 	"github.com/pip-analysis/pip/internal/obs"
@@ -179,6 +180,42 @@ type BatchOptions struct {
 	// worker, a span per job with queue-wait and outcome, the solve's
 	// phase spans nested inside) onto the trace. Nil costs nothing.
 	Trace *Trace
+
+	// Retries re-solves a transiently failed job (recovered panic or
+	// injected fault) up to this many times with exponential backoff.
+	// 0 disables retry. Degraded results are successes and never retried.
+	Retries int
+	// WatchdogFactor arms the solve watchdog: a solve still running after
+	// WatchdogFactor× its wall deadline is abandoned and answered with the
+	// sound Ω-degraded solution. <= 0 disables the watchdog; it also never
+	// fires for solves with no deadline.
+	WatchdogFactor int
+	// MemSoftLimit switches new jobs to TightBudget while the process heap
+	// exceeds this many bytes — solves degrade to Ω sooner instead of
+	// pushing toward OOM. 0 disables the guard.
+	MemSoftLimit uint64
+	// TightBudget is the budget applied under memory pressure (componentwise
+	// minimum with the job's own budget, so it only ever tightens).
+	TightBudget Budget
+}
+
+// ArmChaos arms process-global fault injection from a spec string like
+//
+//	seed=42;engine.dispatch=error:0.01;core.wave=panic:0.01
+//
+// and returns the disarm function. Faults fire deterministically as a
+// function of (seed, injection point, hit number), so a chaos run is
+// reproducible bit-for-bit given the same spec and workload. Injection
+// points cover the solver core, the engine's dispatch and cache, and the
+// serve admission/handler path; `*` addresses every point not named
+// explicitly. See the "Fault model & resilience" section of DESIGN.md.
+func ArmChaos(spec string) (disarm func(), err error) {
+	reg, err := faults.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	faults.Arm(reg)
+	return faults.Disarm, nil
 }
 
 // BatchResult is one module's outcome: either Result or Err is set.
@@ -206,11 +243,15 @@ type Engine struct {
 // NewEngine returns a shared engine with the given options.
 func NewEngine(opts BatchOptions) *Engine {
 	return &Engine{eng: engine.New(engine.Options{
-		Workers:      opts.Workers,
-		Cache:        opts.Cache,
-		CacheEntries: opts.CacheEntries,
-		Budget:       opts.Budget,
-		Trace:        opts.Trace,
+		Workers:        opts.Workers,
+		Cache:          opts.Cache,
+		CacheEntries:   opts.CacheEntries,
+		Budget:         opts.Budget,
+		Trace:          opts.Trace,
+		Retry:          engine.RetryPolicy{Max: opts.Retries},
+		WatchdogFactor: opts.WatchdogFactor,
+		MemSoftLimit:   opts.MemSoftLimit,
+		TightBudget:    opts.TightBudget,
 	})}
 }
 
