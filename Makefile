@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos staticcheck bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos differential fuzz staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,26 @@ serve-smoke:
 # DESIGN.md.
 chaos:
 	$(GO) test -race -v ./internal/chaos/ ./internal/faults/
+
+# Differential correctness gate for intra-solve parallelism: sweeps
+# generator-driven problems across a worker-count × configuration ×
+# firing-cap matrix and asserts bit-identical fingerprints and identical
+# degrade decisions for every worker count >= 1 (and canonical equality
+# against the sequential solver when unbudgeted). Set PIP_SOLVE_WORKERS
+# to pin the parallel arm (CI runs {1,8}); unset sweeps {1,2,4,8}.
+differential:
+	$(GO) test -race -run Differential -v ./internal/core/differential/
+
+# Short bounded fuzz pass over the stratified-presaturation plan and its
+# differential oracle (plus the existing engine/frontend/IR targets'
+# seed corpora via plain `make test`). Go's fuzzer allows one fuzz
+# target per invocation, so each runs separately. Override FUZZTIME for
+# longer campaigns.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzStrataDifferential -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzStrataPlan -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzEngineRecovery -fuzztime=$(FUZZTIME) ./internal/engine/
 
 # Lint beyond go vet; CI installs the tool, it is not a module
 # dependency.

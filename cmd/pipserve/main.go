@@ -61,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	budgetStr := fs.String("budget", "",
 		"default solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausted budgets yield the sound Ω-degraded solution")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
+	solveWorkers := fs.Int("solve-workers", 0,
+		"intra-solve worker count for stratified parallel presaturation (0 = sequential solver)")
 	cacheEntries := fs.Int("cache-entries", serve.DefaultCacheEntries,
 		"solution cache capacity (LRU eviction beyond it)")
 	concurrent := fs.Int("concurrent", serve.DefaultMaxConcurrent,
@@ -111,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Config:         cfg,
 		HasConfig:      true,
 		Workers:        *workers,
+		SolveWorkers:   *solveWorkers,
 		CacheEntries:   *cacheEntries,
 		MaxConcurrent:  *concurrent,
 		MaxQueue:       *queue,

@@ -27,6 +27,7 @@ func main() {
 	callGraph := flag.Bool("callgraph", false, "print the call graph in Graphviz format and exit")
 	modRef := flag.Bool("modref", false, "print per-function mod/ref summaries and exit")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausting it yields the sound Ω-degraded solution")
+	solveWorkers := flag.Int("solve-workers", 0, "intra-solve worker count for stratified parallel presaturation (0 = sequential solver)")
 	showStats := flag.Bool("stats", false, "print solver telemetry (phase timers, rule firings, worklist peak)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
 	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection from a spec, e.g. seed=42;engine.dispatch=error:0.01 (see the fault model section of DESIGN.md)")
@@ -49,6 +50,7 @@ func main() {
 		}
 		cfg.Budget = b
 	}
+	cfg.SolveWorkers = *solveWorkers
 
 	name := "<inline>"
 	src := *inline

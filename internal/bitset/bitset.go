@@ -139,34 +139,139 @@ func (s *Set) Clear() {
 
 // UnionWith adds every element of t to s and reports whether s changed.
 func (s *Set) UnionWith(t *Set) bool {
-	if t == s {
-		return false
+	return s.UnionWithDelta(t, nil) > 0
+}
+
+// UnionWithDelta adds every element of t to s and returns the number of
+// elements actually added. When delta is non-nil, every newly added element
+// is also inserted into delta — the difference-propagation idiom of the
+// solver, done in one pass over whole words instead of one Add per element.
+// An aliased receiver (t == s) is a no-op returning 0.
+func (s *Set) UnionWithDelta(t *Set, delta *Set) int {
+	if t == s || t.Len() == 0 {
+		return 0
 	}
-	if t.bits != nil && s.bits != nil {
-		changed := false
-		if len(t.bits) > len(s.bits) {
-			grown := make([]uint64, len(t.bits))
-			copy(grown, s.bits)
-			s.bits = grown
+	// Pre-migrate when the merged cardinality could not stay in slice mode,
+	// so the union below runs on whole words instead of element inserts.
+	if s.bits == nil && t.bits == nil && len(s.small)+len(t.small) > smallMax {
+		if u := s.mergeSmall(t, delta); u >= 0 {
+			return u
 		}
-		for i, w := range t.bits {
-			old := s.bits[i]
-			merged := old | w
-			if merged != old {
-				s.bits[i] = merged
-				s.n += bits.OnesCount64(merged) - bits.OnesCount64(old)
-				changed = true
+		s.migrate()
+	}
+	if s.bits == nil && t.bits != nil {
+		s.migrate()
+	}
+	if s.bits != nil {
+		if t.bits != nil {
+			return s.unionWords(t, delta)
+		}
+		added := 0
+		for _, x := range t.small {
+			if s.addBit(x) {
+				added++
+				if delta != nil {
+					delta.Add(x)
+				}
 			}
 		}
-		return changed
+		return added
 	}
-	changed := false
-	t.ForEach(func(x uint32) {
-		if s.Add(x) {
-			changed = true
+	// Both in slice mode with a merged size that fits: sorted two-pointer
+	// merge, O(|s|+|t|) instead of a binary search + memmove per element.
+	if u := s.mergeSmall(t, delta); u >= 0 {
+		return u
+	}
+	s.migrate()
+	added := 0
+	for _, x := range t.small {
+		if s.addBit(x) {
+			added++
+			if delta != nil {
+				delta.Add(x)
+			}
 		}
-	})
-	return changed
+	}
+	return added
+}
+
+// unionWords merges t (bitmap) into s (bitmap) one 64-bit word at a time.
+func (s *Set) unionWords(t *Set, delta *Set) int {
+	if len(t.bits) > len(s.bits) {
+		grown := make([]uint64, len(t.bits))
+		copy(grown, s.bits)
+		s.bits = grown
+	}
+	added := 0
+	for i, w := range t.bits {
+		old := s.bits[i]
+		fresh := w &^ old
+		if fresh == 0 {
+			continue
+		}
+		s.bits[i] = old | w
+		added += bits.OnesCount64(fresh)
+		if delta != nil {
+			for fresh != 0 {
+				b := bits.TrailingZeros64(fresh)
+				delta.Add(uint32(i<<6 + b))
+				fresh &= fresh - 1
+			}
+		}
+	}
+	s.n += added
+	return added
+}
+
+// mergeSmall merges t.small into s.small with a two-pointer sorted merge.
+// It returns -1 (and leaves s untouched) when the merged set would outgrow
+// slice mode; the caller then migrates to the bitmap representation.
+func (s *Set) mergeSmall(t *Set, delta *Set) int {
+	// First pass: count the union without mutating.
+	i, j, union := 0, 0, 0
+	for i < len(s.small) && j < len(t.small) {
+		a, b := s.small[i], t.small[j]
+		if a <= b {
+			i++
+		}
+		if b <= a {
+			j++
+		}
+		union++
+		if union > smallMax {
+			return -1
+		}
+	}
+	union += len(s.small) - i + len(t.small) - j
+	if union > smallMax {
+		return -1
+	}
+	added := union - len(s.small)
+	if added == 0 {
+		return 0
+	}
+	// Second pass: merge backward in place so no scratch slice is needed.
+	s.small = append(s.small, make([]uint32, added)...)
+	i, j = len(s.small)-added-1, len(t.small)-1
+	for k := len(s.small) - 1; j >= 0; k-- {
+		if i >= 0 && s.small[i] > t.small[j] {
+			s.small[k] = s.small[i]
+			i--
+			continue
+		}
+		if i >= 0 && s.small[i] == t.small[j] {
+			s.small[k] = s.small[i]
+			i--
+			j--
+			continue
+		}
+		s.small[k] = t.small[j]
+		if delta != nil {
+			delta.Add(t.small[j])
+		}
+		j--
+	}
+	return added
 }
 
 // ForEach calls fn for every element in ascending order.

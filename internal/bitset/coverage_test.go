@@ -1,0 +1,126 @@
+package bitset
+
+import "testing"
+
+// These tests pin the corner branches of the batched word-level paths
+// that the randomized property suite reaches only probabilistically —
+// CI gates on package coverage, so each branch gets a deterministic hit.
+
+func bitmapSet(xs ...uint32) *Set {
+	s := &Set{}
+	for i := uint32(0); i < smallMax+1; i++ {
+		s.Add(i)
+	}
+	s.Clear()
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestRemoveBeyondBitmapRange(t *testing.T) {
+	s := bitmapSet(1, 2, 3)
+	if s.Remove(1 << 20) {
+		t.Fatal("removing an element beyond the bitmap reported a change")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d after no-op remove", s.Len())
+	}
+}
+
+func TestMergeSmallStaysSmallOnOverlap(t *testing.T) {
+	// Combined raw lengths exceed smallMax but the union deduplicates to
+	// a size that still fits, so the two-pointer merge must succeed
+	// in slice mode instead of migrating.
+	a, b := &Set{}, &Set{}
+	for i := uint32(0); i < smallMax-8; i++ {
+		a.Add(i)
+	}
+	for i := uint32(smallMax - 16); i < smallMax; i++ {
+		b.Add(i) // overlaps a on [smallMax-16, smallMax-8)
+	}
+	if a.Len()+b.Len() <= smallMax {
+		t.Fatalf("test premise broken: %d + %d <= %d", a.Len(), b.Len(), smallMax)
+	}
+	delta := &Set{}
+	added := a.UnionWithDelta(b, delta)
+	if a.bits != nil {
+		t.Fatal("overlapping small union migrated to bitmap mode")
+	}
+	if added != delta.Len() {
+		t.Fatalf("added %d but delta holds %d", added, delta.Len())
+	}
+	for _, x := range b.Slice() {
+		if !a.Contains(x) {
+			t.Fatalf("union lost %d", x)
+		}
+	}
+}
+
+func TestUnionBitmapReceiverSmallOperand(t *testing.T) {
+	s := bitmapSet(100, 200)
+	small := &Set{}
+	small.Add(100)
+	small.Add(101)
+	small.Add(300)
+	delta := &Set{}
+	if added := s.UnionWithDelta(small, delta); added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	for _, want := range []uint32{100, 101, 200, 300} {
+		if !s.Contains(want) {
+			t.Fatalf("missing %d", want)
+		}
+	}
+	if delta.Len() != 2 || !delta.Contains(101) || !delta.Contains(300) {
+		t.Fatalf("delta = %v", delta.Slice())
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	a, b := &Set{}, &Set{}
+	a.Add(1)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("sets of different cardinality compared equal")
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	small := &Set{}
+	small.Add(7)
+	if small.ApproxBytes() <= 0 {
+		t.Fatal("slice-mode estimate not positive")
+	}
+	big := bitmapSet(1, 64, 128)
+	if small.ApproxBytes() >= big.ApproxBytes() {
+		t.Fatalf("bitmap estimate %d not larger than slice estimate %d",
+			big.ApproxBytes(), small.ApproxBytes())
+	}
+}
+
+func TestIntersectsBitmapPair(t *testing.T) {
+	a := bitmapSet(10, 70, 500)
+	b := bitmapSet(500, 900)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("shared element 500 not detected in word scan")
+	}
+	c := bitmapSet(11, 71)
+	if a.Intersects(c) {
+		t.Fatal("disjoint bitmaps reported intersecting")
+	}
+}
+
+func TestIntersectsSmallScan(t *testing.T) {
+	a, b := &Set{}, &Set{}
+	a.Add(3)
+	a.Add(9)
+	b.Add(9)
+	b.Add(20)
+	if !a.Intersects(b) {
+		t.Fatal("shared element 9 not found via element scan")
+	}
+	b.Remove(9)
+	if a.Intersects(b) {
+		t.Fatal("disjoint small sets reported intersecting")
+	}
+}

@@ -1,0 +1,280 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet is the map-based reference model the property tests compare
+// against: trivially correct, no representation switching.
+type refSet map[uint32]bool
+
+func (r refSet) add(x uint32) bool {
+	if r[x] {
+		return false
+	}
+	r[x] = true
+	return true
+}
+
+func (r refSet) remove(x uint32) bool {
+	if !r[x] {
+		return false
+	}
+	delete(r, x)
+	return true
+}
+
+func (r refSet) slice() []uint32 {
+	out := make([]uint32, 0, len(r))
+	for x := range r {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSlices(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainst asserts that s and its reference model agree on every
+// observable: cardinality, membership, and ascending iteration.
+func checkAgainst(t *testing.T, s *Set, r refSet, ctx string) {
+	t.Helper()
+	if s.Len() != len(r) {
+		t.Fatalf("%s: Len = %d, reference has %d", ctx, s.Len(), len(r))
+	}
+	want := r.slice()
+	if got := s.Slice(); !equalSlices(got, want) {
+		t.Fatalf("%s: Slice = %v, want %v", ctx, got, want)
+	}
+	for _, x := range want {
+		if !s.Contains(x) {
+			t.Fatalf("%s: Contains(%d) = false, reference has it", ctx, x)
+		}
+	}
+}
+
+// TestPropertyRandomOps drives random Add/Remove/Clear/Union sequences on
+// both representations (values straddle the smallMax migration threshold)
+// and checks the set against the map reference after every operation.
+func TestPropertyRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Set{}
+		r := refSet{}
+		// Value range chosen so sets cross the migration threshold
+		// mid-sequence in roughly half the runs.
+		maxVal := uint32(smallMax + rng.Intn(4*smallMax))
+		for op := 0; op < 500; op++ {
+			x := uint32(rng.Intn(int(maxVal)))
+			switch rng.Intn(10) {
+			case 0:
+				if got, want := s.Remove(x), r.remove(x); got != want {
+					t.Fatalf("seed %d op %d: Remove(%d) = %v, want %v", seed, op, x, got, want)
+				}
+			case 1:
+				s.Clear()
+				r = refSet{}
+			case 2, 3:
+				// Union with a random other set, both directions of the
+				// small/bitmap representation mix.
+				o := &Set{}
+				or := refSet{}
+				for i := rng.Intn(2 * smallMax); i > 0; i-- {
+					v := uint32(rng.Intn(int(maxVal)))
+					o.Add(v)
+					or.add(v)
+				}
+				wantAdds := 0
+				for v := range or {
+					if !r[v] {
+						wantAdds++
+					}
+				}
+				delta := &Set{}
+				if got := s.UnionWithDelta(o, delta); got != wantAdds {
+					t.Fatalf("seed %d op %d: UnionWithDelta added %d, want %d", seed, op, got, wantAdds)
+				}
+				if delta.Len() != wantAdds {
+					t.Fatalf("seed %d op %d: delta has %d elements, want %d", seed, op, delta.Len(), wantAdds)
+				}
+				delta.ForEach(func(v uint32) {
+					if r[v] || !or[v] {
+						t.Fatalf("seed %d op %d: delta element %d was not newly added", seed, op, v)
+					}
+				})
+				for v := range or {
+					r.add(v)
+				}
+			default:
+				if got, want := s.Add(x), r.add(x); got != want {
+					t.Fatalf("seed %d op %d: Add(%d) = %v, want %v", seed, op, x, got, want)
+				}
+			}
+			checkAgainst(t, s, r, "after op")
+		}
+	}
+}
+
+// TestPropertyUnionMatrix unions every pairing of representation modes and
+// sizes (empty × empty up through bitmap × bitmap) and checks the result,
+// the reported add count, and UnionWith/UnionWithDelta agreement.
+func TestPropertyUnionMatrix(t *testing.T) {
+	sizes := []int{0, 1, smallMax / 2, smallMax, smallMax + 1, 4 * smallMax}
+	rng := rand.New(rand.NewSource(99))
+	build := func(size int) (*Set, refSet) {
+		s, r := &Set{}, refSet{}
+		for i := 0; i < size; i++ {
+			v := uint32(rng.Intn(6 * smallMax))
+			s.Add(v)
+			r.add(v)
+		}
+		return s, r
+	}
+	for _, ns := range sizes {
+		for _, nt := range sizes {
+			s, rs := build(ns)
+			tt, rt := build(nt)
+			wantAdds := 0
+			for v := range rt {
+				if !rs[v] {
+					wantAdds++
+				}
+			}
+			if got := s.UnionWithDelta(tt, nil); got != wantAdds {
+				t.Fatalf("sizes (%d,%d): added %d, want %d", ns, nt, got, wantAdds)
+			}
+			for v := range rt {
+				rs.add(v)
+			}
+			checkAgainst(t, s, rs, "after union")
+			// t must be untouched by the union.
+			checkAgainst(t, tt, rt, "operand after union")
+		}
+	}
+}
+
+// TestUnionAliasedReceiver covers s ∪ s in both representations: must be a
+// no-op that reports zero additions and leaves the set intact.
+func TestUnionAliasedReceiver(t *testing.T) {
+	small := &Set{}
+	for i := uint32(0); i < 10; i += 2 {
+		small.Add(i)
+	}
+	big := &Set{}
+	for i := uint32(0); i < 3*smallMax; i++ {
+		big.Add(i * 3)
+	}
+	for _, s := range []*Set{{}, small, big} {
+		before := s.Slice()
+		if s.UnionWith(s) {
+			t.Fatalf("UnionWith(self) reported change")
+		}
+		if got := s.UnionWithDelta(s, &Set{}); got != 0 {
+			t.Fatalf("UnionWithDelta(self) added %d", got)
+		}
+		if !equalSlices(s.Slice(), before) {
+			t.Fatalf("aliased union mutated the set: %v -> %v", before, s.Slice())
+		}
+	}
+}
+
+// TestUnionEmptyCases covers the empty-operand edge cases of the batched
+// paths: empty ∪ X, X ∪ empty, and unions into a cleared bitmap set.
+func TestUnionEmptyCases(t *testing.T) {
+	full := &Set{}
+	for i := uint32(0); i < 2*smallMax; i++ {
+		full.Add(i)
+	}
+	s := &Set{}
+	if got := s.UnionWithDelta(full, nil); got != full.Len() {
+		t.Fatalf("empty ∪ full added %d, want %d", got, full.Len())
+	}
+	if !s.Equal(full) {
+		t.Fatalf("empty ∪ full != full")
+	}
+	if got := s.UnionWithDelta(&Set{}, nil); got != 0 {
+		t.Fatalf("full ∪ empty added %d", got)
+	}
+	// A cleared bitmap set stays in bitmap mode; union into it must still
+	// count correctly from n = 0.
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Clear left %d elements", s.Len())
+	}
+	if got := s.UnionWithDelta(full, nil); got != full.Len() {
+		t.Fatalf("cleared ∪ full added %d, want %d", got, full.Len())
+	}
+}
+
+// TestMergeSmallInPlace pins the backward in-place merge: overlapping,
+// disjoint, interleaved, and superset operands that stay in slice mode.
+func TestMergeSmallInPlace(t *testing.T) {
+	cases := []struct{ a, b []uint32 }{
+		{[]uint32{1, 3, 5}, []uint32{2, 4, 6}},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}},
+		{[]uint32{10, 20}, []uint32{1, 2}},
+		{[]uint32{1, 2}, []uint32{10, 20}},
+		{[]uint32{5}, nil},
+		{nil, []uint32{7}},
+		{[]uint32{1, 2, 3, 4}, []uint32{2, 3}},
+	}
+	for _, c := range cases {
+		s, o := &Set{}, &Set{}
+		r := refSet{}
+		for _, x := range c.a {
+			s.Add(x)
+			r.add(x)
+		}
+		for _, x := range c.b {
+			o.Add(x)
+		}
+		wantAdds := 0
+		for _, x := range c.b {
+			if r.add(x) {
+				wantAdds++
+			}
+		}
+		delta := &Set{}
+		if got := s.UnionWithDelta(o, delta); got != wantAdds {
+			t.Fatalf("merge %v ∪ %v: added %d, want %d", c.a, c.b, got, wantAdds)
+		}
+		checkAgainst(t, s, r, "after small merge")
+		if delta.Len() != wantAdds {
+			t.Fatalf("merge %v ∪ %v: delta %v, want %d new", c.a, c.b, delta.Slice(), wantAdds)
+		}
+	}
+}
+
+// TestMigrationOnOverflowingMerge checks that a slice-mode union whose
+// result exceeds smallMax lands in bitmap mode with the right contents.
+func TestMigrationOnOverflowingMerge(t *testing.T) {
+	s, o := &Set{}, &Set{}
+	r := refSet{}
+	for i := uint32(0); i < smallMax; i++ {
+		s.Add(2 * i)
+		r.add(2 * i)
+	}
+	for i := uint32(0); i < smallMax; i++ {
+		o.Add(2*i + 1)
+		r.add(2*i + 1)
+	}
+	if got := s.UnionWithDelta(o, nil); got != smallMax {
+		t.Fatalf("overflowing merge added %d, want %d", got, smallMax)
+	}
+	if s.bits == nil {
+		t.Fatalf("overflowing merge did not migrate to bitmap mode")
+	}
+	checkAgainst(t, s, r, "after migration")
+}

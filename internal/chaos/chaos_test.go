@@ -30,6 +30,7 @@ import (
 
 	"github.com/pip-analysis/pip"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/core/differential"
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/serve"
@@ -46,7 +47,20 @@ func chaosSeed() int64 {
 	return 42
 }
 
-// chaosSpec arms all eight injection points, every one at >= 1%, with the
+// chaosSeedParallel pins the run of the parallel-solve suite separately
+// from chaosSeed: the stratified schedule reaches the injection points in
+// a different order, so it deserves its own reproducible trajectory.
+// Override with PIP_CHAOS_SEED2 to explore.
+func chaosSeedParallel() int64 {
+	if v := os.Getenv("PIP_CHAOS_SEED2"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 1337
+}
+
+// chaosSpec arms all nine injection points, every one at >= 1%, with the
 // kinds spread so each failure mode is exercised: errors in the solver
 // core (which degrade to Ω), panics at dispatch and in the handler (which
 // the retry layer and recovery middleware absorb), cache corruption
@@ -56,6 +70,7 @@ func chaosSpec() string {
 	return fmt.Sprintf("seed=%d"+
 		";core.solve=error:0.02"+
 		";core.wave=error:0.05"+
+		";core.strata=error:0.05"+
 		";core.collapse=error:0.03"+
 		";engine.dispatch=panic:0.02"+
 		";engine.cache.insert=flip:0.5"+
@@ -77,8 +92,10 @@ func armChaos(t *testing.T) {
 
 // chaosConfigs spans the solver paths that carry injection points: the
 // default worklist (collapse via PIP unification and OVS), the wave
-// solver (per-wave hook plus collapseAllSCCs), and the naive baseline
-// (core.solve only).
+// solver (per-wave hook plus collapseAllSCCs), the naive baseline
+// (core.solve only), and a stratified parallel worklist (core.strata on
+// top of the rest) so the fault machinery runs under SolveWorkers > 1
+// schedules too.
 func chaosConfigs(t *testing.T) []core.Config {
 	t.Helper()
 	var cfgs []core.Config
@@ -89,7 +106,9 @@ func chaosConfigs(t *testing.T) []core.Config {
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	return cfgs
+	par := cfgs[0]
+	par.SolveWorkers = 4
+	return append(cfgs, par)
 }
 
 // TestChaosEngineInvariants hammers the engine with every point armed and
@@ -346,5 +365,98 @@ func TestChaosWaveAndCollapsePoints(t *testing.T) {
 	}
 	if reg.Hits(faults.CoreWave) == 0 {
 		t.Fatal("core.wave point never reached")
+	}
+}
+
+// TestChaosParallelSolveInvariants arms the registry inside stratified
+// parallel solves: problems big enough to stratify, SolveWorkers 2 and 8,
+// all nine points armed under the second pinned seed. The three result
+// invariants must hold under the parallel schedule exactly as they do
+// sequentially — every job answered, every answer exact or soundly
+// Ω-degraded, and a core.strata fault always landing as a degradation,
+// never as an error or a torn solution.
+func TestChaosParallelSolveInvariants(t *testing.T) {
+	const nProblems = 4
+	const passes = 3
+	gens := make([]*core.Gen, nProblems)
+	for i := range gens {
+		gens[i] = &core.Gen{Problem: differential.Generate(int64(i+1), differential.DefaultGen())}
+	}
+	cfgs := []core.Config{
+		core.MustParseConfig("IP+WL(FIFO)+PIP"),
+		core.MustParseConfig("EP+OVS+WL(LRF)+OCD"),
+	}
+	cfgs[0].SolveWorkers = 2
+	cfgs[1].SolveWorkers = 8
+
+	// Ground truth before arming; worker counts cannot change it (that is
+	// the differential gate), so each config's fingerprint doubles as the
+	// exactness oracle for every schedule chaos produces.
+	exact := map[string]string{}
+	for ci, cfg := range cfgs {
+		for gi, g := range gens {
+			exact[fmt.Sprintf("%d/%d", ci, gi)] = core.MustSolve(g.Problem, cfg).Fingerprint()
+		}
+	}
+
+	spec := fmt.Sprintf("seed=%d"+
+		";core.solve=error:0.02"+
+		";core.strata=error:0.25"+
+		";core.collapse=error:0.03"+
+		";engine.dispatch=panic:0.02"+
+		";engine.cache.insert=flip:0.5"+
+		";engine.cache.lookup=error:0.02",
+		chaosSeedParallel())
+	reg, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	t.Cleanup(faults.Disarm)
+
+	eng := engine.New(engine.Options{Workers: 4, Cache: true, Retry: engine.RetryPolicy{Max: 3}})
+	var failed, degraded, exactCount int
+	for pass := 0; pass < passes; pass++ {
+		for ci, cfg := range cfgs {
+			var jobs []engine.Job
+			for gi, g := range gens {
+				jobs = append(jobs, engine.Job{
+					Gen:    g,
+					Config: cfg,
+					Key:    fmt.Sprintf("chaos-par-%d-%d", ci, gi),
+				})
+			}
+			for gi, res := range eng.Run(jobs) {
+				switch {
+				case res.Err != nil:
+					if !faults.IsFault(res.Err) && !strings.Contains(res.Err.Error(), "job panicked") {
+						t.Fatalf("pass %d cfg %d gen %d: non-fault error: %v", pass, ci, gi, res.Err)
+					}
+					failed++
+				case res.Degraded:
+					if !res.Sol.Degraded {
+						t.Fatalf("pass %d cfg %d gen %d: Degraded result with non-degraded solution", pass, ci, gi)
+					}
+					degraded++
+				default:
+					key := fmt.Sprintf("%d/%d", ci, gi)
+					if res.Sol.Fingerprint() != exact[key] {
+						t.Fatalf("pass %d cfg %d gen %d: unsound non-degraded solution under parallel chaos", pass, ci, gi)
+					}
+					exactCount++
+				}
+			}
+		}
+	}
+	t.Logf("chaos parallel: %d exact, %d degraded, %d failed over %d jobs",
+		exactCount, degraded, failed, passes*len(cfgs)*nProblems)
+	if exactCount == 0 {
+		t.Fatal("chaos drowned every job; the suite proved nothing — lower the rates")
+	}
+	if degraded == 0 {
+		t.Fatal("25% strata faults never degraded a solve; the parallel path is not being exercised")
+	}
+	if reg.Hits(faults.CoreStrata) == 0 {
+		t.Fatal("core.strata point never reached")
 	}
 }

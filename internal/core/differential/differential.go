@@ -1,0 +1,240 @@
+package differential
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pip-analysis/pip/internal/core"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Seeds are the problem-generator seeds; one problem per seed.
+	Seeds []int64
+	// Gen shapes every generated problem.
+	Gen GenOptions
+	// Configs are the solver configurations to sweep. SolveWorkers and
+	// Budget on the entries are ignored: the sweep owns both axes.
+	// Defaults to RepresentativeConfigs().
+	Configs []core.Config
+	// Workers are the solve-worker counts compared for bit identity.
+	// Every count must be >= 1; the count 1 is the reference and is added
+	// if absent. Defaults to 1, 2, 4, 8.
+	Workers []int
+	// Firings are the deterministic firing caps swept in addition to the
+	// unbudgeted solve. Wall-clock deadlines are deliberately not swept:
+	// only firing caps degrade deterministically (see core.Budget), so
+	// only they can carry a bit-identity obligation.
+	Firings []int64
+	// Legacy disables the Canonical cross-check against SolveWorkers=0
+	// when false is wanted; by default the check runs for every
+	// unbudgeted cell.
+	SkipLegacy bool
+}
+
+// DefaultOptions is the configuration used by the gate tests: four seeds,
+// the representative config set, the full worker ladder, and two firing
+// caps bracketing the degradation point.
+func DefaultOptions() Options {
+	return Options{
+		Seeds:   []int64{1, 2, 3, 4},
+		Gen:     DefaultGen(),
+		Workers: []int{1, 2, 4, 8},
+		Firings: []int64{0, 200, 5000},
+	}
+}
+
+// RepresentativeConfigs covers every solver kind, both pointee
+// representations, OVS, each worklist order, every cycle-detection mode,
+// difference propagation, and PIP — without paying for the full 304-config
+// product on every sweep cell.
+func RepresentativeConfigs() []core.Config {
+	return []core.Config{
+		{Rep: core.EP, Solver: core.Naive},
+		{Rep: core.IP, OVS: true, Solver: core.Naive},
+		{Rep: core.EP, Solver: core.Wave},
+		{Rep: core.IP, OVS: true, Solver: core.Wave},
+		{Rep: core.EP, Solver: core.Worklist, Order: core.FIFO},
+		{Rep: core.EP, Solver: core.Worklist, Order: core.LIFO, LCD: true},
+		{Rep: core.EP, OVS: true, Solver: core.Worklist, Order: core.LRF, OCD: true},
+		{Rep: core.IP, Solver: core.Worklist, Order: core.LRF2, HCD: true, DP: true},
+		{Rep: core.IP, Solver: core.Worklist, Order: core.Topo, DP: true},
+		{Rep: core.IP, Solver: core.Worklist, Order: core.FIFO, PIP: true},
+		{Rep: core.IP, OVS: true, Solver: core.Worklist, Order: core.LRF, OCD: true, DP: true, PIP: true},
+		{Rep: core.IP, Solver: core.Worklist, Order: core.LIFO, HCD: true, LCD: true, PIP: true},
+	}
+}
+
+// Mismatch is one divergence between two solve paths on the same cell.
+type Mismatch struct {
+	Seed    int64
+	Config  string
+	Firings int64
+	Path    string
+	Detail  string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("seed %d, config %q, firings %d, path %s: %s",
+		m.Seed, m.Config, m.Firings, m.Path, m.Detail)
+}
+
+// Report is the outcome of a sweep.
+type Report struct {
+	Problems   int
+	Cells      int
+	Solves     int
+	Mismatches []Mismatch
+}
+
+// OK reports whether every cell was solution-identical across all paths.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "differential: %d problems, %d cells, %d solves\n",
+		r.Problems, r.Cells, r.Solves)
+	if r.OK() {
+		b.WriteString("all paths solution-identical\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d mismatches:\n", len(r.Mismatches))
+	for i, m := range r.Mismatches {
+		if i == 8 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(r.Mismatches)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", m)
+	}
+	return b.String()
+}
+
+// outcome reduces one solve to comparable form.
+type outcome struct {
+	fingerprint string
+	canonical   string
+	degraded    bool
+	err         string
+}
+
+func solveCell(p *core.Problem, cfg core.Config, workers int, firings int64) outcome {
+	cfg.SolveWorkers = workers
+	cfg.Budget = core.Budget{Firings: firings}
+	sol, err := core.Solve(p, cfg)
+	if err != nil {
+		return outcome{err: err.Error()}
+	}
+	return outcome{
+		fingerprint: sol.Fingerprint(),
+		canonical:   sol.Canonical(),
+		degraded:    sol.Degraded,
+	}
+}
+
+// Sweep runs the full matrix. For every (seed, config, firing-cap) cell it
+// solves once per worker count and demands:
+//
+//   - bit-identical Solution.Fingerprint across every worker count >= 1
+//     (identical explicit sets, flags, escaped set, AND identical cycle
+//     representatives — the parallel strata must not perturb unification
+//     history), and
+//   - identical Degraded outcomes (a firing cap either degrades at every
+//     worker count or at none: the presaturation phase charges its firings
+//     from a precomputed plan, never from scheduling), and
+//   - for unbudgeted cells, Solution.Canonical equality against the legacy
+//     SolveWorkers=0 path, proving the stratified solver computes the same
+//     fixed point the paper's sequential algorithm does. Fingerprint
+//     identity is deliberately NOT required here: presaturation changes
+//     visit order, and with PIP's non-monotone rules the chosen cycle
+//     representatives are schedule-dependent even though the solution is
+//     not (the same tolerance the paper needs for its 304-config matrix).
+func Sweep(opt Options) *Report {
+	if len(opt.Seeds) == 0 {
+		opt.Seeds = DefaultOptions().Seeds
+	}
+	if len(opt.Configs) == 0 {
+		opt.Configs = RepresentativeConfigs()
+	}
+	workers := normalizeWorkers(opt.Workers)
+	firings := opt.Firings
+	if len(firings) == 0 {
+		firings = []int64{0}
+	}
+
+	rep := &Report{Problems: len(opt.Seeds)}
+	for _, seed := range opt.Seeds {
+		p := Generate(seed, opt.Gen)
+		for _, cfg := range opt.Configs {
+			for _, fcap := range firings {
+				rep.Cells++
+				ref := solveCell(p, cfg, 1, fcap)
+				rep.Solves++
+				cell := func(path, detail string) {
+					rep.Mismatches = append(rep.Mismatches, Mismatch{
+						Seed: seed, Config: cfg.String(), Firings: fcap,
+						Path: path, Detail: detail,
+					})
+				}
+				if ref.err != "" {
+					cell("workers=1", "reference solve failed: "+ref.err)
+					continue
+				}
+				for _, w := range workers {
+					if w == 1 {
+						continue
+					}
+					got := solveCell(p, cfg, w, fcap)
+					rep.Solves++
+					path := fmt.Sprintf("workers=%d", w)
+					switch {
+					case got.err != "":
+						cell(path, "solve failed: "+got.err)
+					case got.degraded != ref.degraded:
+						cell(path, fmt.Sprintf("degraded %v, reference %v", got.degraded, ref.degraded))
+					case got.fingerprint != ref.fingerprint:
+						cell(path, firstDiff(ref.fingerprint, got.fingerprint))
+					}
+				}
+				if fcap == 0 && !opt.SkipLegacy {
+					legacy := solveCell(p, cfg, 0, 0)
+					rep.Solves++
+					switch {
+					case legacy.err != "":
+						cell("legacy", "solve failed: "+legacy.err)
+					case legacy.canonical != ref.canonical:
+						cell("legacy", firstDiff(legacy.canonical, ref.canonical))
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+func normalizeWorkers(ws []int) []int {
+	if len(ws) == 0 {
+		return DefaultOptions().Workers
+	}
+	out := []int{1}
+	for _, w := range ws {
+		if w > 1 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// firstDiff pinpoints the first differing line of two multi-line dumps.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first divergence at line %d: reference %q vs %q", i, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("dump lengths differ: %d vs %d lines", len(wl), len(gl))
+}

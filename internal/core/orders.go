@@ -13,12 +13,14 @@ type worklist interface {
 }
 
 // newWorklist constructs the worklist for the configured iteration order.
+// The FIFO and LIFO orders draw their storage from the solver's arena so
+// pooled solves reuse one queue allocation across jobs.
 func newWorklist(o Order, s *solver) worklist {
 	switch o {
 	case FIFO:
-		return &fifoWL{pending: make([]bool, s.n)}
+		return &fifoWL{pending: s.wlPendingBuf(), q: s.wlQueueBuf()}
 	case LIFO:
-		return &lifoWL{pending: make([]bool, s.n)}
+		return &lifoWL{pending: s.wlPendingBuf(), stack: s.wlQueueBuf()}
 	case LRF:
 		return newLRFWL(s.n)
 	case LRF2:

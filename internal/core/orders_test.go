@@ -21,7 +21,7 @@ func newTestSolver(n int) *solver {
 	for i := 0; i < n; i++ {
 		p.AddVar("", Register, true)
 	}
-	return newSolver(p, Config{Rep: IP, Solver: Worklist})
+	return newSolver(p, Config{Rep: IP, Solver: Worklist}, NewArena())
 }
 
 func TestFIFOOrder(t *testing.T) {

@@ -62,7 +62,21 @@ type solver struct {
 	// instead of the difference set (used when flags or topology change).
 	fullVisit []bool
 
+	// satVisit[r] records that r's Sol_e and points-external flag are
+	// unchanged since the last stratified presaturation pass, so every
+	// simple-edge successor already holds everything r could propagate;
+	// visit skips the TRANS propagation for such nodes. Any mutation of
+	// r's set or flags clears the mark. Always all-false on the
+	// sequential path (SolveWorkers == 0).
+	satVisit []bool
+
 	ptrCompat []bool
+
+	// ar is the scratch arena backing this solver's tables; iterBuf is
+	// the visit-level pointee snapshot buffer it owns (visit is not
+	// reentrant, so one buffer suffices).
+	ar      *Arena
+	iterBuf []uint32
 
 	wl worklist
 	// progress records whether any constraint was inferred since it was
@@ -125,6 +139,15 @@ func Solve(prob *Problem, cfg Config) (*Solution, error) {
 // recording; the traced and untraced paths run the same solver code, so
 // tracing never changes the solution.
 func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
+	return SolveTracedIn(prob, cfg, tk, nil)
+}
+
+// SolveTracedIn is SolveTraced drawing all solver scratch state from the
+// given arena. A nil arena borrows one from an internal pool for the
+// duration of the solve; engine workers pass their own arena so one
+// allocation set is reused across every job the worker processes. The
+// arena never changes the solution — only where scratch memory comes from.
+func SolveTracedIn(prob *Problem, cfg Config, tk obs.Track, ar *Arena) (*Solution, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -137,8 +160,18 @@ func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
 	if err := faults.Inject(faults.CoreSolve); err != nil {
 		return nil, err
 	}
+	if ar == nil {
+		pooled := arenaPool.Get().(*Arena)
+		// The deferred Put runs when this solve stops using the arena —
+		// normal return or unwinding panic — and an abandoned (watchdogged)
+		// solve reaches it only when it actually finishes, so an arena is
+		// never pooled while in use. Dirt left by a panic is harmless:
+		// reset-at-acquire clears everything before the next solve reads it.
+		defer arenaPool.Put(pooled)
+		ar = pooled
+	}
 	start := time.Now()
-	s := newSolver(prob, cfg)
+	s := newSolver(prob, cfg, ar)
 	s.tk = tk
 	if cfg.Budget.Deadline > 0 {
 		s.deadline = start.Add(cfg.Budget.Deadline)
@@ -172,6 +205,8 @@ func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
 		s.solveWorklist()
 	}
 	propSpan.End(obs.N("firings", s.fired), obs.N("visits", int64(s.stats.Visits)))
+	ar.iterBuf = s.iterBuf[:0] // hand the grown snapshot buffer back for reuse
+	s.recycleWorklist()
 	// Propagation time is the solve loop minus the collapse spans timed
 	// inside it.
 	if s.tel.Propagate = time.Since(solveStart) - s.tel.Collapse; s.tel.Propagate < 0 {
@@ -234,34 +269,41 @@ func MustSolve(prob *Problem, cfg Config) *Solution {
 	return sol
 }
 
-func newSolver(prob *Problem, cfg Config) *solver {
+func newSolver(prob *Problem, cfg Config, ar *Arena) *solver {
 	n := prob.NumVars()
 	omega := NoVar
 	if cfg.Rep == EP {
 		omega = VarID(n)
 		n++
 	}
+	ar.reset(n)
+	// pts and external escape into the returned Solution, so they are the
+	// two tables that must always be freshly allocated; everything else is
+	// arena-backed scratch that dies with the solver.
 	s := &solver{
 		cfg:       cfg,
 		p:         prob,
 		n:         n,
 		omega:     omega,
-		forest:    uf.New(n),
+		forest:    ar.forest,
 		pts:       make([]*bitset.Set, n),
-		succ:      make([]*bitset.Set, n),
-		loadTo:    make([][]VarID, n),
-		storeFrom: make([][]VarID, n),
-		callsAt:   make([][]callC, n),
-		funcsAt:   make([][]funcC, n),
+		succ:      ar.succ,
+		loadTo:    ar.loadTo,
+		storeFrom: ar.storeFrom,
+		callsAt:   ar.callsAt,
+		funcsAt:   ar.funcsAt,
 		external:  make([]bool, n),
-		impFunc:   make([]bool, n),
-		repFlags:  make([]Flags, n),
-		fullVisit: make([]bool, n),
-		ptrCompat: make([]bool, n),
-		visitMark: make([]uint32, n),
+		impFunc:   ar.impFunc,
+		repFlags:  ar.repFlags,
+		fullVisit: ar.fullVisit,
+		satVisit:  ar.satVisit,
+		ptrCompat: ar.ptrCompat,
+		visitMark: ar.visitMark,
+		ar:        ar,
+		iterBuf:   ar.iterBuf[:0],
 	}
 	if cfg.DP {
-		s.dif = make([]*bitset.Set, n)
+		s.dif = ar.dif
 	}
 	copy(s.ptrCompat, prob.PtrCompat)
 	if omega != NoVar {
@@ -307,6 +349,7 @@ func (s *solver) setFlag(v VarID, bit Flags) bool {
 	}
 	s.repFlags[r] |= bit
 	s.fullVisit[r] = true
+	s.satVisit[r] = false
 	s.flagMarks++
 	s.fire(&s.tel.Firings.Flag)
 	s.noteProgress()
@@ -434,6 +477,7 @@ func (s *solver) addPointee(r, x VarID) bool {
 		return false
 	}
 	s.pointeeAdds++
+	s.satVisit[r] = false
 	if s.cfg.DP {
 		s.difOf(r).Add(x)
 	}
@@ -585,6 +629,7 @@ func (s *solver) unify(a, b VarID) VarID {
 		}
 	}
 	s.fullVisit[w] = true
+	s.satVisit[w] = false
 	s.enqueue(w)
 	return w
 }

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/bitset"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
+)
+
+// This file implements stratified presaturation, the intra-solve
+// parallelism layer selected by Config.SolveWorkers. The simple-edge graph
+// is condensed into strongly connected components (read-only Tarjan over a
+// scratch union-find, never the solver's real forest: workers must not
+// path-compress shared state), the components are layered into topological
+// strata (every simple-edge predecessor of a component sits in a strictly
+// earlier stratum), and the TRANS closure — explicit pointees plus the
+// p ⊒ Ω flag — is then propagated stratum by stratum. Components within
+// one stratum are data-independent, so a bounded worker pool processes
+// them concurrently with whole-word batched set unions; each component's
+// result is a pure join (union) of frozen earlier-stratum results, which
+// makes the outcome independent of the worker count by construction. The
+// differential harness (internal/core/differential) gates exactly this
+// property: bit-identical Solutions for every SolveWorkers ≥ 1.
+//
+// All order-sensitive work — unification, PIP rules 1–4, complex
+// constraints, cycle detection — stays on the sequential visit path.
+// Presaturation only fast-forwards the schedule-independent saturation
+// that the sequential path would reach anyway, and marks the nodes it
+// saturated (solver.satVisit) so their visits skip the now-redundant
+// per-edge TRANS propagation.
+
+// presatMinVars is the problem size below which presaturation is skipped
+// and the solve falls back to the plain sequential path: stratification
+// has a fixed per-solve cost that tiny graphs cannot amortize. The
+// threshold depends only on the problem (never on the worker count), so
+// the fallback decision — and therefore the solution — is identical for
+// every SolveWorkers ≥ 1. Variable so the differential harness and fuzz
+// targets can force the stratified path onto small generated problems.
+var presatMinVars = 64
+
+// presatMinCompsPerLevel is the number of components a stratum needs
+// before its work is sharded across goroutines; thinner strata are
+// processed inline (goroutine dispatch would cost more than the unions).
+const presatMinCompsPerLevel = 8
+
+// stratumPlan is the SCC condensation of the current simple-edge graph,
+// layered into topological strata. It is built sequentially and read-only
+// during the parallel phase.
+type stratumPlan struct {
+	// comps[c] lists the component's member representatives in ascending
+	// order; the first member is the component's leader.
+	comps [][]VarID
+	// preds[c] lists the components with a simple edge into c.
+	preds [][]int32
+	// levels[l] lists the components of stratum l; every predecessor of a
+	// level-l component sits in a level < l.
+	levels [][]int32
+}
+
+// strataShard is one worker's private telemetry accumulator. Workers
+// never touch the solver's counters directly — the shards are merged by
+// the coordinating goroutine at the end of the pass, which keeps the
+// counters race-clean and their totals deterministic (per-component
+// contributions are fixed, and integer addition commutes). The padding
+// keeps adjacent shards on separate cache lines.
+type strataShard struct {
+	adds     int64
+	flags    int64
+	progress bool
+	_        [5]int64
+}
+
+// presaturate runs one stratified presaturation pass over the current
+// constraint graph. It is a no-op on the sequential path, for problems
+// below the size threshold, and after a budget abort.
+func (s *solver) presaturate() {
+	if s.cfg.SolveWorkers <= 0 || s.aborted || s.n < presatMinVars {
+		return
+	}
+	// Chaos hook: an injected error latches the abort flag so the solve
+	// degrades to the sound Ω top element, exactly like an exhausted
+	// budget; injected panics propagate to the engine's per-job recovery.
+	if err := faults.Inject(faults.CoreStrata); err != nil {
+		s.aborted = true
+		s.tk.Event("fault_injected", obs.S("point", string(faults.CoreStrata)))
+		return
+	}
+	t0 := time.Now()
+	sp := s.tk.Begin("presaturate", obs.N("workers", int64(s.cfg.SolveWorkers)))
+	plan := s.buildStrata()
+	if plan == nil {
+		sp.End(obs.N("strata", 0))
+		s.tel.Presaturate += time.Since(t0)
+		return
+	}
+	if len(plan.levels) > s.tel.Strata {
+		s.tel.Strata = len(plan.levels)
+	}
+	workers := s.cfg.SolveWorkers
+	var lanes []obs.Track
+	if tr := s.tk.Trace(); tr != nil && workers > 1 {
+		// One trace lane per stratum worker so a trace shows the
+		// per-worker occupancy of each stratum barrier.
+		lanes = make([]obs.Track, workers)
+		for i := range lanes {
+			lanes[i] = tr.NewTrack(fmt.Sprintf("stratum-w%d", i))
+		}
+	}
+	shards := make([]strataShard, workers)
+	completed := true
+	for li, lvl := range plan.levels {
+		// The pass's rule firings are derived from the plan alone —
+		// predecessor merges plus member fold and write-back unions — so
+		// budget accounting is identical for every worker count, and the
+		// budget is checked only at stratum boundaries so an abort always
+		// lands on a deterministic level edge.
+		var levelFirings int64
+		for _, c := range lvl {
+			levelFirings += int64(len(plan.preds[c])) + 2*int64(len(plan.comps[c])-1)
+		}
+		if workers > 1 && len(lvl) >= presatMinCompsPerLevel {
+			chunk := (len(lvl) + workers - 1) / workers
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				if lo >= len(lvl) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(lvl) {
+					hi = len(lvl)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					if lanes != nil {
+						lsp := lanes[w].Begin("stratum",
+							obs.N("level", int64(li)), obs.N("comps", int64(hi-lo)))
+						defer lsp.End()
+					}
+					for _, c := range lvl[lo:hi] {
+						s.processComp(plan, c, &shards[w])
+					}
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		} else {
+			for _, c := range lvl {
+				s.processComp(plan, c, &shards[0])
+			}
+		}
+		s.tel.Firings.Trans += levelFirings
+		s.fired += levelFirings
+		if s.budgetExhausted() {
+			completed = false
+			break
+		}
+	}
+	for i := range shards {
+		s.pointeeAdds += shards[i].adds
+		s.flagMarks += shards[i].flags
+		if shards[i].progress {
+			s.noteProgress()
+		}
+	}
+	if completed {
+		// Every stratum ran: each node's successors now hold its full
+		// closure, so its visits can skip per-edge TRANS propagation
+		// until the node itself changes again.
+		for _, comp := range plan.comps {
+			for _, m := range comp {
+				s.satVisit[m] = true
+			}
+		}
+	}
+	sp.End(obs.N("strata", int64(len(plan.levels))), obs.N("comps", int64(len(plan.comps))))
+	s.tel.Presaturate += time.Since(t0)
+}
+
+// processComp computes one component's TRANS closure: fold the members'
+// explicit sets and the p ⊒ Ω flag into the leader, join every
+// predecessor component's (already final) closure, and write the result
+// back to all members. Components in one stratum write disjoint state and
+// read only frozen earlier strata, so this is safe to run concurrently
+// for all components of a level.
+func (s *solver) processComp(plan *stratumPlan, c int32, sh *strataShard) {
+	members := plan.comps[c]
+	leader := members[0]
+	var flag Flags
+	for _, m := range members {
+		flag |= s.repFlags[m] & FlagPointsExt
+	}
+	lp := s.pts[leader]
+	adds := 0
+	for _, m := range members[1:] {
+		if mp := s.pts[m]; mp != nil && mp.Len() > 0 {
+			if lp == nil {
+				lp = &bitset.Set{}
+				s.pts[leader] = lp
+			}
+			adds += lp.UnionWithDelta(mp, nil)
+		}
+	}
+	for _, pc := range plan.preds[c] {
+		pl := plan.comps[pc][0]
+		flag |= s.repFlags[pl] & FlagPointsExt
+		if pp := s.pts[pl]; pp != nil && pp.Len() > 0 {
+			if lp == nil {
+				lp = &bitset.Set{}
+				s.pts[leader] = lp
+			}
+			adds += lp.UnionWithDelta(pp, nil)
+		}
+	}
+	if lp != nil && lp.Len() > 0 {
+		for _, m := range members[1:] {
+			mp := s.pts[m]
+			if mp == nil {
+				mp = &bitset.Set{}
+				s.pts[m] = mp
+			}
+			adds += mp.UnionWithDelta(lp, nil)
+		}
+	}
+	if adds > 0 {
+		sh.adds += int64(adds)
+		sh.progress = true
+	}
+	if flag != 0 {
+		for _, m := range members {
+			if s.repFlags[m]&FlagPointsExt == 0 {
+				s.repFlags[m] |= FlagPointsExt
+				s.fullVisit[m] = true
+				sh.flags++
+				sh.progress = true
+			}
+		}
+	}
+	// Difference sets are deliberately left untouched: presaturation runs
+	// either before the worklist's initial full visits (which clear them)
+	// or under solvers that never use them (wave/naive reject DP).
+}
+
+// buildStrata snapshots the simple-edge graph over current
+// representatives into CSR form, runs an iterative Tarjan SCC pass,
+// groups members through the arena's scratch union-find, and layers the
+// condensation into topological strata via longest-path levels. Returns
+// nil when the graph has no simple edges. Entirely sequential and
+// deterministic: component ids follow Tarjan's emission order, which is a
+// reverse topological order of the condensation.
+func (s *solver) buildStrata() *stratumPlan {
+	n := s.n
+	ar := s.ar
+	ar.csrOff = growZero(ar.csrOff, n+1)
+	deg := ar.csrOff[1:] // deg[v] counts v's outgoing edges; shifted for the prefix sum
+	edges := 0
+	for v := 0; v < n; v++ {
+		r := VarID(v)
+		if s.find(r) != r || s.succ[r] == nil {
+			continue
+		}
+		s.succ[r].ForEach(func(q uint32) {
+			if w := s.find(VarID(q)); w != r {
+				deg[v]++
+				edges++
+			}
+		})
+	}
+	if edges == 0 {
+		return nil
+	}
+	for i := 1; i <= n; i++ {
+		ar.csrOff[i] += ar.csrOff[i-1]
+	}
+	if cap(ar.csrDst) < edges {
+		ar.csrDst = make([]VarID, edges)
+	}
+	ar.csrDst = ar.csrDst[:edges]
+	ar.csrNext = growZero(ar.csrNext, n)
+	for v := 0; v < n; v++ {
+		r := VarID(v)
+		if s.find(r) != r || s.succ[r] == nil {
+			continue
+		}
+		s.succ[r].ForEach(func(q uint32) {
+			if w := s.find(VarID(q)); w != r {
+				ar.csrDst[ar.csrOff[v]+ar.csrNext[v]] = w
+				ar.csrNext[v]++
+			}
+		})
+	}
+	// A node joins the condensation when it touches at least one edge.
+	ar.actMark = growZero(ar.actMark, n)
+	active := ar.actMark
+	for v := 0; v < n; v++ {
+		if ar.csrNext[v] > 0 {
+			active[v] = true
+		}
+	}
+	for _, w := range ar.csrDst {
+		active[w] = true
+	}
+
+	// Iterative Tarjan over the active representatives, ascending id
+	// order for determinism. Frames carry only a CSR edge cursor.
+	ar.tjIndex = growZero(ar.tjIndex, n)
+	ar.tjLow = growZero(ar.tjLow, n)
+	idx, low := ar.tjIndex, ar.tjLow
+	for i := range idx {
+		idx[i] = -1
+	}
+	ar.tjOn = growZero(ar.tjOn, n)
+	onStack := ar.tjOn
+	stack := ar.tjStack[:0]
+	forest := ar.strataForest(n)
+	var comps [][]VarID
+	next := int32(0)
+	type frame struct {
+		v VarID
+		i int32
+	}
+	var frames []frame
+	for v0 := 0; v0 < n; v0++ {
+		if !active[v0] || idx[v0] >= 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: VarID(v0)})
+		idx[v0], low[v0] = next, next
+		next++
+		stack = append(stack, VarID(v0))
+		onStack[v0] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.i < ar.csrNext[f.v] {
+				w := ar.csrDst[ar.csrOff[f.v]+f.i]
+				f.i++
+				if idx[w] < 0 {
+					idx[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[w] < low[f.v] {
+					low[f.v] = low[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.v] == idx[f.v] {
+				var comp []VarID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				// Ascending members; the minimum is the leader. The
+				// scratch forest records the grouping so edge targets
+				// resolve to their component through one Find.
+				sortVarIDs(comp)
+				for _, m := range comp[1:] {
+					forest.UnionInto(uint32(comp[0]), uint32(m))
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	ar.tjStack = stack[:0]
+
+	// Condensed edges: compOf maps a component leader to its id.
+	ar.compOf = growZero(ar.compOf, n)
+	compOf := ar.compOf
+	for ci, comp := range comps {
+		compOf[comp[0]] = int32(ci)
+	}
+	preds := make([][]int32, len(comps))
+	for ci, comp := range comps {
+		c := int32(ci)
+		for _, m := range comp {
+			off, cnt := ar.csrOff[m], ar.csrNext[m]
+			for _, w := range ar.csrDst[off : off+cnt] {
+				cw := compOf[forest.Find(uint32(w))]
+				if cw == c {
+					continue
+				}
+				// Edges of one component are scanned consecutively, so
+				// checking the last entry dedupes this source component.
+				if l := len(preds[cw]); l > 0 && preds[cw][l-1] == c {
+					continue
+				}
+				preds[cw] = append(preds[cw], c)
+			}
+		}
+	}
+
+	// Longest-path layering over the reverse emission order (Tarjan emits
+	// successors first, so the reverse is topological: predecessors have
+	// already been assigned their level).
+	level := make([]int32, len(comps))
+	depth := int32(0)
+	for c := len(comps) - 1; c >= 0; c-- {
+		var l int32
+		for _, p := range preds[c] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[c] = l
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	levels := make([][]int32, depth)
+	for c := len(comps) - 1; c >= 0; c-- {
+		levels[level[c]] = append(levels[level[c]], int32(c))
+	}
+	return &stratumPlan{comps: comps, preds: preds, levels: levels}
+}
+
+// sortVarIDs sorts a small component member list ascending (insertion
+// sort: components are overwhelmingly tiny).
+func sortVarIDs(v []VarID) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+)
+
+// Fuzz targets for stratified presaturation: the first drives the
+// differential oracle (parallel solve must be bit-identical to the
+// workers=1 reference and Canonical-equal to the legacy sequential path),
+// the second checks the structural invariants of the stratum plan itself.
+// Both decode arbitrary bytes into small constraint problems and force the
+// stratified path by lowering presatMinVars. Run continuously with
+// `make fuzz`.
+
+// decodeStrataProblem turns fuzz bytes into a small constraint problem and
+// a firing cap (0 = unbudgeted). The decoder is total over inputs of at
+// least five bytes: every byte string is a valid problem, so the fuzzer
+// spends its time exploring graph shapes rather than fighting a parser.
+func decodeStrataProblem(data []byte) (*Problem, int64) {
+	if len(data) < 5 {
+		return nil, 0
+	}
+	n := 8 + int(data[0])%24
+	fcap := int64(data[1])
+	p := NewProblem()
+	vars := make([]VarID, n)
+	for i := 0; i < n; i++ {
+		kind := Memory
+		if i%3 == 2 {
+			kind = Register
+		}
+		vars[i] = p.AddVar("", kind, i%11 != 10)
+	}
+	// mem rounds an index down to a Memory variable (kinds repeat
+	// Memory, Memory, Register).
+	mem := func(b byte) VarID {
+		i := int(b) % n
+		return vars[i-i%3]
+	}
+	flags := []Flags{FlagPointsExt, FlagEscapedPointees, FlagStoreScalar, FlagLoadScalar}
+	for body := data[2:]; len(body) >= 3; body = body[3:] {
+		op, a, b := body[0], body[1], body[2]
+		x, y := vars[int(a)%n], vars[int(b)%n]
+		switch op % 8 {
+		case 0:
+			p.AddSimple(x, y)
+		case 1:
+			p.AddBase(x, mem(b))
+		case 2:
+			p.AddLoad(x, y)
+		case 3:
+			p.AddStore(x, y)
+		case 4:
+			p.SetFlag(mem(a), FlagExternal)
+		case 5:
+			p.SetFlag(x, flags[int(b)%len(flags)])
+		case 6:
+			p.AddFunc(mem(a), y, []VarID{x})
+			p.AddCall(y, x, []VarID{vars[int(a+b)%n]})
+		default:
+			p.AddSimple(x, x) // explicit self-loop op
+		}
+	}
+	if p.Validate() != nil {
+		return nil, 0
+	}
+	return p, fcap
+}
+
+// strataSeeds are hand-built corpus entries covering the shapes the
+// stratifier must not get wrong: pure chains (every stratum a single
+// node), self-loop farms, and a large cycle under a budget small enough to
+// abort mid-collapse.
+func strataSeeds() [][]byte {
+	// Chain: 16 vars, unbudgeted, edges i+1 ⊇ i plus a few base facts.
+	chain := []byte{8, 0}
+	for i := 0; i < 15; i++ {
+		chain = append(chain, 0, byte(i+1), byte(i))
+	}
+	for i := 0; i < 4; i++ {
+		chain = append(chain, 1, byte(i), byte(3*i))
+	}
+
+	// Self-loops: every op-7 edge is v ⊇ v; mix in loads through them.
+	loops := []byte{4, 0}
+	for i := 0; i < 12; i++ {
+		loops = append(loops, 7, byte(i), byte(i))
+	}
+	for i := 0; i < 6; i++ {
+		loops = append(loops, 1, byte(i), byte(i), 2, byte(i+1), byte(i))
+	}
+
+	// Cycle under budget: a 20-node ring with bases, capped at 37
+	// firings so the solve degrades somewhere inside the collapse.
+	ring := []byte{16, 37}
+	for i := 0; i < 20; i++ {
+		ring = append(ring, 0, byte((i+1)%20), byte(i))
+	}
+	for i := 0; i < 8; i++ {
+		ring = append(ring, 1, byte(i), byte(3*i), 3, byte(i), byte(i+5))
+	}
+
+	// Two rings joined by a chain, unbudgeted: multi-component strata.
+	twin := []byte{10, 0}
+	for i := 0; i < 6; i++ {
+		twin = append(twin, 0, byte((i+1)%6), byte(i))
+		twin = append(twin, 0, byte(8+(i+1)%6), byte(8+i))
+	}
+	twin = append(twin, 0, 8, 5, 1, 0, 0, 4, 9, 0)
+
+	return [][]byte{chain, loops, ring, twin}
+}
+
+// FuzzStrataDifferential is the fuzzing face of the differential gate:
+// arbitrary problems, workers 1 vs 4 bit-identity (plus Degraded
+// identity under the decoded firing cap), and Canonical agreement with the
+// legacy SolveWorkers=0 solver when unbudgeted.
+func FuzzStrataDifferential(f *testing.F) {
+	for _, s := range strataSeeds() {
+		f.Add(s)
+	}
+	cfgs := []string{"IP+WL(FIFO)+PIP", "EP+OVS+WL(LRF)+OCD", "IP+WL(LIFO)+LCD+DP"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, fcap := decodeStrataProblem(data)
+		if p == nil {
+			return
+		}
+		defer func(old int) { presatMinVars = old }(presatMinVars)
+		presatMinVars = 4
+		for _, cs := range cfgs {
+			cfg := MustParseConfig(cs)
+			cfg.Budget = Budget{Firings: fcap}
+			cfg.SolveWorkers = 1
+			ref := MustSolve(p, cfg)
+			cfg.SolveWorkers = 4
+			par := MustSolve(p, cfg)
+			if par.Degraded != ref.Degraded {
+				t.Fatalf("%s cap=%d: workers=4 degraded=%v, workers=1 degraded=%v",
+					cs, fcap, par.Degraded, ref.Degraded)
+			}
+			if par.Fingerprint() != ref.Fingerprint() {
+				t.Fatalf("%s cap=%d: workers=4 fingerprint diverged from workers=1", cs, fcap)
+			}
+			if fcap == 0 {
+				cfg.SolveWorkers = 0
+				legacy := MustSolve(p, cfg)
+				if legacy.Canonical() != ref.Canonical() {
+					t.Fatalf("%s: stratified solve disagrees with legacy sequential solution", cs)
+				}
+			}
+		}
+	})
+}
+
+// FuzzStrataPlan checks the stratum plan's structural invariants on
+// arbitrary graphs: components partition the active nodes, members are
+// sorted with the leader first, every predecessor component sits in a
+// strictly earlier stratum, and the levels partition the components.
+func FuzzStrataPlan(f *testing.F) {
+	for _, s := range strataSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, _ := decodeStrataProblem(data)
+		if p == nil {
+			return
+		}
+		s := newSolver(p, Config{Rep: IP, Solver: Worklist, SolveWorkers: 2}, NewArena())
+		s.seed()
+		plan := s.buildStrata()
+		if plan == nil {
+			return // no simple edges survived seeding
+		}
+		seen := make(map[VarID]int32)
+		for ci, comp := range plan.comps {
+			if len(comp) == 0 {
+				t.Fatalf("component %d is empty", ci)
+			}
+			for i, m := range comp {
+				if s.find(m) != m {
+					t.Fatalf("component %d member %d is not a representative", ci, m)
+				}
+				if i > 0 && comp[i-1] >= m {
+					t.Fatalf("component %d members not strictly ascending", ci)
+				}
+				if prev, dup := seen[m]; dup {
+					t.Fatalf("node %d in components %d and %d", m, prev, ci)
+				}
+				seen[m] = int32(ci)
+			}
+		}
+		compLevel := make([]int32, len(plan.comps))
+		inLevel := 0
+		for li, lvl := range plan.levels {
+			for _, c := range lvl {
+				compLevel[c] = int32(li)
+				inLevel++
+			}
+		}
+		if inLevel != len(plan.comps) {
+			t.Fatalf("levels hold %d components, plan has %d", inLevel, len(plan.comps))
+		}
+		for ci := range plan.comps {
+			for _, pc := range plan.preds[ci] {
+				if compLevel[pc] >= compLevel[ci] {
+					t.Fatalf("component %d (level %d) has predecessor %d at level %d",
+						ci, compLevel[ci], pc, compLevel[pc])
+				}
+			}
+		}
+		// Cross-check against the live graph: every inter-component simple
+		// edge must respect the level order.
+		for v := 0; v < s.n; v++ {
+			r := VarID(v)
+			if s.find(r) != r || s.succ[r] == nil {
+				continue
+			}
+			cv, ok := seen[r]
+			if !ok {
+				continue
+			}
+			s.succ[r].ForEach(func(q uint32) {
+				w := s.find(VarID(q))
+				if w == r {
+					return
+				}
+				cw, ok := seen[w]
+				if !ok {
+					t.Fatalf("edge target %d missing from the condensation", w)
+				}
+				if cv != cw && compLevel[cv] >= compLevel[cw] {
+					t.Fatalf("edge %d->%d violates level order (%d >= %d)",
+						r, w, compLevel[cv], compLevel[cw])
+				}
+			})
+		}
+	})
+}

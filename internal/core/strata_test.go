@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
+)
+
+// Deterministic in-package tests for the stratified presaturation pass.
+// The cross-package differential harness proves worker-count bit-identity
+// at scale; these pin the branches of the pass itself — the chunked
+// fan-out with per-worker trace lanes, cycle components whose leader has
+// no explicit pointees, the deterministic budget abort at a stratum
+// boundary, and the chaos hook.
+
+// strataTestProblem builds 12 parallel chains of 8 variables (96 vars,
+// comfortably past presatMinVars) so every stratum level holds 12
+// components — enough to engage the chunked worker fan-out — plus a
+// two-variable cycle whose base fact sits on the non-leader member and
+// which points twice at the same downstream component (exercising the
+// consecutive-edge dedupe in buildStrata).
+func strataTestProblem() *Problem {
+	p := NewProblem()
+	const chains, depth = 12, 8
+	vars := make([][]VarID, chains)
+	for c := range vars {
+		vars[c] = make([]VarID, depth)
+		for d := range vars[c] {
+			vars[c][d] = p.AddVar("", Memory, true)
+		}
+	}
+	for c := range vars {
+		p.AddBase(vars[c][0], vars[c][0])
+		for d := 1; d < depth; d++ {
+			p.AddSimple(vars[c][d], vars[c][d-1])
+		}
+	}
+	// Cycle {a, b} with the base fact on b: Tarjan's leader is the
+	// smaller id a, whose points-to set starts nil inside processComp.
+	a := p.AddVar("", Memory, true)
+	b := p.AddVar("", Memory, true)
+	p.AddSimple(a, b)
+	p.AddSimple(b, a)
+	p.AddBase(b, a)
+	// Both members feed the same target: two consecutive inter-component
+	// edges from the cycle's component.
+	t := p.AddVar("", Memory, true)
+	p.AddSimple(t, a)
+	p.AddSimple(t, b)
+	p.SetFlag(vars[0][0], FlagPointsExt)
+	return p
+}
+
+func strataTestConfig(workers int) Config {
+	cfg := MustParseConfig("IP+WL(FIFO)+PIP")
+	cfg.SolveWorkers = workers
+	return cfg
+}
+
+// TestPresaturateChunkedWorkersTraced drives the parallel fan-out (8
+// workers over 12-component levels, so one worker's chunk starts past the
+// end and takes the break) with tracing enabled, and checks the result is
+// bit-identical to the single-worker reference.
+func TestPresaturateChunkedWorkersTraced(t *testing.T) {
+	p := strataTestProblem()
+	ref, err := Solve(p, strataTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Telemetry.Strata == 0 {
+		t.Fatal("reference solve did not stratify")
+	}
+	tr := obs.New("strata-test", 1<<12)
+	sol, err := SolveTracedIn(p, strataTestConfig(8), tr.NewTrack("solve"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Telemetry.Strata == 0 {
+		t.Fatal("parallel solve did not stratify")
+	}
+	if got, want := sol.Fingerprint(), ref.Fingerprint(); got != want {
+		t.Fatalf("8-worker solution differs from 1-worker reference:\ngot  %s\nwant %s", got, want)
+	}
+	if sol.Degraded || ref.Degraded {
+		t.Fatal("unbudgeted solves degraded")
+	}
+}
+
+// TestPresaturateBudgetAbortsAtStratumBoundary: a firing cap smaller than
+// the first level's plan-derived charge must degrade the solve — and
+// identically for every worker count, since the charge depends only on
+// the plan.
+func TestPresaturateBudgetAbortsAtStratumBoundary(t *testing.T) {
+	var fps [3]string
+	for i, workers := range []int{1, 2, 8} {
+		cfg := strataTestConfig(workers)
+		cfg.Budget = Budget{Firings: 3}
+		sol, err := Solve(strataTestProblem(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !sol.Degraded {
+			t.Fatalf("workers=%d: solve under a 3-firing cap did not degrade", workers)
+		}
+		fps[i] = sol.Fingerprint()
+	}
+	if fps[0] != fps[1] || fps[1] != fps[2] {
+		t.Fatalf("degraded fingerprints differ across worker counts:\n%s\n%s\n%s", fps[0], fps[1], fps[2])
+	}
+}
+
+// TestPresaturateFaultInjection: an injected core.strata error must latch
+// the abort flag and surface as the sound Ω-degradation, not an error.
+func TestPresaturateFaultInjection(t *testing.T) {
+	reg, err := faults.ParseSpec("seed=1;core.strata=error:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	t.Cleanup(faults.Disarm)
+	sol, err := Solve(strataTestProblem(), strataTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Degraded {
+		t.Fatal("injected strata fault did not degrade the solve")
+	}
+	if reg.Hits(faults.CoreStrata) == 0 {
+		t.Fatal("core.strata point never fired")
+	}
+}
+
+// TestPresaturateSkipsSmallProblems: below presatMinVars the pass must
+// not run at all, keeping tiny solves on the zero-overhead path.
+func TestPresaturateSkipsSmallProblems(t *testing.T) {
+	p := NewProblem()
+	v := p.AddVar("", Memory, true)
+	w := p.AddVar("", Memory, true)
+	p.AddBase(v, v)
+	p.AddSimple(w, v)
+	sol, err := Solve(p, strataTestConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Telemetry.Strata != 0 || sol.Telemetry.Presaturate != 0 {
+		t.Fatalf("small problem stratified: strata=%d presaturate=%v",
+			sol.Telemetry.Strata, sol.Telemetry.Presaturate)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/pip-analysis/pip/internal/bitset"
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 )
@@ -84,6 +85,11 @@ func (s *solver) solveWorklist() {
 		// constraints may already contain cycles, so collapse them first.
 		s.collapseAllSCCs()
 	}
+	// Stratified presaturation (SolveWorkers ≥ 1): saturate the TRANS
+	// closure of the seeded graph in parallel before the initial visits,
+	// so the worklist only has to drive the complex constraints and the
+	// PIP rules instead of element-wise transitive propagation.
+	s.presaturate()
 	// W ← P ∪ M: initialize with every node; first visits are full.
 	for v := 0; v < s.n; v++ {
 		r := s.find(VarID(v))
@@ -167,17 +173,23 @@ func (s *solver) visit(n VarID) {
 	}
 	s.fullVisit[n] = false
 
+	// The pointee snapshot lives in the solver's reusable buffer: visit is
+	// not reentrant (the nested addEdgeOnline path propagates whole sets
+	// without snapshotting), so one buffer per solve suffices.
 	var iter []uint32
 	if full {
 		if s.pts[n] != nil {
-			iter = s.pts[n].Slice()
+			iter = s.pts[n].AppendTo(s.iterBuf[:0])
 		}
 		if s.cfg.DP && s.dif[n] != nil {
 			s.dif[n].Clear()
 		}
 	} else if s.dif[n] != nil {
-		iter = s.dif[n].Slice()
+		iter = s.dif[n].AppendTo(s.iterBuf[:0])
 		s.dif[n].Clear()
+	}
+	if iter != nil {
+		s.iterBuf = iter
 	}
 
 	// Escape processing: if Ω ⊒ n, every pointee becomes externally
@@ -196,6 +208,7 @@ func (s *solver) visit(n VarID) {
 	if pip2 {
 		if s.pts[n] != nil && s.pts[n].Len() > 0 {
 			s.pts[n].Clear()
+			s.satVisit[n] = false
 			s.noteProgress()
 		}
 		if s.cfg.DP && s.dif[n] != nil {
@@ -206,6 +219,10 @@ func (s *solver) visit(n VarID) {
 
 	// Simple edges n → p: TRANS / TRANSΩ.
 	if s.succ[n] != nil && s.succ[n].Len() > 0 {
+		// Presaturated and unchanged since: every successor already holds
+		// this node's full closure, so propagation is skipped. Edge
+		// maintenance (self-edge and PIP-4 removal) still runs.
+		sat := s.satVisit[n]
 		for _, q := range s.succ[n].Slice() {
 			rq := s.find(q)
 			if rq == n {
@@ -217,6 +234,9 @@ func (s *solver) visit(n VarID) {
 			if s.cfg.pipRule(4) && s.repFlags[n]&FlagEscapedPointees != 0 && s.repFlags[rq]&FlagPointsExt != 0 {
 				s.succ[n].Remove(q)
 				s.noteProgress()
+				continue
+			}
+			if sat {
 				continue
 			}
 			s.propagate(n, rq, iter, full)
@@ -383,12 +403,54 @@ func (s *solver) propagate(from, to VarID, iter []uint32, full bool) {
 	}
 	if changed {
 		s.noteProgress()
+		s.satVisit[to] = false
 		s.enqueue(to)
 		return
 	}
 	// Lazy cycle detection: propagation added nothing and the sets are
 	// equal — a strong hint that from and to sit on a cycle.
 	if s.cfg.LCD && full && s.pts[from] != nil && s.pts[from].Len() > 0 {
+		key := uint64(from)<<32 | uint64(to)
+		if !s.lcdDone[key] {
+			s.lcdDone[key] = true
+			if s.pts[to] != nil && s.pts[from].Equal(s.pts[to]) {
+				s.detectAndCollapse(to, from)
+			}
+		}
+	}
+}
+
+// propagateFull is propagate for a freshly inserted edge: the source's
+// whole current set flows across, so the per-element snapshot loop is
+// replaced by one whole-word batched union that records the delta
+// directly. Behavior (adds counted, difference sets, flag copy, LCD
+// trigger) is identical to propagate(from, to, pts[from].Slice(), true).
+func (s *solver) propagateFull(from, to VarID) {
+	s.fire(&s.tel.Firings.Trans)
+	changed := false
+	if s.pts[from] != nil && s.pts[from].Len() > 0 {
+		tp := s.ptsOf(to)
+		var td *bitset.Set
+		if s.cfg.DP {
+			td = s.difOf(to)
+		}
+		if adds := tp.UnionWithDelta(s.pts[from], td); adds > 0 {
+			s.pointeeAdds += int64(adds)
+			changed = true
+		}
+	}
+	if s.repFlags[from]&FlagPointsExt != 0 && s.repFlags[to]&FlagPointsExt == 0 {
+		s.repFlags[to] |= FlagPointsExt
+		s.fullVisit[to] = true
+		changed = true
+	}
+	if changed {
+		s.noteProgress()
+		s.satVisit[to] = false
+		s.enqueue(to)
+		return
+	}
+	if s.cfg.LCD && s.pts[from] != nil && s.pts[from].Len() > 0 {
 		key := uint64(from)<<32 | uint64(to)
 		if !s.lcdDone[key] {
 			s.lcdDone[key] = true
@@ -433,12 +495,8 @@ func (s *solver) addEdgeOnline(src, dst VarID) {
 	}
 	s.succOf(rs).Add(rd)
 	s.noteProgress()
-	// New edges always propagate the full source set.
-	var iter []uint32
-	if s.pts[rs] != nil {
-		iter = s.pts[rs].Slice()
-	}
-	s.propagate(rs, rd, iter, true)
+	// New edges always propagate the full source set, batched whole-word.
+	s.propagateFull(rs, rd)
 	if s.cfg.OCD {
 		s.ocdCheck(rs, rd)
 	}

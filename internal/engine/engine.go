@@ -58,6 +58,14 @@ type Options struct {
 	// and unbudgeted runs never share cached solutions. Degraded
 	// solutions are never cached (a deadline abort is nondeterministic).
 	Budget core.Budget
+	// SolveWorkers is the default intra-solve worker count
+	// (core.Config.SolveWorkers), applied to every job whose own config
+	// leaves it zero. Like Budget it is folded in before the cache key is
+	// computed; unlike Budget that changes nothing for sharing, because
+	// every SolveWorkers >= 1 renders as the same "PAR" config marker —
+	// the differential harness guarantees the solutions are bit-identical
+	// across worker counts, so they may share cache entries.
+	SolveWorkers int
 	// Trace, when non-nil, records engine activity onto the trace: one
 	// track per pool worker carrying a span per job (queue wait and run
 	// time) with the solve's own phase spans nested inside. A nil trace
@@ -176,6 +184,12 @@ type Stats struct {
 	// CacheCorrupt counts cache entries whose content hash failed
 	// verification on read; each was evicted and re-solved, never served.
 	CacheCorrupt int64 `json:"cache_corrupt_detected"`
+	// Stratified counts solved (non-cached) jobs whose solve actually ran
+	// stratified parallel presaturation — SolveWorkers >= 1 on a problem
+	// big enough to stratify. The gap between Jobs and Stratified shows
+	// how much of a parallel-configured workload fell back to the plain
+	// sequential path.
+	Stratified int64 `json:"stratified"`
 	// Coalesced counts jobs served by waiting on a concurrent identical
 	// solve instead of solving themselves.
 	Coalesced int64 `json:"coalesced"`
@@ -216,6 +230,7 @@ func (st *Stats) Merge(u Stats) {
 	st.WatchdogFired += u.WatchdogFired
 	st.MemTightened += u.MemTightened
 	st.CacheCorrupt += u.CacheCorrupt
+	st.Stratified += u.Stratified
 	st.Coalesced += u.Coalesced
 	if u.PeakInFlight > st.PeakInFlight {
 		st.PeakInFlight = u.PeakInFlight
@@ -361,6 +376,11 @@ func (e *Engine) Run(jobs []Job) []Result {
 			if e.opts.Trace != nil {
 				wtk = e.opts.Trace.NewTrack(fmt.Sprintf("worker-%d", w))
 			}
+			// One arena per pool worker, reused across every job the worker
+			// picks up: union-find forests, flag tables, simple-edge sets and
+			// worklist storage survive from solve to solve instead of being
+			// reallocated per job.
+			ar := core.NewArena()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(jobs) {
@@ -374,7 +394,7 @@ func (e *Engine) Run(jobs []Job) []Result {
 					obs.N("index", int64(i)),
 					obs.N("queue_wait_us", time.Since(submitted).Microseconds()))
 				e.noteStart()
-				out[i] = e.runJob(jobs[i], e.jobTrack(jobs[i], wtk))
+				out[i] = e.runJob(jobs[i], e.jobTrack(jobs[i], wtk), ar)
 				e.noteDone(out[i])
 				sp.End(
 					obs.N("cache_hit", b2i(out[i].CacheHit)),
@@ -396,7 +416,7 @@ func (e *Engine) RunOne(j Job) Result {
 	}
 	sp := wtk.Begin("job", obs.N("queue_wait_us", 0))
 	e.noteStart()
-	res := e.runJob(j, e.jobTrack(j, wtk))
+	res := e.runJob(j, e.jobTrack(j, wtk), nil)
 	e.noteDone(res)
 	sp.End(obs.N("cache_hit", b2i(res.CacheHit)), obs.N("degraded", b2i(res.Degraded)))
 	return res
@@ -453,6 +473,9 @@ func (e *Engine) noteDone(res Result) {
 	// nothing) contribute nothing.
 	if res.Sol != nil && !res.CacheHit {
 		e.stats.Telemetry.Merge(res.Sol.Telemetry)
+		if res.Sol.Telemetry.Strata > 0 {
+			e.stats.Stratified++
+		}
 	}
 	e.stats.CPU += res.Duration
 	e.mu.Unlock()
@@ -538,14 +561,14 @@ func (e *Engine) release(key string, rsv *reservation) {
 // degraded results return immediately — a degraded result is a success
 // carrying the sound Ω-degradation, and retrying it would just spend
 // the budget again.
-func (e *Engine) runJob(j Job, tk obs.Track) Result {
-	res := e.attemptJob(j, tk)
+func (e *Engine) runJob(j Job, tk obs.Track, ar *core.Arena) Result {
+	res := e.attemptJob(j, tk, ar)
 	for n := 1; res.Err != nil && n <= e.opts.Retry.Max && retryable(res.Err); n++ {
 		e.mu.Lock()
 		e.stats.Retries++
 		e.mu.Unlock()
 		time.Sleep(e.opts.Retry.backoff(n))
-		res = e.attemptJob(j, tk)
+		res = e.attemptJob(j, tk, ar)
 		res.Retries = n
 		if res.Err == nil {
 			e.mu.Lock()
@@ -560,7 +583,7 @@ func (e *Engine) runJob(j Job, tk obs.Track) Result {
 // constraint generation, the solver, cache-key hashing, or an injected
 // fault — is converted into a Result.Err so one bad file cannot take
 // down a batch run (and so the retry layer can classify it).
-func (e *Engine) attemptJob(j Job, tk obs.Track) (res Result) {
+func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Err: &panicError{val: r, stack: debug.Stack()}}
@@ -592,6 +615,11 @@ func (e *Engine) attemptJob(j Job, tk obs.Track) (res Result) {
 	// vice versa).
 	if j.Config.Budget.IsZero() && !e.opts.Budget.IsZero() {
 		j.Config.Budget = e.opts.Budget
+	}
+	// Same folding for the default intra-solve worker count; it too is part
+	// of Config.String() (as the worker-count-independent "PAR" marker).
+	if j.Config.SolveWorkers == 0 && e.opts.SolveWorkers > 0 {
+		j.Config.SolveWorkers = e.opts.SolveWorkers
 	}
 	key := j.Key
 	var rsv *reservation
@@ -625,7 +653,7 @@ func (e *Engine) attemptJob(j Job, tk obs.Track) (res Result) {
 	var sol *core.Solution
 	var best time.Duration
 	for r := 0; r < reps; r++ {
-		s, err := e.solveGuarded(gen.Problem, j.Config, tk)
+		s, err := e.solveGuarded(gen.Problem, j.Config, tk, ar)
 		if err != nil {
 			return Result{Err: err}
 		}

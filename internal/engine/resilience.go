@@ -96,10 +96,10 @@ func retryable(err error) bool {
 // sound Ω-degradation built from the problem alone, and the stuck solve
 // is abandoned (it keeps its goroutine until it finishes; its result is
 // discarded, never cached, so a late answer cannot leak into anything).
-func (e *Engine) solveGuarded(prob *core.Problem, cfg core.Config, tk obs.Track) (*core.Solution, error) {
+func (e *Engine) solveGuarded(prob *core.Problem, cfg core.Config, tk obs.Track, ar *core.Arena) (*core.Solution, error) {
 	factor := e.opts.WatchdogFactor
 	if factor <= 0 || cfg.Budget.Deadline <= 0 {
-		return core.SolveTraced(prob, cfg, tk)
+		return core.SolveTracedIn(prob, cfg, tk, ar)
 	}
 	type outcome struct {
 		sol *core.Solution
@@ -112,7 +112,12 @@ func (e *Engine) solveGuarded(prob *core.Problem, cfg core.Config, tk obs.Track)
 				ch <- outcome{err: &panicError{val: r, stack: debug.Stack()}}
 			}
 		}()
-		sol, err := core.SolveTraced(prob, cfg, tk)
+		// Watchdogged solves never borrow the worker's arena: an abandoned
+		// solve keeps running after the watchdog answers for it, and the
+		// worker would hand the same arena to its next job while the zombie
+		// still writes into it. The nil arena draws from the shared pool,
+		// and a pooled arena abandoned this way is simply never returned.
+		sol, err := core.SolveTracedIn(prob, cfg, tk, nil)
 		ch <- outcome{sol: sol, err: err}
 	}()
 	timer := time.NewTimer(time.Duration(factor) * cfg.Budget.Deadline)

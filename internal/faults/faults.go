@@ -46,6 +46,7 @@ const (
 	CoreSolve       Point = "core.solve"      // start of every SolveTraced, after validation
 	CoreWave        Point = "core.wave"       // top of each wave in the Wave strategy
 	CoreCollapse    Point = "core.collapse"   // entry of each top-level cycle collapse
+	CoreStrata      Point = "core.strata"     // entry of each stratified presaturation pass
 	EngineDispatch  Point = "engine.dispatch" // worker picks up a job, before solve
 	EngineCacheIns  Point = "engine.cache.insert"
 	EngineCacheLook Point = "engine.cache.lookup"
@@ -57,7 +58,7 @@ const (
 // arm "everything at ≥1%" without enumerating sites by hand.
 func Points() []Point {
 	return []Point{
-		CoreSolve, CoreWave, CoreCollapse,
+		CoreSolve, CoreWave, CoreCollapse, CoreStrata,
 		EngineDispatch, EngineCacheIns, EngineCacheLook,
 		ServeAdmission, ServeHandler,
 	}

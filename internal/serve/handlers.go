@@ -405,6 +405,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Engine counters and the per-rule firing breakdown.
 	p.Counter("pip_engine_jobs_total", "Jobs executed by the shared engine.", float64(st.Jobs))
 	p.Counter("pip_engine_failures_total", "Engine jobs that failed (solver error or recovered panic).", float64(st.Failures))
+	p.Counter("pip_engine_stratified_total", "Solved jobs whose solve ran stratified parallel presaturation.", float64(st.Stratified))
 	p.CounterVec("pip_rule_firings_total",
 		"Inference-rule applications per rule family, aggregated across all solves.",
 		"rule", map[string]float64{
@@ -429,9 +430,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.CounterVec("pip_engine_phase_seconds_total",
 		"Per-phase solver time summed across solves (CPU time: may exceed the busy span).",
 		"phase", map[string]float64{
-			"offline":   st.Telemetry.Offline.Seconds(),
-			"propagate": st.Telemetry.Propagate.Seconds(),
-			"collapse":  st.Telemetry.Collapse.Seconds(),
+			"offline":     st.Telemetry.Offline.Seconds(),
+			"propagate":   st.Telemetry.Propagate.Seconds(),
+			"collapse":    st.Telemetry.Collapse.Seconds(),
+			"presaturate": st.Telemetry.Presaturate.Seconds(),
 		})
 	p.Gauge("pip_engine_worklist_peak", "Highest worklist depth seen by any solve.", float64(st.Telemetry.WorklistPeak))
 	p.Gauge("pip_engine_workers", "Configured engine pool bound.", float64(st.Workers))

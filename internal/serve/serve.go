@@ -72,6 +72,13 @@ type Options struct {
 	// Zero means unbudgeted (not recommended for exposed servers).
 	DefaultBudget pip.Budget
 
+	// SolveWorkers is the default intra-solve worker count folded into
+	// every request whose configuration leaves it unset: 0 keeps the
+	// legacy sequential solver, >= 1 runs stratified parallel
+	// presaturation inside each solve (bit-identical answers for every
+	// count >= 1).
+	SolveWorkers int
+
 	// MaxBodyBytes bounds request bodies; <= 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 
@@ -195,6 +202,7 @@ func New(opts Options) *Server {
 			Workers:        opts.Workers,
 			Cache:          true,
 			CacheEntries:   opts.CacheEntries,
+			SolveWorkers:   opts.SolveWorkers,
 			Retries:        opts.Retries,
 			WatchdogFactor: opts.WatchdogFactor,
 			MemSoftLimit:   opts.MemSoftLimit,

@@ -28,6 +28,23 @@ func (f *Forest) Grow(n int) {
 	}
 }
 
+// Reset reinitializes the forest to n singleton sets, reusing the backing
+// storage when possible. Pooled solver arenas use this to recycle one
+// forest across solves instead of allocating a fresh one per solve.
+func (f *Forest) Reset(n int) {
+	if cap(f.parent) >= n {
+		f.parent = f.parent[:n]
+		f.rank = f.rank[:n]
+	} else {
+		f.parent = make([]uint32, n)
+		f.rank = make([]uint8, n)
+	}
+	for i := range f.parent {
+		f.parent[i] = uint32(i)
+		f.rank[i] = 0
+	}
+}
+
 // Find returns the representative of x's set, compressing paths as it goes.
 func (f *Forest) Find(x uint32) uint32 {
 	root := x

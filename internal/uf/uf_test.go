@@ -139,3 +139,34 @@ func BenchmarkFindDeep(b *testing.B) {
 		f.Find(uint32(i % n))
 	}
 }
+
+func TestReset(t *testing.T) {
+	f := New(8)
+	f.Union(0, 1)
+	f.Union(2, 3)
+	f.Union(0, 3)
+	if !f.SameSet(1, 2) {
+		t.Fatalf("setup: 1 and 2 should share a set")
+	}
+	// Shrinking reset: everything is a singleton again.
+	f.Reset(4)
+	if f.Len() != 4 {
+		t.Fatalf("Len after Reset(4) = %d", f.Len())
+	}
+	for i := uint32(0); i < 4; i++ {
+		if f.Find(i) != i {
+			t.Fatalf("Find(%d) = %d after reset, want singleton", i, f.Find(i))
+		}
+	}
+	// Growing reset past the original capacity.
+	f.Reset(16)
+	if f.Len() != 16 {
+		t.Fatalf("Len after Reset(16) = %d", f.Len())
+	}
+	if r := f.Union(10, 15); f.Find(10) != r || f.Find(15) != r {
+		t.Fatalf("union after growing reset broken")
+	}
+	if f.SameSet(0, 1) {
+		t.Fatalf("reset left 0 and 1 merged")
+	}
+}
