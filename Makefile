@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos differential fuzz staticcheck bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos differential incremental-differential fuzz staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzStrataDifferential -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzStrataPlan -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzEngineRecovery -fuzztime=$(FUZZTIME) ./internal/engine/
+	$(GO) test -run=^$$ -fuzz=FuzzIncrementalEdit -fuzztime=$(FUZZTIME) ./internal/core/differential/
+	$(GO) test -run=^$$ -fuzz=FuzzDemandSlice -fuzztime=$(FUZZTIME) ./internal/core/differential/
+
+# Edit-script differential gate for incremental re-solving plus the
+# demand-vs-exhaustive oracle, under the race detector (the CI
+# incremental-differential job). Set PIP_SOLVE_WORKERS to pin the
+# parallel arm like the `differential` target.
+incremental-differential:
+	$(GO) test -race -run 'Incremental|Demand|Summary' -v \
+		./internal/core/ ./internal/core/differential/ ./internal/core/incr/ ./internal/engine/
 
 # Lint beyond go vet; CI installs the tool, it is not a module
 # dependency.

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/pip-analysis/pip"
 	"github.com/pip-analysis/pip/internal/alias"
@@ -21,6 +22,8 @@ func main() {
 	inline := flag.String("c", "", "inline mini-C source instead of a file")
 	configName := flag.String("config", pip.DefaultConfig().String(), "solver configuration")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f")
+	demandRoots := flag.String("demand", "", "comma-separated pointer names: solve only the constraint slice reachable from them (alias answers stay sound; unexplored pointers answer MayAlias)")
+	incrBase := flag.String("incremental", "", "path to a baseline version of the file: the baseline is solved first and the input re-solves incrementally from its checkpoint")
 	solveWorkers := flag.Int("solve-workers", 0, "intra-solve worker count for stratified parallel presaturation (0 = sequential solver)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
 	chaosSpec := flag.String("chaos", "", "arm deterministic fault injection from a spec, e.g. seed=42;engine.dispatch=error:0.01 (see the fault model section of DESIGN.md)")
@@ -67,9 +70,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pip.AnalyzeTraced(m, cfg, lane)
-	if err != nil {
-		fatal(err)
+	var res *pip.Result
+	switch {
+	case *demandRoots != "":
+		var roots []string
+		for _, part := range strings.Split(*demandRoots, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				roots = append(roots, part)
+			}
+		}
+		eng := pip.NewEngine(pip.BatchOptions{Workers: 1})
+		br, err := eng.AnalyzeDemand(m, cfg, nil, roots)
+		if err != nil {
+			fatal(err)
+		}
+		res = br.Result
+		d := br.Demand
+		fmt.Printf("demand-driven (roots: %s): explored %d/%d variables, %d/%d constraints\n",
+			strings.Join(roots, ", "), d.ExploredVars, d.TotalVars,
+			d.ExploredConstraints, d.TotalConstraints)
+	case *incrBase != "":
+		data, err := os.ReadFile(*incrBase)
+		if err != nil {
+			fatal(err)
+		}
+		bm, err := pip.CompileC(*incrBase, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		eng := pip.NewEngine(pip.BatchOptions{Workers: 1})
+		sess := eng.NewSession(cfg)
+		if r0 := sess.Analyze(bm); r0.Err != nil {
+			fatal(r0.Err)
+		}
+		r1 := sess.Analyze(m)
+		if r1.Err != nil {
+			fatal(r1.Err)
+		}
+		res = r1.Result
+		inc := r1.Incremental
+		path := "from-scratch fallback"
+		switch {
+		case inc.ReusedSolution:
+			path = "reused baseline solution"
+		case inc.Resumed:
+			path = "resumed from checkpoint"
+		}
+		fmt.Printf("incremental vs %s: %s (+%d/-%d constraints, %d of %d reused)\n",
+			*incrBase, path, inc.Added, inc.Removed, inc.Reused, inc.FullConstraints)
+	default:
+		res, err = pip.AnalyzeTraced(m, cfg, lane)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if tr != nil {
 		if err := tr.WriteChromeFile(*tracePath); err != nil {

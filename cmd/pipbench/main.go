@@ -9,6 +9,7 @@
 //	pipbench [-scale 0.1] [-sizescale 0.25] [-reps 3] [-workers 0] [-out results/]
 //	pipbench -run table5,headline
 //	pipbench -run smoke          # engine smoke test: parallel vs sequential
+//	pipbench -run incremental    # incremental re-solve of a small edit vs from-scratch
 package main
 
 import (
@@ -55,12 +56,12 @@ func main() {
 	}
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
-		"fig10": true, "table6": true, "headline": true, "smoke": true}
+		"fig10": true, "table6": true, "headline": true, "smoke": true, "incremental": true}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*run, ",") {
 		k = strings.TrimSpace(k)
 		if !known[k] {
-			fatal(fmt.Errorf("unknown -run target %q (valid: table3,fig9,table5,fig10,table6,headline,smoke,all)", k))
+			fatal(fmt.Errorf("unknown -run target %q (valid: table3,fig9,table5,fig10,table6,headline,smoke,incremental,all)", k))
 		}
 		want[k] = true
 	}
@@ -117,6 +118,15 @@ func main() {
 		fmt.Println("running precision client (Figure 9)...")
 		emit("precision.txt", bench.RenderFigure9(bench.Figure9(corpus)))
 	}
+	var incRes *bench.IncrementalResult
+	if enabled("incremental") {
+		fmt.Println("measuring incremental re-solve (small edit, resume vs from-scratch)...")
+		t := time.Now()
+		r := bench.MeasureIncremental(corpus, *reps)
+		incRes = &r
+		fmt.Printf("incremental measurement done [%.1fs]\n\n", time.Since(t).Seconds())
+		emit("incremental-resolve.txt", bench.RenderIncremental(r))
+	}
 	needRuntime := enabled("table5") || enabled("fig10") || enabled("table6") ||
 		enabled("headline") || *jsonPath != ""
 	if needRuntime {
@@ -148,6 +158,7 @@ func main() {
 		}
 		if *jsonPath != "" {
 			snap := bench.Snapshot(corpus, res, *reps)
+			snap.Incremental = incRes
 			if err := os.WriteFile(*jsonPath, []byte(snap.JSON()), 0o644); err != nil {
 				fatal(err)
 			}

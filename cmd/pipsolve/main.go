@@ -6,6 +6,8 @@
 //
 //	pipsolve [-config CFG] [-ir] [-dump-ir] file
 //	pipsolve -c 'int *p; ...'           (inline source)
+//	pipsolve -demand p,f.q file         (demand-driven: solve only the queried slice)
+//	pipsolve -incremental old.c new.c   (re-solve new.c from old.c's checkpoint)
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 	callGraph := flag.Bool("callgraph", false, "print the call graph in Graphviz format and exit")
 	modRef := flag.Bool("modref", false, "print per-function mod/ref summaries and exit")
 	budgetStr := flag.String("budget", "", "solve budget, e.g. 100ms, 5000f, or 100ms,5000f; exhausting it yields the sound Ω-degraded solution")
+	demandRoots := flag.String("demand", "", "comma-separated pointer names (e.g. p,f.q): solve only the constraint slice reachable from them; everything else answers Ω")
+	incrBase := flag.String("incremental", "", "path to a baseline version of the input: the baseline is solved first and the input re-solves incrementally from its checkpoint")
 	solveWorkers := flag.Int("solve-workers", 0, "intra-solve worker count for stratified parallel presaturation (0 = sequential solver)")
 	showStats := flag.Bool("stats", false, "print solver telemetry (phase timers, rule firings, worklist peak)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the solve (open in Perfetto or chrome://tracing)")
@@ -87,9 +91,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pip.AnalyzeTraced(m, cfg, lane)
-	if err != nil {
-		fatal(err)
+	var res *pip.Result
+	switch {
+	case *demandRoots != "":
+		roots := splitNames(*demandRoots)
+		eng := pip.NewEngine(pip.BatchOptions{Workers: 1})
+		br, err := eng.AnalyzeDemand(m, cfg, nil, roots)
+		if err != nil {
+			fatal(err)
+		}
+		res = br.Result
+		d := br.Demand
+		fmt.Printf("demand-driven (roots: %s): explored %d/%d variables, %d/%d constraints\n\n",
+			strings.Join(roots, ", "), d.ExploredVars, d.TotalVars,
+			d.ExploredConstraints, d.TotalConstraints)
+	case *incrBase != "":
+		res = solveIncremental(m, cfg, *incrBase, *isIR)
+	default:
+		res, err = pip.AnalyzeTraced(m, cfg, lane)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if tr != nil {
 		if err := tr.WriteChromeFile(*tracePath); err != nil {
@@ -131,6 +153,62 @@ func main() {
 	if *showStats {
 		fmt.Printf("telemetry: %v\n", res.Telemetry())
 	}
+}
+
+// solveIncremental analyzes the baseline file, then re-solves the main
+// module through the same incremental session, reporting which path the
+// update took (reuse, resume from checkpoint, or from-scratch fallback).
+func solveIncremental(m *pip.Module, cfg pip.Config, basePath string, isIR bool) *pip.Result {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	src := string(data)
+	var bm *pip.Module
+	if isIR || strings.HasSuffix(basePath, ".mir") || strings.HasSuffix(basePath, ".ir") {
+		bm, err = pip.ParseIR(src)
+	} else {
+		bm, err = pip.CompileC(basePath, src)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	eng := pip.NewEngine(pip.BatchOptions{Workers: 1})
+	sess := eng.NewSession(cfg)
+	if r0 := sess.Analyze(bm); r0.Err != nil {
+		fatal(r0.Err)
+	}
+	r1 := sess.Analyze(m)
+	if r1.Err != nil {
+		fatal(r1.Err)
+	}
+	inc := r1.Incremental
+	path := "fell back to a from-scratch solve"
+	switch {
+	case inc.ReusedSolution:
+		path = "reused the baseline solution (empty constraint delta)"
+	case inc.Resumed:
+		path = "resumed from the baseline checkpoint"
+	}
+	fmt.Printf("incremental vs %s: %s\n", basePath, path)
+	fmt.Printf("  +%d / -%d constraints, %d of %d reused\n",
+		inc.Added, inc.Removed, inc.Reused, inc.FullConstraints)
+	if inc.FallbackReason != "" {
+		fmt.Printf("  fallback reason: %s\n", inc.FallbackReason)
+	}
+	fmt.Println()
+	return r1.Result
+}
+
+// splitNames splits a comma-separated flag value, trimming blanks.
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

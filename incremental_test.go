@@ -1,0 +1,148 @@
+package pip
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1CEdit is figure1C with one appended function: a monotone edit
+// from the constraint set's point of view.
+const figure1CEdit = figure1C + `
+void alsoExported(int* s) {
+    int* t = s;
+}
+`
+
+func TestSessionIncrementalAnalyze(t *testing.T) {
+	cfg := MustParseConfig("IP+WL(FIFO)")
+	eng := NewEngine(BatchOptions{Workers: 2})
+	sess := eng.NewSession(cfg)
+	if sess.Generation() != -1 {
+		t.Fatalf("fresh session generation = %d, want -1", sess.Generation())
+	}
+
+	m0, err := CompileC("figure1.c", figure1C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := sess.Analyze(m0)
+	if r0.Err != nil {
+		t.Fatal(r0.Err)
+	}
+	if r0.Incremental == nil || r0.Incremental.Generation != 0 {
+		t.Fatalf("generation 0 stats: %+v", r0.Incremental)
+	}
+	if sess.Generation() != 0 {
+		t.Fatalf("session generation = %d, want 0", sess.Generation())
+	}
+
+	// Identical source re-analyzed: empty delta, solution reused.
+	m1, err := CompileC("figure1.c", figure1C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := sess.Analyze(m1)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if !r1.Incremental.ReusedSolution {
+		t.Fatalf("identical source should reuse the solution: %+v", r1.Incremental)
+	}
+	// The reused result still answers queries against the resubmission.
+	if ext, err := r1.Result.PointsToExternal("callMe.q"); err != nil || !ext {
+		t.Fatalf("reused result query: ext=%v err=%v", ext, err)
+	}
+
+	// Edited source: the analysis answers exactly like a from-scratch run.
+	m2, err := CompileC("figure1.c", figure1CEdit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := sess.Analyze(m2)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.Incremental == nil || r2.Incremental.ReusedSolution {
+		t.Fatalf("edit should re-solve: %+v", r2.Incremental)
+	}
+	ref, err := Analyze(m2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"p", "callMe.q", "alsoExported.s"} {
+		got, gotExt, err := r2.Result.PointsTo(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantExt, err := ref.PointsTo(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotExt != wantExt || strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Fatalf("%s: incremental %v/%v want %v/%v", name, got, gotExt, want, wantExt)
+		}
+	}
+	if sess.Generation() != 2 {
+		t.Fatalf("session generation = %d, want 2", sess.Generation())
+	}
+	if st := eng.Stats(); st.Incremental != 3 {
+		t.Fatalf("engine incremental counter = %d, want 3", st.Incremental)
+	}
+}
+
+func TestAnalyzeDemandAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	eng := NewEngine(BatchOptions{Workers: 1})
+	m, err := CompileC("figure1.c", figure1C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.AnalyzeDemand(m, cfg, nil, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demand == nil {
+		t.Fatal("demand analysis should report DemandStats")
+	}
+	if res.Demand.ExploredVars == 0 || res.Demand.ExploredVars > res.Demand.TotalVars {
+		t.Fatalf("implausible demand stats: %+v", res.Demand)
+	}
+	// The explored root's answer is exact on the external flag and a sound
+	// superset on named targets (unexplored variables soundly join the
+	// escaped set, which PointsTo folds into Ω-tainted answers).
+	ref, err := Analyze(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotExt, err := res.Result.PointsTo("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantExt, err := ref.PointsTo("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotExt != wantExt {
+		t.Fatalf("demand PointsTo(p) external = %v want %v", gotExt, wantExt)
+	}
+	gotSet := map[string]bool{}
+	for _, x := range got {
+		gotSet[x] = true
+	}
+	for _, x := range want {
+		if !gotSet[x] {
+			t.Fatalf("demand PointsTo(p) = %v missing exhaustive target %s", got, x)
+		}
+	}
+	if extP, err := res.Result.PointsToExternal("p"); err != nil || extP != wantExt {
+		t.Fatalf("demand PointsToExternal(p) = %v, %v; want %v", extP, err, wantExt)
+	}
+	if st := eng.Stats(); st.Demand != 1 {
+		t.Fatalf("engine demand counter = %d, want 1", st.Demand)
+	}
+
+	// Unknown root names are reported, not solved around.
+	if _, err := eng.AnalyzeDemand(m, cfg, nil, []string{"nosuch"}); err == nil {
+		t.Fatal("unknown demand root should error")
+	}
+}

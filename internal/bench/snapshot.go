@@ -49,6 +49,9 @@ type RunSnapshot struct {
 	OracleWallUS float64          `json:"oracle_wall_us"`
 	Configs      []ConfigSnapshot `json:"configs"`
 	Headline     HeadlineNumbers  `json:"headline"`
+	// Incremental is the incremental re-solve measurement, present when
+	// the run included the incremental driver (pipbench -run incremental).
+	Incremental *IncrementalResult `json:"incremental,omitempty"`
 }
 
 // Snapshot rolls a runtime measurement into a RunSnapshot. Every

@@ -294,3 +294,31 @@ func (p *Problem) Validate() error {
 	}
 	return nil
 }
+
+// Clone returns a deep copy of the problem: mutating the clone's tables or
+// constraint lists never aliases the original. The incremental layer clones
+// before applying edit scripts and before persisting a problem alongside
+// its checkpoint.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		Names:     append([]string(nil), p.Names...),
+		Kind:      append([]VarKind(nil), p.Kind...),
+		PtrCompat: append([]bool(nil), p.PtrCompat...),
+		Flags:     append([]Flags(nil), p.Flags...),
+		Base:      append([]Edge(nil), p.Base...),
+		Simple:    append([]Edge(nil), p.Simple...),
+		Load:      append([]Edge(nil), p.Load...),
+		Store:     append([]Edge(nil), p.Store...),
+		Funcs:     make([]FuncConstraint, len(p.Funcs)),
+		Calls:     make([]CallConstraint, len(p.Calls)),
+	}
+	for i, f := range p.Funcs {
+		f.Args = append([]VarID(nil), f.Args...)
+		q.Funcs[i] = f
+	}
+	for i, c := range p.Calls {
+		c.Args = append([]VarID(nil), c.Args...)
+		q.Calls[i] = c
+	}
+	return q
+}

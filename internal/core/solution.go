@@ -88,25 +88,46 @@ func (s *Solution) PointsToExternal(v VarID) bool {
 }
 
 // Escaped reports whether location v is externally accessible (Ω ⊒ {v}).
+// In EP mode the external table is consulted alongside Ω's points-to set:
+// full solves record escapes only in the set, while demand solves mark
+// unexplored variables through the table so the Ω answer never leaks into
+// the explicit sets of variables unified with Ω (see demand.go).
 func (s *Solution) Escaped(v VarID) bool {
+	if s.external[v] {
+		return true
+	}
 	if s.omega != NoVar {
 		ro := s.rep(s.omega)
 		return s.pts[ro] != nil && s.pts[ro].Contains(v)
 	}
-	return s.external[v]
+	return false
 }
 
 // ExternalSet returns E: all externally accessible memory locations, sorted.
 func (s *Solution) ExternalSet() []VarID {
 	var out []VarID
 	if s.omega != NoVar {
+		seen := make(map[VarID]bool)
 		ro := s.rep(s.omega)
 		if s.pts[ro] != nil {
 			s.pts[ro].ForEach(func(x uint32) {
 				if x != s.omega {
 					out = append(out, x)
+					seen[x] = true
 				}
 			})
+		}
+		// Demand solves mark unexplored variables through the external
+		// table (Escaped documents why); merge them in, keeping the sort.
+		extra := false
+		for v := VarID(0); v < VarID(len(s.external)); v++ {
+			if s.external[v] && !seen[v] && v != s.omega {
+				out = append(out, v)
+				extra = true
+			}
+		}
+		if extra {
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		}
 		return out
 	}
@@ -301,4 +322,16 @@ func (s *Solution) Dump() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// WithProblem returns a shallow copy of the solution whose queries resolve
+// variable names against p instead of the originally solved problem. The
+// caller must guarantee p is constraint-identical to the solved problem
+// (same universe, kinds, compatibility, and constraint multiset) — the
+// incremental layer uses this to reuse a solution across a pure rename,
+// which by construction yields an empty summary delta.
+func (s *Solution) WithProblem(p *Problem) *Solution {
+	t := *s
+	t.p = p
+	return &t
 }

@@ -38,6 +38,15 @@ type solver struct {
 	// pts[r] is Sol_e of representative r (nil for pointer-incompatible
 	// variables, which have no points-to sets).
 	pts []*bitset.Set
+	// ptsShared[r] marks pts[r] as aliasing a previous generation's
+	// checkpoint (copy-on-write restore): the set must be cloned before
+	// its first mutation so the old Solution stays valid. Nil outside
+	// resumed solves, making every ownership check a no-op from scratch.
+	ptsShared []bool
+	// succShared[r] is the same copy-on-write mark for succ[r]. Shared
+	// successor sets additionally alias arena slots, so ResumeAdded
+	// detaches them before returning (see the scrub defer there).
+	succShared []bool
 	// dif[r] is the difference-propagation delta of representative r.
 	dif []*bitset.Set
 	// succ[r] holds simple-edge successors of r (possibly stale ids).
@@ -148,6 +157,14 @@ func SolveTraced(prob *Problem, cfg Config, tk obs.Track) (*Solution, error) {
 // allocation set is reused across every job the worker processes. The
 // arena never changes the solution — only where scratch memory comes from.
 func SolveTracedIn(prob *Problem, cfg Config, tk obs.Track, ar *Arena) (*Solution, error) {
+	return solveTracedCapture(prob, cfg, tk, ar, nil)
+}
+
+// solveTracedCapture is the full solve pipeline with an optional hook that
+// observes the solver's final state before the arena is released. The
+// checkpointing path (checkpoint.go) uses it to snapshot the converged
+// propagation state; capture runs only for exact (non-degraded) solves.
+func solveTracedCapture(prob *Problem, cfg Config, tk obs.Track, ar *Arena, capture func(*solver)) (*Solution, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -224,6 +241,9 @@ func SolveTracedIn(prob *Problem, cfg Config, tk obs.Track, ar *Arena) (*Solutio
 		fin := tk.Begin("finish")
 		sol = s.finish()
 		fin.End()
+		if capture != nil {
+			capture(s)
+		}
 	}
 	s.sampleConvergence()
 	s.tel.Degraded = sol.Degraded
@@ -317,6 +337,9 @@ func (s *solver) find(v VarID) VarID { return s.forest.Find(v) }
 func (s *solver) ptsOf(r VarID) *bitset.Set {
 	if s.pts[r] == nil {
 		s.pts[r] = &bitset.Set{}
+	} else if s.ptsShared != nil && s.ptsShared[r] {
+		s.pts[r] = s.pts[r].Clone()
+		s.ptsShared[r] = false
 	}
 	return s.pts[r]
 }
@@ -333,6 +356,29 @@ func (s *solver) succOf(r VarID) *bitset.Set {
 		s.succ[r] = &bitset.Set{}
 	}
 	return s.succ[r]
+}
+
+// ownSucc returns r's successor set for mutation, cloning it first if it
+// is still shared with a checkpoint.
+func (s *solver) ownSucc(r VarID) *bitset.Set {
+	if s.succ[r] == nil {
+		s.succ[r] = &bitset.Set{}
+	} else if s.succShared != nil && s.succShared[r] {
+		s.succ[r] = s.succ[r].Clone()
+		s.succShared[r] = false
+	}
+	return s.succ[r]
+}
+
+// addSucc inserts the simple edge rs→rd, cloning a checkpoint-shared
+// successor set only when the edge is genuinely new — re-seeding after a
+// resume re-installs every existing edge, and those no-op inserts must
+// not break the sharing.
+func (s *solver) addSucc(rs, rd VarID) bool {
+	if set := s.succ[rs]; set != nil && s.succShared != nil && s.succShared[rs] && set.Contains(rd) {
+		return false
+	}
+	return s.ownSucc(rs).Add(rd)
 }
 
 // hasFlag reports a pointer-side flag on v's representative.
@@ -496,7 +542,7 @@ func (s *solver) addEdgeInit(src, dst VarID) {
 	if !s.edgeCompat(&rs, &rd) {
 		return
 	}
-	s.succOf(rs).Add(rd)
+	s.addSucc(rs, rd)
 }
 
 // edgeCompat normalizes an edge whose endpoint is pointer incompatible.
@@ -588,10 +634,16 @@ func (s *solver) unify(a, b VarID) VarID {
 	if s.pts[l] != nil {
 		if s.pts[w] == nil {
 			s.pts[w] = s.pts[l]
+			if s.ptsShared != nil {
+				s.ptsShared[w] = s.ptsShared[l]
+			}
 		} else {
-			s.pts[w].UnionWith(s.pts[l])
+			s.ptsOf(w).UnionWith(s.pts[l])
 		}
 		s.pts[l] = nil
+		if s.ptsShared != nil {
+			s.ptsShared[l] = false
+		}
 	}
 	if s.cfg.DP && s.dif[l] != nil {
 		if s.dif[w] == nil {
@@ -604,10 +656,16 @@ func (s *solver) unify(a, b VarID) VarID {
 	if s.succ[l] != nil {
 		if s.succ[w] == nil {
 			s.succ[w] = s.succ[l]
+			if s.succShared != nil {
+				s.succShared[w] = s.succShared[l]
+			}
 		} else {
-			s.succ[w].UnionWith(s.succ[l])
+			s.ownSucc(w).UnionWith(s.succ[l])
 		}
 		s.succ[l] = nil
+		if s.succShared != nil {
+			s.succShared[l] = false
+		}
 	}
 	s.loadTo[w] = append(s.loadTo[w], s.loadTo[l]...)
 	s.loadTo[l] = nil
@@ -654,7 +712,7 @@ func (s *solver) finish() *Solution {
 	}
 	sol.Stats = s.stats
 	sol.Stats.ExplicitPointees = sol.CountExplicitPointees()
-	seen := map[VarID]bool{}
+	seen := make([]bool, s.n)
 	edges := 0
 	for v := 0; v < s.n; v++ {
 		r := s.find(VarID(v))

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"github.com/pip-analysis/pip/internal/bitset"
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/obs"
 )
@@ -193,14 +192,15 @@ func (s *solver) processComp(plan *stratumPlan, c int32, sh *strataShard) {
 	for _, m := range members {
 		flag |= s.repFlags[m] & FlagPointsExt
 	}
+	// Every mutation goes through ptsOf: it creates missing sets and
+	// clones copy-on-write state restored from a checkpoint. Ownership
+	// writes stay inside this component's variables, so the stratum-level
+	// concurrency contract is unchanged.
 	lp := s.pts[leader]
 	adds := 0
 	for _, m := range members[1:] {
 		if mp := s.pts[m]; mp != nil && mp.Len() > 0 {
-			if lp == nil {
-				lp = &bitset.Set{}
-				s.pts[leader] = lp
-			}
+			lp = s.ptsOf(leader)
 			adds += lp.UnionWithDelta(mp, nil)
 		}
 	}
@@ -208,21 +208,13 @@ func (s *solver) processComp(plan *stratumPlan, c int32, sh *strataShard) {
 		pl := plan.comps[pc][0]
 		flag |= s.repFlags[pl] & FlagPointsExt
 		if pp := s.pts[pl]; pp != nil && pp.Len() > 0 {
-			if lp == nil {
-				lp = &bitset.Set{}
-				s.pts[leader] = lp
-			}
+			lp = s.ptsOf(leader)
 			adds += lp.UnionWithDelta(pp, nil)
 		}
 	}
 	if lp != nil && lp.Len() > 0 {
 		for _, m := range members[1:] {
-			mp := s.pts[m]
-			if mp == nil {
-				mp = &bitset.Set{}
-				s.pts[m] = mp
-			}
-			adds += mp.UnionWithDelta(lp, nil)
+			adds += s.ptsOf(m).UnionWithDelta(lp, nil)
 		}
 	}
 	if adds > 0 {

@@ -1,5 +1,15 @@
 package core
 
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"slices"
+	"strings"
+)
+
 // Summary is a handwritten points-to summary for an imported function
 // (paper Section III-B: "If the imported function is a common library
 // function, it is also possible to use a handwritten summary function
@@ -70,4 +80,652 @@ func DefaultSummaries() map[string]Summary {
 		"memcpy":  {Copies: [][2]int{{0, 1}}, RetAliasesArgs: []int{0}},
 		"memmove": {Copies: [][2]int{{0, 1}}, RetAliasesArgs: []int{0}},
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Problem summaries: the diffable per-module constraint artifact.
+//
+// A ProblemSummary is the canonical form of a Problem's constraint set:
+// variable kinds, pointer compatibility, flag constraints, and the six
+// constraint lists, each sorted into a deterministic order with duplicates
+// preserved (multiset semantics). Diagnostic names are deliberately
+// excluded — renaming a variable changes no constraint, so a rename
+// produces an empty diff and the previous solution can be reused verbatim.
+//
+// Summaries exist to make resubmission cheap: the incremental layer
+// (internal/core/incr) persists the summary of the last solved problem,
+// diffs the resubmitted module's summary against it, and re-propagates
+// only from the added constraints when the edit is monotone (nothing
+// removed, nothing retyped). Serialize/ParseSummary give the artifact a
+// stable wire form for an on-disk or cross-process summary store.
+// ---------------------------------------------------------------------------
+
+// ProblemSummary is the canonical, diffable form of a Problem's constraint
+// set. Build one with BuildSummary; compare with Equal/Hash; diff two with
+// DiffSummaries.
+type ProblemSummary struct {
+	// Kind, PtrCompat, and Flags are the per-variable tables, indexed by
+	// VarID exactly as in the Problem (the variable universe is shared).
+	Kind      []VarKind
+	PtrCompat []bool
+	Flags     []Flags
+	// The constraint lists, each sorted canonically with duplicates kept.
+	Base   []Edge
+	Simple []Edge
+	Load   []Edge
+	Store  []Edge
+	Funcs  []FuncConstraint
+	Calls  []CallConstraint
+}
+
+// NumVars returns the size of the summarized variable universe.
+func (s *ProblemSummary) NumVars() int { return len(s.Kind) }
+
+// NumConstraints mirrors Problem.NumConstraints on the summary: list
+// constraints plus set flag bits.
+func (s *ProblemSummary) NumConstraints() int {
+	n := len(s.Base) + len(s.Simple) + len(s.Load) + len(s.Store) + len(s.Funcs) + len(s.Calls)
+	for _, f := range s.Flags {
+		for b := Flags(1); b < 1<<6; b <<= 1 {
+			if f&b != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// BuildSummary canonicalizes a problem into its summary: per-variable
+// tables are copied, constraint lists are copied and sorted. The problem
+// is not modified and not retained.
+func BuildSummary(p *Problem) *ProblemSummary {
+	s := &ProblemSummary{
+		Kind:      append([]VarKind(nil), p.Kind...),
+		PtrCompat: append([]bool(nil), p.PtrCompat...),
+		Flags:     append([]Flags(nil), p.Flags...),
+		Base:      sortedEdges(p.Base),
+		Simple:    sortedEdges(p.Simple),
+		Load:      sortedEdges(p.Load),
+		Store:     sortedEdges(p.Store),
+		Funcs:     sortedFuncs(p.Funcs),
+		Calls:     sortedCalls(p.Calls),
+	}
+	return s
+}
+
+// sortedEdges sorts by (Dst, Src) via packed uint64 keys: edge lists are
+// the bulk of every summary, and sorting machine words is several times
+// faster than sort.Slice's interface-driven comparator.
+func sortedEdges(in []Edge) []Edge {
+	keys := make([]uint64, len(in))
+	for i, e := range in {
+		keys[i] = uint64(e.Dst)<<32 | uint64(e.Src)
+	}
+	slices.Sort(keys)
+	out := make([]Edge, len(in))
+	for i, k := range keys {
+		out[i] = Edge{Dst: VarID(k >> 32), Src: VarID(uint32(k))}
+	}
+	return out
+}
+
+// varSeqLess orders variable sequences lexicographically (NoVar sorts
+// after every real id because it is the maximum uint32).
+func varSeqLess(a, b []VarID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func funcKey(f FuncConstraint) []VarID {
+	k := make([]VarID, 0, len(f.Args)+2)
+	k = append(k, f.F, f.Ret)
+	return append(k, f.Args...)
+}
+
+func callKey(c CallConstraint) []VarID {
+	k := make([]VarID, 0, len(c.Args)+2)
+	k = append(k, c.Target, c.Ret)
+	return append(k, c.Args...)
+}
+
+// sortedFuncs and sortedCalls order by the same lexicographic key
+// sequence as funcKey/callKey (head pair, then args), but compare the
+// fields in place — building a key slice per comparison dominated
+// BuildSummary's profile.
+func sortedFuncs(in []FuncConstraint) []FuncConstraint {
+	out := append([]FuncConstraint(nil), in...)
+	slices.SortFunc(out, func(a, b FuncConstraint) int {
+		if a.F != b.F {
+			return cmpVar(a.F, b.F)
+		}
+		if a.Ret != b.Ret {
+			return cmpVar(a.Ret, b.Ret)
+		}
+		return slices.Compare(a.Args, b.Args)
+	})
+	return out
+}
+
+func sortedCalls(in []CallConstraint) []CallConstraint {
+	out := append([]CallConstraint(nil), in...)
+	slices.SortFunc(out, func(a, b CallConstraint) int {
+		if a.Target != b.Target {
+			return cmpVar(a.Target, b.Target)
+		}
+		if a.Ret != b.Ret {
+			return cmpVar(a.Ret, b.Ret)
+		}
+		return slices.Compare(a.Args, b.Args)
+	})
+	return out
+}
+
+func cmpVar(a, b VarID) int {
+	if a < b {
+		return -1
+	}
+	return 1
+}
+
+// Equal reports whether two summaries describe identical constraint sets.
+func (s *ProblemSummary) Equal(o *ProblemSummary) bool {
+	if len(s.Kind) != len(o.Kind) {
+		return false
+	}
+	for i := range s.Kind {
+		if s.Kind[i] != o.Kind[i] || s.PtrCompat[i] != o.PtrCompat[i] || s.Flags[i] != o.Flags[i] {
+			return false
+		}
+	}
+	eqEdges := func(a, b []Edge) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eqEdges(s.Base, o.Base) || !eqEdges(s.Simple, o.Simple) ||
+		!eqEdges(s.Load, o.Load) || !eqEdges(s.Store, o.Store) {
+		return false
+	}
+	if len(s.Funcs) != len(o.Funcs) || len(s.Calls) != len(o.Calls) {
+		return false
+	}
+	for i := range s.Funcs {
+		if !varSeqEq(funcKey(s.Funcs[i]), funcKey(o.Funcs[i])) {
+			return false
+		}
+	}
+	for i := range s.Calls {
+		if !varSeqEq(callKey(s.Calls[i]), callKey(o.Calls[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func varSeqEq(a, b []VarID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns the summary's content hash (over its serialized form):
+// two summaries hash equal iff they are Equal.
+func (s *ProblemSummary) Hash() string {
+	h := sha256.Sum256(s.Serialize())
+	return hex.EncodeToString(h[:])
+}
+
+// Serialize renders the summary in its stable line-oriented wire form:
+//
+//	pipsummary v1
+//	vars <n>
+//	v <kind:r|m><ptr:0|1><flags-hex>        one line per variable
+//	b|s|l|t <dst> <src>                     base/simple/load/store edges
+//	f|c <f|target> <ret> <args...>          func/call constraints (- = NoVar)
+//
+// The rendering of a canonical summary is deterministic, so Serialize is
+// also the basis of Hash.
+func (s *ProblemSummary) Serialize() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "pipsummary v1\nvars %d\n", len(s.Kind))
+	for i := range s.Kind {
+		k := byte('r')
+		if s.Kind[i] == Memory {
+			k = 'm'
+		}
+		p := byte('0')
+		if s.PtrCompat[i] {
+			p = '1'
+		}
+		fmt.Fprintf(&b, "v %c%c%x\n", k, p, uint8(s.Flags[i]))
+	}
+	writeEdges := func(tag byte, es []Edge) {
+		for _, e := range es {
+			fmt.Fprintf(&b, "%c %d %d\n", tag, e.Dst, e.Src)
+		}
+	}
+	writeEdges('b', s.Base)
+	writeEdges('s', s.Simple)
+	writeEdges('l', s.Load)
+	writeEdges('t', s.Store)
+	writeSeq := func(tag byte, seq []VarID) {
+		b.WriteByte(tag)
+		for _, v := range seq {
+			if v == NoVar {
+				b.WriteString(" -")
+			} else {
+				fmt.Fprintf(&b, " %d", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, f := range s.Funcs {
+		writeSeq('f', funcKey(f))
+	}
+	for _, c := range s.Calls {
+		writeSeq('c', callKey(c))
+	}
+	return b.Bytes()
+}
+
+// ParseSummary parses the wire form produced by Serialize.
+func ParseSummary(data []byte) (*ProblemSummary, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() || sc.Text() != "pipsummary v1" {
+		return nil, fmt.Errorf("summary: bad header")
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("summary: missing vars line")
+	}
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "vars %d", &n); err != nil || n < 0 {
+		return nil, fmt.Errorf("summary: bad vars line %q", sc.Text())
+	}
+	s := &ProblemSummary{
+		Kind:      make([]VarKind, 0, n),
+		PtrCompat: make([]bool, 0, n),
+		Flags:     make([]Flags, 0, n),
+	}
+	parseSeq := func(line string) ([]VarID, error) {
+		var out []VarID
+		for _, tok := range strings.Fields(line[1:]) {
+			if tok == "-" {
+				out = append(out, NoVar)
+				continue
+			}
+			var v uint64
+			if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+				return nil, fmt.Errorf("summary: bad id %q", tok)
+			}
+			out = append(out, VarID(v))
+		}
+		if len(out) < 2 {
+			return nil, fmt.Errorf("summary: short constraint line %q", line)
+		}
+		return out, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'v':
+			if len(line) < 5 || line[1] != ' ' {
+				return nil, fmt.Errorf("summary: bad var line %q", line)
+			}
+			body := line[2:]
+			kind := Register
+			if body[0] == 'm' {
+				kind = Memory
+			} else if body[0] != 'r' {
+				return nil, fmt.Errorf("summary: bad kind in %q", line)
+			}
+			var fl uint8
+			if _, err := fmt.Sscanf(body[2:], "%x", &fl); err != nil {
+				return nil, fmt.Errorf("summary: bad flags in %q", line)
+			}
+			s.Kind = append(s.Kind, kind)
+			s.PtrCompat = append(s.PtrCompat, body[1] == '1')
+			s.Flags = append(s.Flags, Flags(fl))
+		case 'b', 's', 'l', 't':
+			var d, src uint64
+			if _, err := fmt.Sscanf(line[2:], "%d %d", &d, &src); err != nil {
+				return nil, fmt.Errorf("summary: bad edge line %q", line)
+			}
+			e := Edge{Dst: VarID(d), Src: VarID(src)}
+			switch line[0] {
+			case 'b':
+				s.Base = append(s.Base, e)
+			case 's':
+				s.Simple = append(s.Simple, e)
+			case 'l':
+				s.Load = append(s.Load, e)
+			case 't':
+				s.Store = append(s.Store, e)
+			}
+		case 'f':
+			seq, err := parseSeq(line)
+			if err != nil {
+				return nil, err
+			}
+			s.Funcs = append(s.Funcs, FuncConstraint{F: seq[0], Ret: seq[1], Args: seq[2:]})
+		case 'c':
+			seq, err := parseSeq(line)
+			if err != nil {
+				return nil, err
+			}
+			s.Calls = append(s.Calls, CallConstraint{Target: seq[0], Ret: seq[1], Args: seq[2:]})
+		default:
+			return nil, fmt.Errorf("summary: unknown line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Kind) != n {
+		return nil, fmt.Errorf("summary: expected %d vars, found %d", n, len(s.Kind))
+	}
+	return s, nil
+}
+
+// FlagEdit is one per-variable flag change in a SummaryDelta.
+type FlagEdit struct {
+	Var  VarID
+	Bits Flags
+}
+
+// SummaryDelta is the difference between two summaries of the same module
+// lineage: everything that must be added to and removed from the old
+// constraint set to obtain the new one. Applying a delta to the old
+// summary reconstructs the new one exactly (round-trip property, tested in
+// the core suite). A delta with no removals, no retyped variables, and no
+// shrunk universe is Monotone: the incremental solver can resume a
+// checkpointed solve by seeding only the added constraints.
+type SummaryDelta struct {
+	// OldVars and NewVars are the universe sizes on the two sides.
+	OldVars, NewVars int
+	// Retyped reports that a variable present on both sides changed its
+	// Kind or pointer compatibility — the propagation state attached to it
+	// is meaningless for the new problem, forcing a from-scratch solve.
+	Retyped bool
+	// NewKind/NewPtrCompat hold the new problem's per-variable tables for
+	// appended variables (index 0 is variable OldVars), or — when Retyped
+	// or the universe shrank — the complete replacement tables.
+	NewKind      []VarKind
+	NewPtrCompat []bool
+
+	// Flag bits newly set / cleared per variable. AddedFlags entries for
+	// variables >= OldVars carry appended variables' initial flags.
+	AddedFlags   []FlagEdit
+	RemovedFlags []FlagEdit
+
+	AddedBase, RemovedBase     []Edge
+	AddedSimple, RemovedSimple []Edge
+	AddedLoad, RemovedLoad     []Edge
+	AddedStore, RemovedStore   []Edge
+	AddedFuncs, RemovedFuncs   []FuncConstraint
+	AddedCalls, RemovedCalls   []CallConstraint
+}
+
+// Empty reports that the two summaries are identical — the previous
+// solution can be reused without solving anything (this is what a pure
+// rename diff looks like: names are not part of the summary).
+func (d *SummaryDelta) Empty() bool {
+	return d.OldVars == d.NewVars && !d.Retyped &&
+		len(d.AddedFlags) == 0 && len(d.RemovedFlags) == 0 &&
+		len(d.AddedBase) == 0 && len(d.RemovedBase) == 0 &&
+		len(d.AddedSimple) == 0 && len(d.RemovedSimple) == 0 &&
+		len(d.AddedLoad) == 0 && len(d.RemovedLoad) == 0 &&
+		len(d.AddedStore) == 0 && len(d.RemovedStore) == 0 &&
+		len(d.AddedFuncs) == 0 && len(d.RemovedFuncs) == 0 &&
+		len(d.AddedCalls) == 0 && len(d.RemovedCalls) == 0
+}
+
+// Monotone reports that the delta only grows the constraint set: the
+// variable universe did not shrink, no variable changed type, and nothing
+// was removed. Monotone deltas are the ones a checkpointed solve can
+// resume from (removals would invalidate already-propagated facts: the
+// solved state is a superset of what the new constraints justify).
+func (d *SummaryDelta) Monotone() bool {
+	return d.NewVars >= d.OldVars && !d.Retyped &&
+		len(d.RemovedFlags) == 0 &&
+		len(d.RemovedBase) == 0 && len(d.RemovedSimple) == 0 &&
+		len(d.RemovedLoad) == 0 && len(d.RemovedStore) == 0 &&
+		len(d.RemovedFuncs) == 0 && len(d.RemovedCalls) == 0
+}
+
+// Added counts added constraints (flag bits included), the size of the
+// incremental reseed.
+func (d *SummaryDelta) Added() int {
+	n := len(d.AddedBase) + len(d.AddedSimple) + len(d.AddedLoad) + len(d.AddedStore) +
+		len(d.AddedFuncs) + len(d.AddedCalls)
+	for _, fe := range d.AddedFlags {
+		n += flagBits(fe.Bits)
+	}
+	return n
+}
+
+// Removed counts removed constraints (flag bits included).
+func (d *SummaryDelta) Removed() int {
+	n := len(d.RemovedBase) + len(d.RemovedSimple) + len(d.RemovedLoad) + len(d.RemovedStore) +
+		len(d.RemovedFuncs) + len(d.RemovedCalls)
+	for _, fe := range d.RemovedFlags {
+		n += flagBits(fe.Bits)
+	}
+	return n
+}
+
+func flagBits(f Flags) int {
+	n := 0
+	for b := Flags(1); b < 1<<6; b <<= 1 {
+		if f&b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DiffSummaries computes new − old as a SummaryDelta. Constraint lists are
+// compared as multisets, so duplicated constraints diff by occurrence
+// count.
+func DiffSummaries(old, new *ProblemSummary) *SummaryDelta {
+	d := &SummaryDelta{OldVars: old.NumVars(), NewVars: new.NumVars()}
+	shared := d.OldVars
+	if d.NewVars < shared {
+		shared = d.NewVars
+	}
+	for i := 0; i < shared; i++ {
+		if old.Kind[i] != new.Kind[i] || old.PtrCompat[i] != new.PtrCompat[i] {
+			d.Retyped = true
+		}
+		if add := new.Flags[i] &^ old.Flags[i]; add != 0 {
+			d.AddedFlags = append(d.AddedFlags, FlagEdit{Var: VarID(i), Bits: add})
+		}
+		if rem := old.Flags[i] &^ new.Flags[i]; rem != 0 {
+			d.RemovedFlags = append(d.RemovedFlags, FlagEdit{Var: VarID(i), Bits: rem})
+		}
+	}
+	if d.Retyped || d.NewVars < d.OldVars {
+		d.NewKind = append([]VarKind(nil), new.Kind...)
+		d.NewPtrCompat = append([]bool(nil), new.PtrCompat...)
+	} else if d.NewVars > d.OldVars {
+		d.NewKind = append([]VarKind(nil), new.Kind[d.OldVars:]...)
+		d.NewPtrCompat = append([]bool(nil), new.PtrCompat[d.OldVars:]...)
+	}
+	for i := shared; i < d.NewVars; i++ {
+		if new.Flags[i] != 0 {
+			d.AddedFlags = append(d.AddedFlags, FlagEdit{Var: VarID(i), Bits: new.Flags[i]})
+		}
+	}
+	d.AddedBase, d.RemovedBase = diffEdgeMultisets(old.Base, new.Base)
+	d.AddedSimple, d.RemovedSimple = diffEdgeMultisets(old.Simple, new.Simple)
+	d.AddedLoad, d.RemovedLoad = diffEdgeMultisets(old.Load, new.Load)
+	d.AddedStore, d.RemovedStore = diffEdgeMultisets(old.Store, new.Store)
+	d.AddedFuncs, d.RemovedFuncs = diffFuncMultisets(old.Funcs, new.Funcs)
+	d.AddedCalls, d.RemovedCalls = diffCallMultisets(old.Calls, new.Calls)
+	return d
+}
+
+// diffEdgeMultisets merge-walks two canonically sorted edge lists and
+// returns (new−old, old−new) by occurrence count.
+func diffEdgeMultisets(old, new []Edge) (added, removed []Edge) {
+	less := func(a, b Edge) bool {
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Src < b.Src
+	}
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		switch {
+		case old[i] == new[j]:
+			i++
+			j++
+		case less(old[i], new[j]):
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, new[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
+}
+
+func diffFuncMultisets(old, new []FuncConstraint) (added, removed []FuncConstraint) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		ko, kn := funcKey(old[i]), funcKey(new[j])
+		switch {
+		case varSeqEq(ko, kn):
+			i++
+			j++
+		case varSeqLess(ko, kn):
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, new[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
+}
+
+func diffCallMultisets(old, new []CallConstraint) (added, removed []CallConstraint) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		ko, kn := callKey(old[i]), callKey(new[j])
+		switch {
+		case varSeqEq(ko, kn):
+			i++
+			j++
+		case varSeqLess(ko, kn):
+			removed = append(removed, old[i])
+			i++
+		default:
+			added = append(added, new[j])
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
+}
+
+// Apply reconstructs the new-side summary from the old side plus the
+// delta: Apply(old, DiffSummaries(old, new)).Equal(new) holds for every
+// pair of summaries. It never modifies old.
+func (d *SummaryDelta) Apply(old *ProblemSummary) *ProblemSummary {
+	s := &ProblemSummary{}
+	switch {
+	case d.Retyped || d.NewVars < d.OldVars:
+		s.Kind = append([]VarKind(nil), d.NewKind...)
+		s.PtrCompat = append([]bool(nil), d.NewPtrCompat...)
+	default:
+		s.Kind = append(append([]VarKind(nil), old.Kind...), d.NewKind...)
+		s.PtrCompat = append(append([]bool(nil), old.PtrCompat...), d.NewPtrCompat...)
+	}
+	s.Flags = make([]Flags, d.NewVars)
+	copy(s.Flags, old.Flags)
+	for _, fe := range d.RemovedFlags {
+		if int(fe.Var) < len(s.Flags) {
+			s.Flags[fe.Var] &^= fe.Bits
+		}
+	}
+	for _, fe := range d.AddedFlags {
+		if int(fe.Var) < len(s.Flags) {
+			s.Flags[fe.Var] |= fe.Bits
+		}
+	}
+	s.Base = applyEdgeDelta(old.Base, d.AddedBase, d.RemovedBase)
+	s.Simple = applyEdgeDelta(old.Simple, d.AddedSimple, d.RemovedSimple)
+	s.Load = applyEdgeDelta(old.Load, d.AddedLoad, d.RemovedLoad)
+	s.Store = applyEdgeDelta(old.Store, d.AddedStore, d.RemovedStore)
+	s.Funcs = applyFuncDelta(old.Funcs, d.AddedFuncs, d.RemovedFuncs)
+	s.Calls = applyCallDelta(old.Calls, d.AddedCalls, d.RemovedCalls)
+	return s
+}
+
+func applyEdgeDelta(old, added, removed []Edge) []Edge {
+	out := make([]Edge, 0, len(old)+len(added)-len(removed))
+	i := 0
+	for _, e := range old {
+		if i < len(removed) && removed[i] == e {
+			i++
+			continue
+		}
+		out = append(out, e)
+	}
+	out = append(out, added...)
+	return sortedEdges(out)
+}
+
+func applyFuncDelta(old, added, removed []FuncConstraint) []FuncConstraint {
+	out := make([]FuncConstraint, 0, len(old)+len(added))
+	i := 0
+	for _, f := range old {
+		if i < len(removed) && varSeqEq(funcKey(removed[i]), funcKey(f)) {
+			i++
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, added...)
+	return sortedFuncs(out)
+}
+
+func applyCallDelta(old, added, removed []CallConstraint) []CallConstraint {
+	out := make([]CallConstraint, 0, len(old)+len(added))
+	i := 0
+	for _, c := range old {
+		if i < len(removed) && varSeqEq(callKey(removed[i]), callKey(c)) {
+			i++
+			continue
+		}
+		out = append(out, c)
+	}
+	out = append(out, added...)
+	return sortedCalls(out)
 }

@@ -96,6 +96,14 @@ func (s *solver) solveWorklist() {
 		s.fullVisit[r] = true
 		s.wl.push(r)
 	}
+	s.drainWorklist()
+}
+
+// drainWorklist runs the worklist to empty (or budget exhaustion). It is
+// the fixpoint loop shared by the from-scratch solve (which first pushes
+// every node) and the incremental resume (which pushes only the nodes
+// touched by added constraints; see checkpoint.go).
+func (s *solver) drainWorklist() {
 	traced := s.tk.Enabled()
 	for {
 		if s.budgetExhausted() {
@@ -207,7 +215,14 @@ func (s *solver) visit(n VarID) {
 	// complex-constraint work below is subsumed by the flag branches.
 	if pip2 {
 		if s.pts[n] != nil && s.pts[n].Len() > 0 {
-			s.pts[n].Clear()
+			if s.ptsShared != nil && s.ptsShared[n] {
+				// Shared with an old checkpoint: drop the alias instead
+				// of clearing (cheaper than clone-then-clear).
+				s.pts[n] = &bitset.Set{}
+				s.ptsShared[n] = false
+			} else {
+				s.pts[n].Clear()
+			}
 			s.satVisit[n] = false
 			s.noteProgress()
 		}
@@ -226,13 +241,13 @@ func (s *solver) visit(n VarID) {
 		for _, q := range s.succ[n].Slice() {
 			rq := s.find(q)
 			if rq == n {
-				s.succ[n].Remove(q)
+				s.ownSucc(n).Remove(q)
 				continue
 			}
 			// PIP addition 4: with p ⊒ Ω on the target and Ω ⊒ n here,
 			// the edge can never contribute; remove it.
 			if s.cfg.pipRule(4) && s.repFlags[n]&FlagEscapedPointees != 0 && s.repFlags[rq]&FlagPointsExt != 0 {
-				s.succ[n].Remove(q)
+				s.ownSucc(n).Remove(q)
 				s.noteProgress()
 				continue
 			}
@@ -493,7 +508,7 @@ func (s *solver) addEdgeOnline(src, dst VarID) {
 			return
 		}
 	}
-	s.succOf(rs).Add(rd)
+	s.addSucc(rs, rd)
 	s.noteProgress()
 	// New edges always propagate the full source set, batched whole-word.
 	s.propagateFull(rs, rd)

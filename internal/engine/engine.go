@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/core/incr"
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/obs"
@@ -118,6 +119,12 @@ type Job struct {
 	// nothing; when unset and the engine has Options.Trace, the worker's
 	// own track is used instead, nesting the solve under the job span.
 	Trace obs.Track
+	// Demand, when non-empty, switches the job to demand-driven mode: only
+	// the constraint components reachable from these roots are solved, and
+	// every other variable answers the sound Ω. Demand results are partial
+	// by construction, so they bypass the solution cache entirely — a
+	// cached demand slice must never answer a later exhaustive query.
+	Demand []core.VarID
 }
 
 // Result is one job's outcome. Exactly one of Sol/Err is meaningful.
@@ -141,6 +148,16 @@ type Result struct {
 	// for the in-flight leader instead of re-solving. Coalesced results
 	// are also CacheHits.
 	Coalesced bool
+	// Incremental describes which incremental path a RunIncremental call
+	// took (reuse, resume, or fallback) and how much it reused; nil for
+	// ordinary jobs.
+	Incremental *incr.UpdateStats
+	// DemandStats reports how much of the problem a demand-driven job
+	// (Job.Demand non-empty) explored; nil for exhaustive jobs.
+	DemandStats *core.DemandStats
+	// DemandExplored is the demand job's exploration mask: variables
+	// outside it answer the sound Ω. Nil for exhaustive jobs.
+	DemandExplored []bool
 }
 
 // Stats is the engine's cumulative counters across all Run calls. The
@@ -193,6 +210,10 @@ type Stats struct {
 	// Coalesced counts jobs served by waiting on a concurrent identical
 	// solve instead of solving themselves.
 	Coalesced int64 `json:"coalesced"`
+	// Incremental counts RunIncremental calls (all three paths: reuse,
+	// resume, fallback); Demand counts demand-driven jobs.
+	Incremental int64 `json:"incremental"`
+	Demand      int64 `json:"demand"`
 	// Telemetry aggregates per-solve telemetry across all non-cached jobs:
 	// phase durations and firings sum, the worklist peak takes the max.
 	Telemetry core.Telemetry `json:"telemetry"`
@@ -232,6 +253,8 @@ func (st *Stats) Merge(u Stats) {
 	st.CacheCorrupt += u.CacheCorrupt
 	st.Stratified += u.Stratified
 	st.Coalesced += u.Coalesced
+	st.Incremental += u.Incremental
+	st.Demand += u.Demand
 	if u.PeakInFlight > st.PeakInFlight {
 		st.PeakInFlight = u.PeakInFlight
 	}
@@ -477,6 +500,12 @@ func (e *Engine) noteDone(res Result) {
 			e.stats.Stratified++
 		}
 	}
+	if res.Incremental != nil {
+		e.stats.Incremental++
+	}
+	if res.DemandStats != nil {
+		e.stats.Demand++
+	}
 	e.stats.CPU += res.Duration
 	e.mu.Unlock()
 }
@@ -621,6 +650,28 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 	if j.Config.SolveWorkers == 0 && e.opts.SolveWorkers > 0 {
 		j.Config.SolveWorkers = e.opts.SolveWorkers
 	}
+	// Demand-driven jobs bypass the cache in both directions: their
+	// solutions are partial slices, exact only on the explored components,
+	// so serving a cached exhaustive solution would overstate the work done
+	// and storing the slice would poison later exhaustive queries.
+	if len(j.Demand) > 0 {
+		gen := j.Gen
+		if gen == nil {
+			gen = core.GenerateWith(j.Module, j.Summaries)
+		}
+		dres, err := core.SolveDemandTraced(gen.Problem, j.Config, j.Demand, tk, ar)
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{
+			Gen:            gen,
+			Sol:            dres.Sol,
+			Degraded:       dres.Sol.Degraded,
+			Duration:       dres.Sol.Stats.Duration,
+			DemandStats:    &dres.Stats,
+			DemandExplored: dres.Explored,
+		}
+	}
 	key := j.Key
 	var rsv *reservation
 	if e.cache != nil {
@@ -700,4 +751,95 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 		}
 	}
 	return Result{Gen: gen, Sol: sol, Degraded: sol.Degraded, Duration: best}
+}
+
+// RunIncremental solves one generation of an incrementally resubmitted
+// module. A nil prior state establishes generation 0 from scratch; a
+// non-nil state is diffed against the resubmission and the solve reuses,
+// resumes, or falls back as the summary delta allows (see
+// internal/core/incr). A lineage's configuration is fixed at generation 0
+// (with the engine's default budget and intra-solve worker count folded
+// in); later generations inherit it and the job's own Config is ignored —
+// a configuration change is a different lineage. Non-degraded results are
+// stored into the solution cache under a generation-suffixed key so
+// incremental generations never collide with each other or with ordinary
+// exhaustive entries; the incremental path never serves from the cache
+// (the summary diff is its fast path).
+func (e *Engine) RunIncremental(st *incr.State, j Job) (Result, *incr.State) {
+	var wtk obs.Track
+	if e.opts.Trace != nil {
+		wtk = e.opts.Trace.NewTrack("inline")
+	}
+	sp := wtk.Begin("incremental-job", obs.N("queue_wait_us", 0))
+	e.noteStart()
+	res, nst := e.attemptIncremental(st, j, e.jobTrack(j, wtk))
+	e.noteDone(res)
+	sp.End(obs.N("degraded", b2i(res.Degraded)))
+	return res, nst
+}
+
+// attemptIncremental is one incremental solve attempt inside the panic
+// recovery boundary. On failure the prior state is returned unchanged so
+// the caller's lineage survives a bad resubmission.
+func (e *Engine) attemptIncremental(st *incr.State, j Job, tk obs.Track) (res Result, nst *incr.State) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, nst = Result{Err: &panicError{val: r, stack: debug.Stack()}}, st
+		}
+	}()
+	if j.Gen == nil && j.Module == nil {
+		return Result{Err: errors.New("engine: job has neither Module nor Gen")}, st
+	}
+	if err := faults.Inject(faults.EngineDispatch); err != nil {
+		return Result{Err: fmt.Errorf("engine: dispatch: %w", err)}, st
+	}
+	gen := j.Gen
+	if gen == nil {
+		gen = core.GenerateWith(j.Module, j.Summaries)
+	}
+	var stats *incr.UpdateStats
+	var err error
+	if st == nil {
+		// Generation 0: fold the engine defaults into the lineage's
+		// configuration once; every later generation inherits the result.
+		if j.Config.Budget.IsZero() && !e.opts.Budget.IsZero() {
+			j.Config.Budget = e.opts.Budget
+		}
+		if j.Config.SolveWorkers == 0 && e.opts.SolveWorkers > 0 {
+			j.Config.SolveWorkers = e.opts.SolveWorkers
+		}
+		nst, err = incr.NewTraced(gen.Problem, j.Config, tk, nil)
+		if err != nil {
+			return Result{Err: err}, st
+		}
+		stats = &incr.UpdateStats{
+			FallbackReason:  "initial solve",
+			Added:           nst.Summary.NumConstraints(),
+			FullConstraints: nst.Summary.NumConstraints(),
+		}
+	} else {
+		nst, stats, err = st.UpdateTraced(gen.Problem, tk, nil)
+		if err != nil {
+			return Result{Err: err}, st
+		}
+	}
+	sol := nst.Sol
+	if e.cache != nil && j.Module != nil && !sol.Degraded {
+		key := fmt.Sprintf("%s|inc-g%d", CacheKey(ModuleHash(j.Module), nst.Config), nst.Generation)
+		e.store(key, cached{gen: gen, sol: sol})
+	}
+	dur := sol.Stats.Duration
+	if stats.ReusedSolution {
+		// Nothing was solved; the reused solution's duration belongs to the
+		// generation that actually computed it.
+		dur = 0
+	}
+	return Result{
+		Gen:         gen,
+		Sol:         sol,
+		Degraded:    sol.Degraded,
+		Duration:    dur,
+		CacheHit:    stats.ReusedSolution,
+		Incremental: stats,
+	}, nst
 }

@@ -65,6 +65,9 @@ type solveResponse struct {
 	// Dump is the full human-readable points-to report, returned when the
 	// request named no queries.
 	Dump string `json:"dump,omitempty"`
+	// Demand reports how much of the problem a demand-driven (?ptr=)
+	// analysis explored; omitted for exhaustive solves.
+	Demand *pip.DemandStats `json:"demand,omitempty"`
 }
 
 // aliasRequest asks pairwise alias queries about one module.
@@ -92,6 +95,10 @@ type aliasResponse struct {
 	Degraded bool          `json:"degraded"`
 	CacheHit bool          `json:"cache_hit"`
 	Answers  []aliasAnswer `json:"answers"`
+	// Demand reports how much of the problem a demand-driven (?ptr=)
+	// analysis explored; omitted for exhaustive solves. Alias answers on a
+	// demand slice stay sound: unexplored values answer conservatively.
+	Demand *pip.DemandStats `json:"demand,omitempty"`
 }
 
 // errBadRequest marks client errors (malformed body, unparsable module,
@@ -112,9 +119,62 @@ func (s *Server) decode(r *http.Request, v any) error {
 	return nil
 }
 
+// requestConfig resolves the solver configuration: the body field, then
+// the ?config= query parameter, over the server default. The budget is
+// not folded in here (see analyze and handleResolve — they differ on it).
+func (s *Server) requestConfig(r *http.Request, req *moduleRequest) (pip.Config, bool, error) {
+	cfg := s.opts.Config
+	named := false
+	if name := req.Config; name != "" {
+		c, err := pip.ParseConfig(name)
+		if err != nil {
+			return cfg, false, badRequestf("config: %v", err)
+		}
+		cfg, named = c, true
+	}
+	if name := r.URL.Query().Get("config"); name != "" {
+		c, err := pip.ParseConfig(name)
+		if err != nil {
+			return cfg, false, badRequestf("config: %v", err)
+		}
+		cfg, named = c, true
+	}
+	return cfg, named, nil
+}
+
+// parseModule compiles or parses the request's module (exactly one of
+// "mir" or "c" must be set).
+func parseModule(req *moduleRequest) (*pip.Module, error) {
+	switch {
+	case req.MIR != "" && req.C != "":
+		return nil, badRequestf(`both "mir" and "c" set; send exactly one`)
+	case req.MIR != "":
+		m, err := pip.ParseIR(req.MIR)
+		if err != nil {
+			return nil, badRequestf("module: %v", err)
+		}
+		return m, nil
+	case req.C != "":
+		name := req.Name
+		if name == "" {
+			name = "<request>"
+		}
+		m, err := pip.CompileC(name, req.C)
+		if err != nil {
+			return nil, badRequestf("module: %v", err)
+		}
+		return m, nil
+	default:
+		return nil, badRequestf(`module missing: send "mir" or "c"`)
+	}
+}
+
 // analyze runs the shared request pipeline: resolve configuration and
 // budget (body fields, then query parameters, then the request deadline),
-// compile or parse the module, and solve it on the shared engine.
+// compile or parse the module, and solve it on the shared engine. One or
+// more ?ptr= query parameters switch the solve to demand-driven mode:
+// only the constraint slice reachable from the named root pointers is
+// solved, and every other variable soundly answers Ω.
 func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, pip.Config, error) {
 	cfg := s.opts.Config
 	// Chaos hook: a handler fault fails the request after admission — the
@@ -125,21 +185,11 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 	if err := faults.Inject(faults.ServeHandler); err != nil {
 		return pip.BatchResult{}, cfg, fmt.Errorf("handler fault: %w", err)
 	}
+	cfg, _, err := s.requestConfig(r, req)
+	if err != nil {
+		return pip.BatchResult{}, cfg, err
+	}
 	q := r.URL.Query()
-	if name := req.Config; name != "" {
-		c, err := pip.ParseConfig(name)
-		if err != nil {
-			return pip.BatchResult{}, cfg, badRequestf("config: %v", err)
-		}
-		cfg = c
-	}
-	if name := q.Get("config"); name != "" {
-		c, err := pip.ParseConfig(name)
-		if err != nil {
-			return pip.BatchResult{}, cfg, badRequestf("config: %v", err)
-		}
-		cfg = c
-	}
 
 	budget := s.opts.DefaultBudget
 	for _, src := range []string{req.Budget, q.Get("budget")} {
@@ -167,24 +217,9 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 	// caller, it degrades soundly instead.
 	cfg.Budget = pip.BudgetFromContext(ctx, budget)
 
-	var m *pip.Module
-	var err error
-	switch {
-	case req.MIR != "" && req.C != "":
-		return pip.BatchResult{}, cfg, badRequestf(`both "mir" and "c" set; send exactly one`)
-	case req.MIR != "":
-		m, err = pip.ParseIR(req.MIR)
-	case req.C != "":
-		name := req.Name
-		if name == "" {
-			name = "<request>"
-		}
-		m, err = pip.CompileC(name, req.C)
-	default:
-		return pip.BatchResult{}, cfg, badRequestf(`module missing: send "mir" or "c"`)
-	}
+	m, err := parseModule(req)
 	if err != nil {
-		return pip.BatchResult{}, cfg, badRequestf("module: %v", err)
+		return pip.BatchResult{}, cfg, err
 	}
 	// Attach the solve to a request-scoped trace lane when the server is
 	// tracing, so spans in a captured trace file carry the same ID as the
@@ -195,8 +230,20 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 			lane = s.opts.Trace.NewTrack("req-" + id)
 		}
 	}
+	ptrs := q["ptr"]
+	var res pip.BatchResult
 	solveStart := time.Now()
-	res := s.eng.AnalyzeTraced(m, cfg, s.opts.Summaries, lane)
+	if len(ptrs) > 0 {
+		// Demand mode. Root names are validated first so a bad name is the
+		// client's 400, not an analysis failure.
+		if _, _, err := pip.DemandRoots(m, s.opts.Summaries, ptrs); err != nil {
+			return pip.BatchResult{}, cfg, badRequestf("%v", err)
+		}
+		s.demandReqs.Add(1)
+		res, err = s.eng.AnalyzeDemand(m, cfg, s.opts.Summaries, ptrs)
+	} else {
+		res = s.eng.AnalyzeTraced(m, cfg, s.opts.Summaries, lane)
+	}
 	s.solveLatency.Observe(time.Since(solveStart).Seconds())
 	if res.Err != nil {
 		// Engine-level failure (solver error or recovered panic): the
@@ -230,6 +277,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		CacheHit:   res.CacheHit,
 		DurationNS: res.Duration.Nanoseconds(),
 		Escaped:    res.Result.ExternallyAccessible(),
+		Demand:     res.Demand,
 	}
 	if len(req.Queries) == 0 {
 		resp.Dump = res.Result.Dump()
@@ -274,6 +322,7 @@ func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
 		Degraded: res.Degraded,
 		CacheHit: res.CacheHit,
 		Answers:  make([]aliasAnswer, 0, len(req.Pairs)),
+		Demand:   res.Demand,
 	}
 	for _, pair := range req.Pairs {
 		ans := aliasAnswer{A: pair[0], B: pair[1]}
@@ -284,6 +333,143 @@ func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
 			ans.Result = verdict.String()
 		}
 		resp.Answers = append(resp.Answers, ans)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveRequest (re-)submits a version of a module to an incremental
+// session. An empty handle starts a new session (lineage); the returned
+// handle identifies it on later resubmissions, which diff the constraint
+// sets and reuse, resume, or re-solve as the edit allows.
+type resolveRequest struct {
+	moduleRequest
+	// Handle identifies the incremental session. Empty creates one.
+	Handle string `json:"handle,omitempty"`
+	// Queries names values to report points-to sets for, like /v1/solve.
+	Queries []string `json:"queries,omitempty"`
+}
+
+// resolveResponse is the answer to a resolveRequest.
+type resolveResponse struct {
+	Name   string `json:"name,omitempty"`
+	Handle string `json:"handle"`
+	Config string `json:"config"`
+	// Generation counts solves in this session's lineage, from 0.
+	Generation int `json:"generation"`
+	// Incremental reports which path the re-solve took (reuse, resume,
+	// fallback) and how many constraints it reused.
+	Incremental *pip.IncrementalStats    `json:"incremental"`
+	Degraded    bool                     `json:"degraded"`
+	DurationNS  int64                    `json:"duration_ns"`
+	PointsTo    map[string]pointsToEntry `json:"points_to,omitempty"`
+	Escaped     []string                 `json:"escaped"`
+	Dump        string                   `json:"dump,omitempty"`
+}
+
+// handleResolve serves incremental re-analysis. The session's solver
+// configuration is fixed when the session is created (first request);
+// naming a different configuration on a later resubmission is an error,
+// because the persisted propagation state is only valid for the lineage's
+// own configuration. Per-request budgets and timeouts are deliberately
+// not folded in: a budget would make the configuration non-resumable, so
+// budgeted incremental analysis must be requested at session creation.
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req resolveRequest
+	if err := s.decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Chaos hook, matching the one in analyze.
+	if err := faults.Inject(faults.ServeHandler); err != nil {
+		s.writeAnalyzeError(w, fmt.Errorf("handler fault: %w", err))
+		return
+	}
+	cfg, named, err := s.requestConfig(r, &req.moduleRequest)
+	if err != nil {
+		s.writeAnalyzeError(w, err)
+		return
+	}
+	if src := req.Budget; src != "" {
+		b, err := pip.ParseBudget(src)
+		if err != nil {
+			s.writeAnalyzeError(w, badRequestf("budget: %v", err))
+			return
+		}
+		cfg.Budget = b
+	}
+	m, err := parseModule(&req.moduleRequest)
+	if err != nil {
+		s.writeAnalyzeError(w, err)
+		return
+	}
+
+	var sess *session
+	if req.Handle == "" {
+		sess = s.sessions.create(s.eng, cfg)
+	} else {
+		var ok bool
+		sess, ok = s.sessions.get(req.Handle)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "unknown or expired session handle; resubmit without one to start a new session")
+			return
+		}
+		if named && cfg.String() != sess.cfg.String() {
+			s.writeAnalyzeError(w, badRequestf("config %q differs from the session's %q; a lineage's configuration is fixed at creation", cfg, sess.cfg))
+			return
+		}
+	}
+
+	sess.mu.Lock()
+	solveStart := time.Now()
+	res := sess.sess.AnalyzeWithSummaries(m, s.opts.Summaries)
+	s.solveLatency.Observe(time.Since(solveStart).Seconds())
+	generation := sess.sess.Generation()
+	sess.mu.Unlock()
+	if res.Err != nil {
+		s.writeAnalyzeError(w, fmt.Errorf("analysis failed: %v", res.Err))
+		return
+	}
+	if res.Degraded {
+		s.degraded.Add(1)
+		markDegraded(w)
+	}
+	if inc := res.Incremental; inc != nil {
+		switch {
+		case inc.ReusedSolution:
+			s.incrReused.Add(1)
+		case inc.Resumed:
+			s.incrResumed.Add(1)
+		default:
+			s.incrFallback.Add(1)
+		}
+		s.incrReusedC.Observe(float64(inc.Reused))
+	}
+
+	resp := resolveResponse{
+		Name:        req.Name,
+		Handle:      sess.id,
+		Config:      sess.cfg.String(),
+		Generation:  generation,
+		Incremental: res.Incremental,
+		Degraded:    res.Degraded,
+		DurationNS:  res.Duration.Nanoseconds(),
+		Escaped:     res.Result.ExternallyAccessible(),
+	}
+	if len(req.Queries) == 0 {
+		resp.Dump = res.Result.Dump()
+	} else {
+		resp.PointsTo = make(map[string]pointsToEntry, len(req.Queries))
+		for _, name := range req.Queries {
+			targets, external, err := res.Result.PointsTo(name)
+			if err != nil {
+				resp.PointsTo[name] = pointsToEntry{Error: err.Error()}
+				continue
+			}
+			if targets == nil {
+				targets = []string{}
+			}
+			resp.PointsTo[name] = pointsToEntry{Targets: targets, External: external}
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -376,6 +562,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("pip_cache_capacity", "Configured cache bound (0 = unbounded).", float64(s.eng.CacheCap()))
 	p.Counter("pip_cache_hits_total", "Solves served from the solution cache.", float64(st.CacheHits))
 	p.Counter("pip_cache_evictions_total", "Cached solutions dropped by the LRU bound.", float64(st.CacheEvictions))
+
+	// Incremental re-solve (/v1/resolve sessions) and demand-driven
+	// (?ptr=) queries.
+	p.CounterVec("pip_incremental_requests_total",
+		"Incremental /v1/resolve requests by path taken: checkpoint resume, empty-delta solution reuse, or from-scratch fallback.",
+		"outcome", map[string]float64{
+			"resumed":  float64(s.incrResumed.Load()),
+			"reused":   float64(s.incrReused.Load()),
+			"fallback": float64(s.incrFallback.Load()),
+		})
+	p.Histogram("pip_incremental_reused_constraints",
+		"Constraints carried over from the previous generation per incremental request.",
+		s.incrReusedC)
+	p.Counter("pip_demand_requests_total", "Demand-driven (?ptr=) analysis requests.", float64(s.demandReqs.Load()))
+	resident, evicted := s.sessions.stats()
+	p.Gauge("pip_sessions", "Resident incremental sessions.", float64(resident))
+	p.Counter("pip_session_evictions_total", "Incremental sessions dropped by the LRU bound.", float64(evicted))
 
 	// Resilience: the circuit breaker, the engine's retry/watchdog/memory
 	// guard, cache integrity, and injected chaos.

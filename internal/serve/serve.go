@@ -68,6 +68,14 @@ type Options struct {
 	// server answers 429. <= 0 means DefaultMaxQueue.
 	MaxQueue int
 
+	// MaxSessions bounds live incremental sessions (POST /v1/resolve
+	// lineages). Each session holds the previous generation's constraint
+	// summary and — on checkpointable configurations — the solver's
+	// propagation state, so the count must stay bounded; beyond it the
+	// least recently used session is evicted and its client's next resolve
+	// starts a fresh lineage. <= 0 means DefaultMaxSessions.
+	MaxSessions int
+
 	// DefaultBudget bounds every solve that names no budget of its own.
 	// Zero means unbudgeted (not recommended for exposed servers).
 	DefaultBudget pip.Budget
@@ -124,6 +132,7 @@ const (
 	DefaultMaxConcurrent = 8
 	DefaultMaxQueue      = 64
 	DefaultMaxBodyBytes  = 8 << 20
+	DefaultMaxSessions   = 64
 )
 
 // Server is the analysis service. Create with New, expose via Handler,
@@ -166,6 +175,17 @@ type Server struct {
 	queueWait    *obs.Histogram
 	solveLatency *obs.Histogram
 
+	// Incremental / demand request counters and the reused-constraints
+	// histogram, exported on /metrics. The outcome split mirrors the three
+	// incremental paths: resumed (checkpoint resume), reused (empty delta),
+	// fallback (from-scratch re-solve).
+	sessions     *sessionStore
+	incrResumed  atomic.Int64
+	incrReused   atomic.Int64
+	incrFallback atomic.Int64
+	incrReusedC  *obs.Histogram // reused constraints per incremental request
+	demandReqs   atomic.Int64
+
 	// breaker sheds load when the failure/degradation rate over recent
 	// requests says the server is in distress; breakerRejected counts the
 	// requests it turned away (they were never admitted).
@@ -196,6 +216,9 @@ func New(opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
 	s := &Server{
 		opts: opts,
 		eng: pip.NewEngine(pip.BatchOptions{
@@ -213,6 +236,8 @@ func New(opts Options) *Server {
 		mux:          http.NewServeMux(),
 		queueWait:    obs.NewHistogram(obs.LatencyBuckets()...),
 		solveLatency: obs.NewHistogram(obs.LatencyBuckets()...),
+		sessions:     newSessionStore(opts.MaxSessions),
+		incrReusedC:  obs.NewHistogram(10, 100, 1e3, 1e4, 1e5, 1e6),
 		breaker:      newBreaker(opts.Breaker),
 		faultCounts:  map[[2]string]int64{},
 	}
@@ -234,6 +259,7 @@ func New(opts Options) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/solve", analysis(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/alias", analysis(s.handleAlias))
+	s.mux.HandleFunc("POST /v1/resolve", analysis(s.handleResolve))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if opts.EnablePprof {

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/obs"
+)
+
+// session is one incremental analysis lineage held by the server: a
+// pip.Session plus the configuration fixed at creation. The handle is the
+// client's key for resubmitting edited versions of the same module.
+type session struct {
+	id   string
+	cfg  pip.Config
+	sess *pip.Session
+
+	// mu serializes updates to one lineage: two concurrent resubmissions
+	// of the same handle would otherwise race to become the next
+	// generation (pip.Session serializes the solve, but the response must
+	// pair the stats with the generation it created).
+	mu       sync.Mutex
+	lastUsed time.Time
+}
+
+// sessionStore is a bounded LRU map of live sessions. A long-running
+// server holds propagation state (checkpoints) per session — memory that
+// must stay bounded under an unbounded stream of clients, exactly like
+// the solution cache. Beyond the cap the least recently used lineage is
+// dropped; its client's next resolve falls back to a fresh generation 0.
+type sessionStore struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*session
+	evictions int64
+}
+
+func newSessionStore(cap int) *sessionStore {
+	return &sessionStore{cap: cap, entries: make(map[string]*session)}
+}
+
+// create registers a new lineage under a fresh handle, evicting the least
+// recently used session when the store is full.
+func (st *sessionStore) create(eng *pip.Engine, cfg pip.Config) *session {
+	s := &session{
+		id:       obs.NewID(),
+		cfg:      cfg,
+		sess:     eng.NewSession(cfg),
+		lastUsed: time.Now(),
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.entries) >= st.cap {
+		oldest := ""
+		var oldestAt time.Time
+		for id, e := range st.entries {
+			if oldest == "" || e.lastUsed.Before(oldestAt) {
+				oldest, oldestAt = id, e.lastUsed
+			}
+		}
+		delete(st.entries, oldest)
+		st.evictions++
+	}
+	st.entries[s.id] = s
+	return s
+}
+
+// get returns the session for a handle, refreshing its LRU position.
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.entries[id]
+	if ok {
+		s.lastUsed = time.Now()
+	}
+	return s, ok
+}
+
+// stats reports resident sessions and lifetime evictions.
+func (st *sessionStore) stats() (resident int, evictions int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries), st.evictions
+}

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/pip-analysis/pip/internal/alias"
 	"github.com/pip-analysis/pip/internal/callgraph"
 	"github.com/pip-analysis/pip/internal/cfront"
 	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/core/incr"
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
@@ -235,7 +237,22 @@ type BatchResult struct {
 	Degraded bool
 	// Duration is the solve time (zero on cache hits).
 	Duration time.Duration
+	// Incremental describes which incremental path a Session analysis took
+	// (reuse, resume, or fallback); nil for ordinary analyses.
+	Incremental *IncrementalStats
+	// Demand reports how much of the problem a demand-driven analysis
+	// explored; nil for exhaustive analyses.
+	Demand *DemandStats
 }
+
+// IncrementalStats reports which path an incremental re-analysis took
+// (solution reuse, checkpoint resume, or from-scratch fallback) and how
+// many constraints it reused.
+type IncrementalStats = incr.UpdateStats
+
+// DemandStats reports how much of a problem a demand-driven analysis
+// explored: variables and constraints in the solved slice versus totals.
+type DemandStats = core.DemandStats
 
 // Engine is a shared, reusable analysis engine: a bounded worker pool with
 // a size-bounded LRU solution cache, per-solve budgets, and per-job panic
@@ -322,11 +339,83 @@ func toBatchResult(m *Module, r engine.Result) BatchResult {
 		m = r.Gen.Module
 	}
 	return BatchResult{
-		Result:   &Result{Module: m, gen: r.Gen, sol: r.Sol},
-		CacheHit: r.CacheHit,
-		Degraded: r.Degraded,
-		Duration: r.Duration,
+		Result:      &Result{Module: m, gen: r.Gen, sol: r.Sol},
+		CacheHit:    r.CacheHit,
+		Degraded:    r.Degraded,
+		Duration:    r.Duration,
+		Incremental: r.Incremental,
+		Demand:      r.DemandStats,
 	}
+}
+
+// AnalyzeDemand runs a demand-driven analysis: only the constraint
+// components reachable from the named root pointers are solved; every
+// other variable soundly answers Ω (it escapes and may point to external
+// memory). Root names resolve like PointsTo names ("global", "func.local",
+// "func.$ret"). The returned result answers queries over the whole module
+// — exactly on the explored slice, with Ω elsewhere — and reports how much
+// was explored in BatchResult.Demand.
+func (e *Engine) AnalyzeDemand(m *Module, cfg Config, summaries map[string]Summary, rootNames []string) (BatchResult, error) {
+	gen, roots, err := DemandRoots(m, summaries, rootNames)
+	if err != nil {
+		return BatchResult{Err: err}, err
+	}
+	res := e.eng.RunOne(engine.Job{Module: m, Gen: gen, Config: cfg, Demand: roots})
+	return toBatchResult(m, res), res.Err
+}
+
+// Session is one incremental analysis lineage on a shared engine: a module
+// analyzed through a Session persists its constraint summary and (when the
+// configuration permits) the solver's propagation state, so re-analyzing
+// an edited version diffs the constraint sets and reuses, resumes, or
+// falls back as the edit allows. The configuration is fixed when the
+// session is created — analyzing under a different configuration is a
+// different lineage. A Session is safe for concurrent use; updates are
+// serialized.
+type Session struct {
+	eng *engine.Engine
+	cfg Config
+
+	mu sync.Mutex
+	st *incr.State
+}
+
+// NewSession starts an incremental lineage with the given configuration
+// on this engine.
+func (e *Engine) NewSession(cfg Config) *Session {
+	return &Session{eng: e.eng, cfg: cfg}
+}
+
+// Generation returns the lineage's current generation number, or -1 before
+// the first analysis.
+func (s *Session) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st == nil {
+		return -1
+	}
+	return s.st.Generation
+}
+
+// Analyze (re-)analyzes a version of the session's module. The first call
+// solves from scratch; later calls diff the module's constraints against
+// the previous generation and take the cheapest sound path (reuse the
+// solution, resume propagation over the additions, or fall back to a full
+// solve). BatchResult.Incremental reports which path ran.
+func (s *Session) Analyze(m *Module) BatchResult {
+	return s.AnalyzeWithSummaries(m, nil)
+}
+
+// AnalyzeWithSummaries is Session.Analyze with extra imported-function
+// summaries.
+func (s *Session) AnalyzeWithSummaries(m *Module, summaries map[string]Summary) BatchResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, nst := s.eng.RunIncremental(s.st, engine.Job{Module: m, Config: s.cfg, Summaries: summaries})
+	if res.Err == nil {
+		s.st = nst
+	}
+	return toBatchResult(m, res)
 }
 
 // AnalyzeBatch analyzes many independent modules concurrently on a fresh
@@ -362,9 +451,13 @@ func AnalyzeIR(src string, cfg Config) (*Result, error) {
 //
 //	"g"        a global or function symbol
 //	"f.x"      local value %x (parameter or instruction result) in @f
-func (r *Result) lookupValue(name string) (ir.Value, error) {
+//
+// The standalone form takes the module explicitly so root names can be
+// resolved before any solve exists (demand-driven queries resolve their
+// roots pre-solve; Result methods resolve post-solve).
+func lookupValue(m *Module, name string) (ir.Value, error) {
 	if fn, local, ok := strings.Cut(name, "."); ok {
-		f := r.Module.Func(fn)
+		f := m.Func(fn)
 		if f == nil {
 			return nil, fmt.Errorf("no function %q", fn)
 		}
@@ -382,22 +475,26 @@ func (r *Result) lookupValue(name string) (ir.Value, error) {
 		}
 		return nil, fmt.Errorf("no value %%%s in @%s", local, fn)
 	}
-	if g := r.Module.Global(name); g != nil {
+	if g := m.Global(name); g != nil {
 		return g, nil
 	}
-	if f := r.Module.Func(name); f != nil {
+	if f := m.Func(name); f != nil {
 		return f, nil
 	}
 	return nil, fmt.Errorf("no symbol @%s", name)
 }
 
+func (r *Result) lookupValue(name string) (ir.Value, error) {
+	return lookupValue(r.Module, name)
+}
+
 // varFor maps a value to the constraint variable holding its points-to set.
 // For globals this is the memory cell (what the global contains), matching
 // the paper's Figure 1 discussion of the pointer variable p.
-func (r *Result) varFor(v ir.Value) (core.VarID, error) {
+func varFor(gen *core.Gen, v ir.Value) (core.VarID, error) {
 	switch val := v.(type) {
 	case *ir.Global:
-		if id, ok := r.gen.MemOf[val]; ok && r.gen.Problem.PtrCompat[id] {
+		if id, ok := gen.MemOf[val]; ok && gen.Problem.PtrCompat[id] {
 			return id, nil
 		}
 		return core.NoVar, fmt.Errorf("@%s holds no pointers", val.GName)
@@ -405,42 +502,68 @@ func (r *Result) varFor(v ir.Value) (core.VarID, error) {
 		if val.Op == ir.OpAlloca {
 			// A named C local: report what the stack slot contains, not
 			// the (trivial) address value.
-			if id, ok := r.gen.MemOf[val]; ok && r.gen.Problem.PtrCompat[id] {
+			if id, ok := gen.MemOf[val]; ok && gen.Problem.PtrCompat[id] {
 				return id, nil
 			}
 			return core.NoVar, fmt.Errorf("%%%s holds no pointers", val.IName)
 		}
-		if id, ok := r.gen.VarOf[v]; ok {
+		if id, ok := gen.VarOf[v]; ok {
 			return id, nil
 		}
 		return core.NoVar, fmt.Errorf("%s has no points-to set", v.Ident())
 	default:
-		if id, ok := r.gen.VarOf[v]; ok {
+		if id, ok := gen.VarOf[v]; ok {
 			return id, nil
 		}
 		return core.NoVar, fmt.Errorf("%s has no points-to set", v.Ident())
 	}
 }
 
+func (r *Result) varFor(v ir.Value) (core.VarID, error) {
+	return varFor(r.gen, v)
+}
+
 // varForName resolves a query name to a constraint variable. In addition
 // to "global" and "func.local", the pseudo-local "func.$ret" names a
-// function's return-value variable.
-func (r *Result) varForName(name string) (core.VarID, error) {
+// function's return-value variable. Like lookupValue it needs only the
+// module and its generated constraints, not a solution.
+func varForName(m *Module, gen *core.Gen, name string) (core.VarID, error) {
 	if fn, local, ok := strings.Cut(name, "."); ok && local == "$ret" {
-		f := r.Module.Func(fn)
+		f := m.Func(fn)
 		if f == nil {
 			return core.NoVar, fmt.Errorf("no function %q", fn)
 		}
-		if id, ok := r.gen.RetOf[f]; ok {
+		if id, ok := gen.RetOf[f]; ok {
 			return id, nil
 		}
 		return core.NoVar, fmt.Errorf("@%s returns no pointers", fn)
 	}
-	v, err := r.lookupValue(name)
+	v, err := lookupValue(m, name)
 	if err != nil {
 		return core.NoVar, err
 	}
-	return r.varFor(v)
+	return varFor(gen, v)
+}
+
+func (r *Result) varForName(name string) (core.VarID, error) {
+	return varForName(r.Module, r.gen, name)
+}
+
+// DemandRoots resolves query names ("global", "func.local", "func.$ret")
+// to the constraint variables a demand-driven solve must explore. It runs
+// constraint generation but no solve; pass the returned Gen to the engine
+// job (or AnalyzeDemand does both).
+func DemandRoots(m *Module, summaries map[string]Summary, names []string) (*core.Gen, []core.VarID, error) {
+	gen := core.GenerateWith(m, summaries)
+	roots := make([]core.VarID, 0, len(names))
+	for _, name := range names {
+		id, err := varForName(m, gen, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("demand root %q: %w", name, err)
+		}
+		roots = append(roots, id)
+	}
+	return gen, roots, nil
 }
 
 // PointsTo returns the named memory locations the value may target, plus
