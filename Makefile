@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke bench-snapshot serve-smoke chaos differential incremental-differential fuzz staticcheck bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot store-snapshot serve-smoke router-smoke chaos router-chaos differential incremental-differential fuzz staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,20 @@ bench-snapshot:
 serve-smoke:
 	$(GO) run ./cmd/pipserve -smoke
 
+# Same, for router mode: an in-process solving backend is spun up and
+# one solve is pushed through the full consistent-hash forward path,
+# then the router's /metrics exposition is validated.
+router-smoke:
+	$(GO) run ./cmd/pipserve -router -smoke
+
+# Warm-restart measurement: the corpus solved cold with a persistent
+# store attached, then re-answered by a fresh engine over the same
+# directory — every warm answer a fingerprint-verified disk hit with
+# zero rule firings (the run panics otherwise). CI archives the same
+# shape as BENCH_PR8.json.
+store-snapshot:
+	$(GO) run ./cmd/pipbench -scale 0.02 -sizescale 0.1 -maxinstrs 4000 -reps 1 -run store,headline -json results/BENCH_PR8.json
+
 # Fault-injection invariant suite under the race detector: every
 # injection point armed at >= 1%, pinned seed (override with
 # PIP_CHAOS_SEED). Asserts no admitted request is dropped, every answer
@@ -45,6 +59,13 @@ serve-smoke:
 # DESIGN.md.
 chaos:
 	$(GO) test -race -v ./internal/chaos/ ./internal/faults/
+
+# The PR-8 slice of the suite under its own pinned seed (override with
+# PIP_CHAOS_SEED3): kill a live shard behind the router mid-load with
+# injected forward faults, and hammer the persistent store with save
+# errors and load bit-flips across restarts.
+router-chaos:
+	$(GO) test -race -v -run 'TestChaosRouterKillShard|TestChaosStoreFaults' ./internal/chaos/
 
 # Differential correctness gate for intra-solve parallelism: sweeps
 # generator-driven problems across a worker-count × configuration ×

@@ -10,6 +10,7 @@
 //	pipbench -run table5,headline
 //	pipbench -run smoke          # engine smoke test: parallel vs sequential
 //	pipbench -run incremental    # incremental re-solve of a small edit vs from-scratch
+//	pipbench -run store          # persistent-store warm restart vs cold solve
 package main
 
 import (
@@ -38,7 +39,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker-pool size (0 = GOMAXPROCS)")
 	solveWorkers := flag.Int("solve-workers", 0, "intra-solve worker count for stratified parallel presaturation (0 = sequential solver)")
 	out := flag.String("out", "", "directory to write result files to")
-	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline,smoke")
+	run := flag.String("run", "all", "comma-separated subset: table3,fig9,table5,fig10,table6,headline,smoke,incremental,store")
 	budgetStr := flag.String("budget", "", "per-solve budget, e.g. 100ms, 5000f, or 100ms,5000f; files that exhaust it degrade soundly")
 	showStats := flag.Bool("stats", false, "print aggregated engine stats and solver telemetry as JSON at the end")
 	cacheEntries := flag.Int("cache-entries", 0, "solution-cache capacity for caching drivers (0 = unbounded)")
@@ -56,12 +57,13 @@ func main() {
 	}
 
 	known := map[string]bool{"all": true, "table3": true, "fig9": true, "table5": true,
-		"fig10": true, "table6": true, "headline": true, "smoke": true, "incremental": true}
+		"fig10": true, "table6": true, "headline": true, "smoke": true, "incremental": true,
+		"store": true}
 	want := map[string]bool{}
 	for _, k := range strings.Split(*run, ",") {
 		k = strings.TrimSpace(k)
 		if !known[k] {
-			fatal(fmt.Errorf("unknown -run target %q (valid: table3,fig9,table5,fig10,table6,headline,smoke,incremental,all)", k))
+			fatal(fmt.Errorf("unknown -run target %q (valid: table3,fig9,table5,fig10,table6,headline,smoke,incremental,store,all)", k))
 		}
 		want[k] = true
 	}
@@ -127,6 +129,20 @@ func main() {
 		fmt.Printf("incremental measurement done [%.1fs]\n\n", time.Since(t).Seconds())
 		emit("incremental-resolve.txt", bench.RenderIncremental(r))
 	}
+	var storeRes *bench.StoreResult
+	if enabled("store") {
+		fmt.Println("measuring persistent-store warm restart (cold solve+flush vs verified disk hits)...")
+		dir, err := os.MkdirTemp("", "pipbench-store-*")
+		if err != nil {
+			fatal(err)
+		}
+		t := time.Now()
+		r := bench.MeasureStore(corpus, dir)
+		storeRes = &r
+		os.RemoveAll(dir)
+		fmt.Printf("store measurement done [%.1fs]\n\n", time.Since(t).Seconds())
+		emit("store-warm-restart.txt", bench.RenderStore(r))
+	}
 	needRuntime := enabled("table5") || enabled("fig10") || enabled("table6") ||
 		enabled("headline") || *jsonPath != ""
 	if needRuntime {
@@ -159,6 +175,7 @@ func main() {
 		if *jsonPath != "" {
 			snap := bench.Snapshot(corpus, res, *reps)
 			snap.Incremental = incRes
+			snap.Store = storeRes
 			if err := os.WriteFile(*jsonPath, []byte(snap.JSON()), 0o644); err != nil {
 				fatal(err)
 			}

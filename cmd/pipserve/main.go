@@ -5,17 +5,30 @@
 // Usage:
 //
 //	pipserve [-addr HOST:PORT] [-config CFG] [-budget B] [-cache-entries N]
-//	         [-concurrent N] [-queue N] [-workers N]
+//	         [-concurrent N] [-queue N] [-workers N] [-store DIR]
+//	pipserve -router -backends URL,URL,...   (shard router mode)
 //	pipserve -smoke        (ephemeral port, one end-to-end request, exit)
 //
 // Endpoints:
 //
 //	POST /v1/solve   {"c": "...", "queries": ["p"]}      points-to sets
 //	POST /v1/alias   {"c": "...", "pairs": [["p","q"]]}  alias verdicts
+//	POST /v1/resolve {"c": "...", "handle": "..."}       incremental sessions
 //	GET  /healthz    liveness; 503 while draining
 //	GET  /metrics    Prometheus text exposition (?format=json for the
-//	                 legacy JSON body)
+//	                 legacy JSON body; router mode serves its own families)
 //	GET  /debug/pprof/*  Go profiling, only with -pprof
+//
+// -store DIR attaches a persistent solution store: solutions are flushed
+// on eviction and drain, and a restarted pipserve over the same directory
+// answers its previous working set from fingerprint-verified disk hits
+// without re-solving.
+//
+// -router turns the process into a sharding front door over the -backends
+// list: modules are placed by consistent hash (so each shard's cache and
+// store stay hot for its keyspace), failed shards are rerouted around,
+// and with every shard down the router answers the sound Ω-degradation
+// locally rather than dropping requests.
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 and the
 // process exits once every in-flight solve has answered (or after
@@ -90,11 +103,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"disable the circuit breaker (by default the server sheds load with 503 when the recent failure/degradation rate crosses 50%)")
 	chaosSpec := fs.String("chaos", "",
 		"arm deterministic fault injection from a spec, e.g. seed=42;serve.handler=error:0.01 (see the fault model section of DESIGN.md)")
+	storeDir := fs.String("store", "",
+		"persistent solution store directory: solutions flush on eviction and drain, and a restart over the same directory serves its previous working set from verified disk hits")
+	routerMode := fs.Bool("router", false,
+		"run as a shard router over -backends instead of a solving server")
+	backendList := fs.String("backends", "",
+		"comma-separated pipserve base URLs to shard across in -router mode, e.g. http://10.0.0.1:7411,http://10.0.0.2:7411")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *backendList != "" && !*routerMode {
+		return fmt.Errorf("-backends requires -router")
+	}
+	if *routerMode && *storeDir != "" {
+		return fmt.Errorf("-store is a solving-server flag; the router holds no solutions")
 	}
 
 	if *chaosSpec != "" {
@@ -103,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer disarm()
+	}
+
+	if *routerMode {
+		return runRouter(*addr, *backendList, *drainTimeout, *smoke, *quiet, stdout, stderr)
 	}
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -148,6 +177,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	s := serve.New(opts)
 	s.Engine().Publish("pipserve.engine")
+	if *storeDir != "" {
+		if err := s.OpenStore(*storeDir); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		fmt.Fprintf(stdout, "persistent store at %s\n", *storeDir)
+	}
 
 	listenAddr := *addr
 	if *smoke {
@@ -191,6 +226,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if *storeDir != "" {
+		// The drain already flushed; CloseStore re-syncs and releases the
+		// log file so the next process start finds a clean store.
+		if err := s.CloseStore(); err != nil {
+			return fmt.Errorf("store close: %w", err)
+		}
+	}
 	if tr != nil {
 		if err := tr.WriteChromeFile(*tracePath); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -199,6 +241,159 @@ func run(args []string, stdout, stderr io.Writer) error {
 			tr.Len(), tr.Dropped(), *tracePath)
 	}
 	fmt.Fprintln(stdout, "pipserve stopped")
+	return nil
+}
+
+// runRouter is the -router mode main loop: a sharding front door over a
+// static backend list. In -smoke mode with no -backends it starts one
+// in-process solving backend on an ephemeral port, so the smoke check
+// exercises real forwarding end to end.
+func runRouter(addr, backendList string, drainTimeout time.Duration, smoke, quiet bool, stdout, stderr io.Writer) error {
+	var backends []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	var drainBackend func() error
+	if len(backends) == 0 {
+		if !smoke {
+			return fmt.Errorf("-router requires -backends")
+		}
+		// Smoke backend: a real solving server inside this process.
+		bs := serve.New(serve.Options{})
+		bln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		bSrv := &http.Server{Handler: bs.Handler()}
+		go bSrv.Serve(bln)
+		backends = []string{"http://" + bln.Addr().String()}
+		drainBackend = func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := bs.Shutdown(ctx); err != nil {
+				return err
+			}
+			return bSrv.Shutdown(ctx)
+		}
+	}
+
+	ropts := serve.RouterOptions{Backends: backends}
+	if !quiet {
+		ropts.LogWriter = stderr
+	}
+	rt := serve.NewRouter(ropts)
+
+	listenAddr := addr
+	if smoke {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "pipserve listening on %s (router over %d backends)\n", ln.Addr(), len(backends))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if smoke {
+		if err := routerSmokeCheck("http://" + ln.Addr().String()); err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("smoke: %w", err)
+		}
+		fmt.Fprintln(stdout, "smoke ok")
+	} else {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "signal received, draining")
+		case err := <-serveErr:
+			return err
+		}
+	}
+
+	rt.Shutdown()
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if drainBackend != nil {
+		if err := drainBackend(); err != nil {
+			return fmt.Errorf("backend drain: %w", err)
+		}
+	}
+	fmt.Fprintln(stdout, "pipserve stopped")
+	return nil
+}
+
+// routerSmokeCheck exercises the router end to end: one forwarded solve
+// (exact, through the backend), /healthz, and the router's Prometheus
+// exposition.
+func routerSmokeCheck(base string) error {
+	body, err := json.Marshal(map[string]any{
+		"name":    "smoke.c",
+		"c":       "static int x;\nint *p = &x;\nextern void take(int**);\nvoid f() { take(&p); }\n",
+		"queries": []string{"p"},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("solve: status %d: %s", resp.StatusCode, b)
+	}
+	var solved struct {
+		Degraded bool `json:"degraded"`
+		PointsTo map[string]struct {
+			Targets  []string `json:"targets"`
+			External bool     `json:"external"`
+		} `json:"points_to"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	pe, ok := solved.PointsTo["p"]
+	if !ok || solved.Degraded || !pe.External || len(pe.Targets) == 0 {
+		return fmt.Errorf("solve through router: unexpected answer %+v", solved)
+	}
+
+	r, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz: status %d", r.StatusCode)
+	}
+
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := obs.CheckExposition(string(text)); err != nil {
+		return fmt.Errorf("/metrics: invalid exposition: %w", err)
+	}
+	if !strings.Contains(string(text), "pip_router_forwarded_total 1") {
+		return fmt.Errorf("/metrics: forward not counted:\n%s", text)
+	}
 	return nil
 }
 

@@ -55,6 +55,90 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"stray"}, &out, &errOut); err == nil {
 		t.Fatal("stray positional argument accepted")
 	}
+	if err := run([]string{"-backends", "http://x"}, &out, &errOut); err == nil {
+		t.Fatal("-backends without -router accepted")
+	}
+	if err := run([]string{"-router", "-store", t.TempDir()}, &out, &errOut); err == nil {
+		t.Fatal("-router with -store accepted")
+	}
+	if err := run([]string{"-router"}, &out, &errOut); err == nil {
+		t.Fatal("-router without -backends accepted outside -smoke")
+	}
+}
+
+// TestRouterSmokeMode: -router -smoke spins up an in-process backend and
+// pushes one solve through the full forward path.
+func TestRouterSmokeMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-router", "-smoke", "-quiet"}, &out, &errOut); err != nil {
+		t.Fatalf("run -router -smoke: %v\nstderr:\n%s", err, errOut.String())
+	}
+	for _, frag := range []string{"router over 1 backends", "smoke ok", "pipserve stopped"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestStoreWarmRestart is the tentpole acceptance check at CLI level: a
+// solve served by one process is answered by the next process over the
+// same -store directory as a fingerprint-verified disk hit — cache_hit
+// and disk_hit both true, zero re-solves.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	const src = `{"c": "static int x; int *p = &x;", "queries": ["p"]}`
+
+	solve := func(base string) (cacheHit, diskHit bool) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			CacheHit bool `json:"cache_hit"`
+			DiskHit  bool `json:"disk_hit"`
+			Degraded bool `json:"degraded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || out.Degraded {
+			t.Fatalf("solve: status %d degraded=%v", resp.StatusCode, out.Degraded)
+		}
+		return out.CacheHit, out.DiskHit
+	}
+	stopServer := func(done chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned error after SIGTERM: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not exit after SIGTERM")
+		}
+	}
+
+	var out1 syncBuffer
+	base1, done1 := startServer(t, &out1, "-store", dir)
+	if ch, dh := solve(base1); ch || dh {
+		t.Fatalf("first-process solve was a hit (cache=%v disk=%v)", ch, dh)
+	}
+	stopServer(done1) // drain flushes the store
+
+	var out2 syncBuffer
+	base2, done2 := startServer(t, &out2, "-store", dir)
+	if ch, dh := solve(base2); !ch || !dh {
+		t.Fatalf("restarted process re-solved (cache=%v disk=%v), want a verified disk hit", ch, dh)
+	}
+	stopServer(done2)
+	if !strings.Contains(out2.String(), "persistent store at "+dir) {
+		t.Fatalf("restart output missing store banner:\n%s", out2.String())
+	}
 }
 
 var listenRE = regexp.MustCompile(`pipserve listening on (\S+)`)

@@ -52,6 +52,9 @@ type RunSnapshot struct {
 	// Incremental is the incremental re-solve measurement, present when
 	// the run included the incremental driver (pipbench -run incremental).
 	Incremental *IncrementalResult `json:"incremental,omitempty"`
+	// Store is the persistent-store warm-restart measurement, present when
+	// the run included the store driver (pipbench -run store).
+	Store *StoreResult `json:"store,omitempty"`
 }
 
 // Snapshot rolls a runtime measurement into a RunSnapshot. Every

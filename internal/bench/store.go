@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/engine"
+	"github.com/pip-analysis/pip/internal/store"
+)
+
+// StoreResult summarizes the warm-restart measurement: the corpus solved
+// cold (solve + flush to the persistent store) versus answered by a
+// restarted engine over the same store directory (every file a
+// fingerprint-verified disk hit, zero re-solves). Times in microseconds.
+type StoreResult struct {
+	Config string `json:"config"`
+	Files  int    `json:"files"`
+	// ColdUS is the cold pass: solve every file and flush the store.
+	ColdUS float64 `json:"cold_us"`
+	// WarmUS is the restarted pass: answer every file from the store.
+	WarmUS float64 `json:"warm_us"`
+	// Speedup is ColdUS / WarmUS.
+	Speedup float64 `json:"speedup"`
+	// DiskHits counts warm answers served from the store — equal to
+	// Files when nothing degraded.
+	DiskHits int64 `json:"disk_hits"`
+	// Resolves counts warm-pass rule firings — the zero-re-solves check.
+	Resolves int64 `json:"resolves"`
+	// StoreBytes is the on-disk size of the flushed store.
+	StoreBytes int64 `json:"store_bytes"`
+	// Entries is the number of live store records after the cold pass.
+	Entries int `json:"entries"`
+}
+
+// MeasureStore times a warm restart against the cold solve it replays.
+// The cold engine solves every corpus file and drains to a fresh store
+// under dir; a second engine — cold memory, same directory, the restart
+// — then answers the same jobs. Every warm answer must be a verified
+// disk hit with a fingerprint bit-identical to the cold solve's; a
+// mismatch panics, since it would invalidate both the numbers and the
+// store's verify-on-load contract.
+func MeasureStore(c *Corpus, dir string) StoreResult {
+	cfg := core.DefaultConfig()
+	jobs := c.Jobs(cfg, 1)
+	res := StoreResult{Config: cfg.String(), Files: len(c.Files)}
+
+	ds, err := store.Open(dir)
+	if err != nil {
+		panic(fmt.Sprintf("bench: store open: %v", err))
+	}
+	cold := engine.New(engine.Options{Workers: c.Workers, Cache: true, Budget: c.Budget})
+	cold.SetStore(ds)
+	t0 := time.Now()
+	coldRes := cold.Run(jobs)
+	if err := cold.SyncStore(); err != nil {
+		panic(fmt.Sprintf("bench: store flush: %v", err))
+	}
+	res.ColdUS = float64(time.Since(t0).Nanoseconds()) / 1e3
+	fps := make([]string, len(coldRes))
+	degraded := 0
+	for i, r := range coldRes {
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: cold solve %d failed: %v", i, r.Err))
+		}
+		fps[i] = r.Sol.Fingerprint()
+		if r.Degraded {
+			degraded++
+		}
+	}
+	res.Entries = ds.Len()
+	res.StoreBytes = dirBytes(dir)
+	if err := ds.Close(); err != nil {
+		panic(fmt.Sprintf("bench: store close: %v", err))
+	}
+
+	// The restart: cold memory tier, same directory.
+	ds2, err := store.Open(dir)
+	if err != nil {
+		panic(fmt.Sprintf("bench: store reopen: %v", err))
+	}
+	warm := engine.New(engine.Options{Workers: c.Workers, Cache: true, Budget: c.Budget})
+	warm.SetStore(ds2)
+	t0 = time.Now()
+	warmRes := warm.Run(jobs)
+	res.WarmUS = float64(time.Since(t0).Nanoseconds()) / 1e3
+	for i, r := range warmRes {
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: warm solve %d failed: %v", i, r.Err))
+		}
+		if r.Sol.Fingerprint() != fps[i] {
+			panic(fmt.Sprintf("bench: warm answer %d differs from the cold solve", i))
+		}
+	}
+	st := warm.Stats()
+	res.DiskHits = st.DiskHits
+	res.Resolves = st.Telemetry.Firings.Total()
+	if res.DiskHits != int64(res.Files-degraded) {
+		panic(fmt.Sprintf("bench: warm restart served %d/%d disk hits (%d degraded cold)",
+			res.DiskHits, res.Files, degraded))
+	}
+	if degraded == 0 && res.Resolves != 0 {
+		panic(fmt.Sprintf("bench: warm restart fired %d rules — not a zero-re-solve restart", res.Resolves))
+	}
+	ds2.Close()
+	if res.WarmUS > 0 {
+		res.Speedup = res.ColdUS / res.WarmUS
+	}
+	return res
+}
+
+// dirBytes sums the file sizes under dir; best effort, 0 on error.
+func dirBytes(dir string) int64 {
+	var n int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n
+}
+
+// RenderStore formats the measurement for the terminal.
+func RenderStore(r StoreResult) string {
+	var b strings.Builder
+	b.WriteString("Persistent store: warm restart vs cold solve\n")
+	fmt.Fprintf(&b, "  configuration:        %s\n", r.Config)
+	fmt.Fprintf(&b, "  files:                %d\n", r.Files)
+	fmt.Fprintf(&b, "  store:                %d entries, %d bytes\n", r.Entries, r.StoreBytes)
+	fmt.Fprintf(&b, "  cold (solve+flush):   %10.0f us\n", r.ColdUS)
+	fmt.Fprintf(&b, "  warm (verified hits): %10.0f us (%d disk hits, %d rule firings)\n",
+		r.WarmUS, r.DiskHits, r.Resolves)
+	fmt.Fprintf(&b, "  speedup:              %.1fx\n", r.Speedup)
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/pip-analysis/pip/internal/bitset"
+)
+
+// This file is the canonical wire encoding for Solution, the unit the
+// persistent store (internal/store) appends to disk. The format is
+// deterministic — two solutions with equal fingerprints encode to equal
+// bytes — and self-describing enough that a decode against the wrong
+// problem fails loudly instead of producing a plausible-but-wrong
+// solution: the variable universe size is embedded and checked, and every
+// slice read is bounds-checked so a truncated or bit-flipped record comes
+// back as an error, never a panic.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "PSW1" (4 bytes)
+//	nVars   u32    problem variable count (checked against the Problem)
+//	n       u32    internal table length: nVars, or nVars+1 in EP mode
+//	omega   u32    materialized Ω VarID (NoVar outside EP mode)
+//	flags   u8     bit 0: Degraded
+//	repOf   n × u32
+//	pointsExt ⌈n/8⌉ bytes, bit-packed
+//	external  ⌈n/8⌉ bytes, bit-packed
+//	nSets   u32    number of non-nil points-to sets
+//	sets    nSets × { idx u32, len u32, elems len × u32 ascending }, idx ascending
+//	stats   6 × i64 (duration ns, explicit pointees, visits, passes,
+//	               unifications, simple edges)
+
+const wireMagic = "PSW1"
+
+// EncodeWire renders the solution in the canonical wire format.
+func (s *Solution) EncodeWire() []byte {
+	n := len(s.repOf)
+	buf := make([]byte, 0, 4+4+4+4+1+4*n+2*((n+7)/8)+4)
+	buf = append(buf, wireMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.p.NumVars()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.omega))
+	var flags byte
+	if s.Degraded {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	for _, r := range s.repOf {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	buf = appendBits(buf, s.pointsExt)
+	buf = appendBits(buf, s.external)
+	nSets := 0
+	for _, set := range s.pts {
+		if set != nil {
+			nSets++
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nSets))
+	for i, set := range s.pts {
+		if set == nil {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(set.Len()))
+		set.ForEach(func(x uint32) {
+			buf = binary.LittleEndian.AppendUint32(buf, x)
+		})
+	}
+	for _, v := range []int64{
+		int64(s.Stats.Duration),
+		int64(s.Stats.ExplicitPointees),
+		int64(s.Stats.Visits),
+		int64(s.Stats.Passes),
+		int64(s.Stats.Unifications),
+		int64(s.Stats.SimpleEdges),
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeSolution rebuilds a Solution from its wire encoding, binding it to
+// p. The encoding must have been produced from a solve of a
+// constraint-identical problem: the embedded variable count is checked,
+// and every structural invariant (table lengths, Ω consistency,
+// representative and pointee ranges) is validated so corruption surfaces
+// as an error.
+func DecodeSolution(p *Problem, data []byte) (*Solution, error) {
+	d := &wireReader{data: data}
+	magic := d.bytes(4)
+	if d.err != nil || string(magic) != wireMagic {
+		return nil, fmt.Errorf("core: solution wire: bad magic")
+	}
+	nVars := d.u32()
+	n := d.u32()
+	omega := VarID(d.u32())
+	flags := d.u8()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int(nVars) != p.NumVars() {
+		return nil, fmt.Errorf("core: solution wire: encoded for %d vars, problem has %d", nVars, p.NumVars())
+	}
+	switch {
+	case n == nVars:
+		if omega != NoVar {
+			return nil, fmt.Errorf("core: solution wire: Ω=%d with no Ω slot", omega)
+		}
+	case n == nVars+1:
+		if omega != VarID(nVars) {
+			return nil, fmt.Errorf("core: solution wire: Ω slot present but Ω=%d, want %d", omega, nVars)
+		}
+	default:
+		return nil, fmt.Errorf("core: solution wire: table length %d for %d vars", n, nVars)
+	}
+	// Guard against absurd lengths before allocating (a flipped length
+	// byte must not become a multi-gigabyte make).
+	if int(n) > len(data) {
+		return nil, fmt.Errorf("core: solution wire: table length %d exceeds record size", n)
+	}
+	s := &Solution{
+		p:         p,
+		repOf:     make([]VarID, n),
+		pts:       make([]*bitset.Set, n),
+		pointsExt: make([]bool, n),
+		external:  make([]bool, n),
+		omega:     omega,
+		Degraded:  flags&1 != 0,
+	}
+	for i := range s.repOf {
+		r := VarID(d.u32())
+		if d.err == nil && uint32(r) >= n {
+			return nil, fmt.Errorf("core: solution wire: repOf[%d]=%d out of range", i, r)
+		}
+		s.repOf[i] = r
+	}
+	d.bits(s.pointsExt)
+	d.bits(s.external)
+	nSets := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nSets > n {
+		return nil, fmt.Errorf("core: solution wire: %d sets for %d variables", nSets, n)
+	}
+	prev := -1
+	for k := uint32(0); k < nSets; k++ {
+		idx := d.u32()
+		ln := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int(idx) >= int(n) || int(idx) <= prev {
+			return nil, fmt.Errorf("core: solution wire: set index %d out of order or range", idx)
+		}
+		prev = int(idx)
+		if int(ln)*4 > len(data) {
+			return nil, fmt.Errorf("core: solution wire: set length %d exceeds record size", ln)
+		}
+		set := &bitset.Set{}
+		last := int64(-1)
+		for j := uint32(0); j < ln; j++ {
+			x := d.u32()
+			if d.err != nil {
+				return nil, d.err
+			}
+			if int64(x) <= last {
+				return nil, fmt.Errorf("core: solution wire: set %d elements not ascending", idx)
+			}
+			last = int64(x)
+			set.Add(x)
+		}
+		s.pts[idx] = set
+	}
+	s.Stats.Duration = time.Duration(d.i64())
+	s.Stats.ExplicitPointees = int(d.i64())
+	s.Stats.Visits = int(d.i64())
+	s.Stats.Passes = int(d.i64())
+	s.Stats.Unifications = int(d.i64())
+	s.Stats.SimpleEdges = int(d.i64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != d.off {
+		return nil, fmt.Errorf("core: solution wire: %d trailing bytes", len(d.data)-d.off)
+	}
+	return s, nil
+}
+
+// FingerprintHash is the integrity hash stored beside persisted and cached
+// solutions: FNV-64a over the canonical Fingerprint text, with 0 mapped to
+// 1 so 0 can mean "no hash recorded". The engine's verify-on-read and the
+// store's verify-on-load both recompute it and treat a mismatch as
+// corruption.
+func FingerprintHash(sol *Solution) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sol.Fingerprint()))
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+func appendBits(buf []byte, bits []bool) []byte {
+	nb := (len(bits) + 7) / 8
+	start := len(buf)
+	buf = append(buf, make([]byte, nb)...)
+	for i, b := range bits {
+		if b {
+			buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+	return buf
+}
+
+// wireReader is a bounds-checked little-endian cursor: the first
+// out-of-range read latches err and every later read is a no-op, so decode
+// paths check d.err at structural boundaries instead of after every field.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *wireReader) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: solution wire: truncated record at offset %d", d.off)
+	}
+}
+
+func (d *wireReader) bytes(n int) []byte {
+	if d.err != nil || d.off+n > len(d.data) {
+		d.fail()
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *wireReader) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *wireReader) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *wireReader) i64() int64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (d *wireReader) bits(dst []bool) {
+	b := d.bytes((len(dst) + 7) / 8)
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+const wireSrc = `
+module "w"
+global @g : ptr = zero:ptr internal
+global @buf : [16 x i8] = zero:[16 x i8] internal
+declare func @ext(ptr) -> ptr
+
+func @main() -> ptr internal {
+entry:
+  %p = alloca i64
+  %q = alloca ptr
+  store %p, %q
+  %l = load ptr, %q
+  store @buf, @g
+  %r = call ptr, @ext(%l)
+  ret %r
+}
+`
+
+func wireProblem(t *testing.T) *Problem {
+	t.Helper()
+	m, err := ir.Parse(wireSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Generate(m)
+	if err := g.Problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g.Problem
+}
+
+// TestWireRoundTrip is the store's core contract: encode → decode
+// reproduces the solution bit-for-bit — identical fingerprint text,
+// identical FingerprintHash, identical canonical form, and a re-encode
+// that is byte-identical to the first (so compaction rewrites are stable).
+func TestWireRoundTrip(t *testing.T) {
+	p := wireProblem(t)
+	for _, cs := range []string{
+		"IP+WL(FIFO)+PIP", // the default configuration
+		"EP+OVS+WL(LRF)+OCD",
+		"EP+Naive",
+		"IP+WL(LIFO)+HCD+LCD+DP",
+	} {
+		cfg := MustParseConfig(cs)
+		sol := MustSolve(p, cfg)
+		enc := sol.EncodeWire()
+		got, err := DecodeSolution(p, enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", cs, err)
+		}
+		if got.Fingerprint() != sol.Fingerprint() {
+			t.Fatalf("%s: fingerprint changed across the wire", cs)
+		}
+		if FingerprintHash(got) != FingerprintHash(sol) {
+			t.Fatalf("%s: fingerprint hash changed across the wire", cs)
+		}
+		if got.Canonical() != sol.Canonical() {
+			t.Fatalf("%s: canonical form changed across the wire", cs)
+		}
+		if got.Stats != sol.Stats {
+			t.Fatalf("%s: stats changed across the wire: %+v vs %+v", cs, got.Stats, sol.Stats)
+		}
+		if re := got.EncodeWire(); !bytes.Equal(re, enc) {
+			t.Fatalf("%s: re-encode is not byte-identical", cs)
+		}
+	}
+}
+
+func TestWireRoundTripDegraded(t *testing.T) {
+	p := wireProblem(t)
+	sol := DegradedSolution(p)
+	got, err := DecodeSolution(p, sol.EncodeWire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Fatal("Degraded flag lost across the wire")
+	}
+	if got.Fingerprint() != sol.Fingerprint() {
+		t.Fatal("degraded fingerprint changed across the wire")
+	}
+}
+
+// TestWireTruncation: a torn record (every possible prefix) must decode to
+// an error, never a panic and never a plausible solution.
+func TestWireTruncation(t *testing.T) {
+	p := wireProblem(t)
+	enc := MustSolve(p, DefaultConfig()).EncodeWire()
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeSolution(p, enc[:n]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(enc))
+		}
+	}
+	// Trailing garbage is also rejected: an appended record boundary error
+	// must not be silently absorbed.
+	if _, err := DecodeSolution(p, append(append([]byte{}, enc...), 0)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+}
+
+// TestWireFlipNeverPanics: single-bit corruption anywhere in the record
+// either fails the decode or yields a structurally valid solution whose
+// queries do not panic (the store's CRC + fingerprint verification is what
+// rejects the semantic change; this test pins the memory-safety half).
+func TestWireFlipNeverPanics(t *testing.T) {
+	p := wireProblem(t)
+	sol := MustSolve(p, MustParseConfig("EP+WL(FIFO)"))
+	enc := sol.EncodeWire()
+	for i := 0; i < len(enc); i++ {
+		mut := append([]byte{}, enc...)
+		mut[i] ^= 0x41
+		got, err := DecodeSolution(p, mut)
+		if err != nil {
+			continue
+		}
+		got.Fingerprint()
+		got.Canonical()
+	}
+}
+
+func TestWireWrongProblemRejected(t *testing.T) {
+	p := wireProblem(t)
+	enc := MustSolve(p, DefaultConfig()).EncodeWire()
+	m, err := ir.Parse(`
+module "other"
+global @x : ptr = zero:ptr internal
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := Generate(m).Problem
+	if other.NumVars() == p.NumVars() {
+		t.Fatal("test problems must differ in variable count")
+	}
+	if _, err := DecodeSolution(other, enc); err == nil {
+		t.Fatal("decode against a different variable universe succeeded")
+	}
+}

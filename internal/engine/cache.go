@@ -61,23 +61,39 @@ func (c *solutionCache) get(key string) (cached, bool) {
 }
 
 // put inserts or refreshes an entry, evicting least-recently-used entries
-// until occupancy is back under the cap.
-func (c *solutionCache) put(key string, val cached) {
+// until occupancy is back under the cap. The evicted entries are returned
+// so the engine can flush them to the persistent store (outside its mutex)
+// instead of losing them — the disk tier's lazy write-behind.
+func (c *solutionCache) put(key string, val cached) []cacheEntry {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.order.MoveToFront(el)
-		return
+		return nil
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	var evicted []cacheEntry
 	for c.max > 0 && len(c.entries) > c.max {
 		oldest := c.order.Back()
 		if oldest == nil {
 			break
 		}
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.entries, ent.key)
 		c.evictions++
+		evicted = append(evicted, *ent)
 	}
+	return evicted
+}
+
+// snapshot returns every resident entry, most recently used first; the
+// engine's SyncStore flushes the lot on graceful drain.
+func (c *solutionCache) snapshot() []cacheEntry {
+	out := make([]cacheEntry, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
 }
 
 // drop removes an entry outright (used when lookup verification finds a

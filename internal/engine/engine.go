@@ -36,6 +36,7 @@ import (
 	"github.com/pip-analysis/pip/internal/faults"
 	"github.com/pip-analysis/pip/internal/ir"
 	"github.com/pip-analysis/pip/internal/obs"
+	"github.com/pip-analysis/pip/internal/store"
 )
 
 // Options configures an Engine.
@@ -148,6 +149,11 @@ type Result struct {
 	// for the in-flight leader instead of re-solving. Coalesced results
 	// are also CacheHits.
 	Coalesced bool
+	// DiskHit reports that Sol was loaded (and fingerprint-verified) from
+	// the persistent store instead of solved: the warm-restart path. Disk
+	// hits are also CacheHits, and the loaded solution is promoted into
+	// the in-memory tier.
+	DiskHit bool
 	// Incremental describes which incremental path a RunIncremental call
 	// took (reuse, resume, or fallback) and how much it reused; nil for
 	// ordinary jobs.
@@ -214,6 +220,17 @@ type Stats struct {
 	// resume, fallback); Demand counts demand-driven jobs.
 	Incremental int64 `json:"incremental"`
 	Demand      int64 `json:"demand"`
+	// DiskHits counts jobs served from the persistent store's verified
+	// second tier instead of being solved (warm-restart hits).
+	DiskHits int64 `json:"disk_hits"`
+	// StoreFlushed counts solutions appended to the persistent store, both
+	// lazily on LRU eviction and in bulk on SyncStore (graceful drain).
+	StoreFlushed int64 `json:"store_flushed"`
+	// StoreEntries is the persistent store's live-entry count at snapshot
+	// time; StoreCorrupt counts entries its verify-on-load rejected (each
+	// was a miss answered by a re-solve, never served).
+	StoreEntries int   `json:"store_entries"`
+	StoreCorrupt int64 `json:"store_corrupt_detected"`
 	// Telemetry aggregates per-solve telemetry across all non-cached jobs:
 	// phase durations and firings sum, the worklist peak takes the max.
 	Telemetry core.Telemetry `json:"telemetry"`
@@ -255,6 +272,10 @@ func (st *Stats) Merge(u Stats) {
 	st.Coalesced += u.Coalesced
 	st.Incremental += u.Incremental
 	st.Demand += u.Demand
+	st.DiskHits += u.DiskHits
+	st.StoreFlushed += u.StoreFlushed
+	st.StoreEntries += u.StoreEntries
+	st.StoreCorrupt += u.StoreCorrupt
 	if u.PeakInFlight > st.PeakInFlight {
 		st.PeakInFlight = u.PeakInFlight
 	}
@@ -314,6 +335,12 @@ type Engine struct {
 	inFlight  int
 	busyStart time.Time // start of the current busy span; valid while inFlight > 0
 
+	// dstore is the persistent second cache tier (nil = memory only):
+	// consulted on memory misses, written lazily on LRU eviction and in
+	// bulk by SyncStore. Guarded by mu for the pointer; the store itself
+	// is internally synchronized.
+	dstore *store.Store
+
 	// Soft memory guard state: memOver latches whether the last heap
 	// sample exceeded Options.MemSoftLimit; lastMemSample rate-limits
 	// runtime.ReadMemStats (unix nanos of the last sample).
@@ -346,6 +373,56 @@ func (e *Engine) CacheCap() int {
 	return e.opts.CacheEntries
 }
 
+// SetStore attaches a persistent store as the cache's second tier. Pass
+// nil to detach. The engine does not own the store; the caller closes it
+// after the engine is drained.
+func (e *Engine) SetStore(s *store.Store) {
+	e.mu.Lock()
+	e.dstore = s
+	e.mu.Unlock()
+}
+
+// DiskStore returns the attached persistent store, or nil.
+func (e *Engine) DiskStore() *store.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dstore
+}
+
+// SyncStore flushes every resident non-degraded cache entry to the
+// persistent store and syncs it to stable storage — the graceful-drain
+// flush that makes the next process start warm. No-op without a store.
+func (e *Engine) SyncStore() error {
+	e.mu.Lock()
+	ds := e.dstore
+	var ents []cacheEntry
+	if ds != nil && e.cache != nil {
+		ents = e.cache.snapshot()
+	}
+	e.mu.Unlock()
+	if ds == nil {
+		return nil
+	}
+	before := ds.Stats().Saves
+	var err error
+	for _, ent := range ents {
+		if ent.val.sol == nil || ent.val.sol.Degraded {
+			continue
+		}
+		if serr := ds.Save(ent.key, ent.val.sol); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	flushed := ds.Stats().Saves - before
+	e.mu.Lock()
+	e.stats.StoreFlushed += int64(flushed)
+	e.mu.Unlock()
+	if serr := ds.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -354,6 +431,10 @@ func (e *Engine) Stats() Stats {
 	if e.cache != nil {
 		st.CacheEntries = e.cache.len()
 		st.CacheEvictions = e.cache.evictions
+	}
+	if e.dstore != nil {
+		st.StoreEntries = e.dstore.Len()
+		st.StoreCorrupt = int64(e.dstore.Stats().Corrupt)
 	}
 	// An engine mid-run has an open busy span; fold the elapsed part in so
 	// live exports (expvar, /metrics) show monotonic wall time instead of
@@ -512,8 +593,27 @@ func (e *Engine) noteDone(res Result) {
 
 func (e *Engine) store(key string, c cached) {
 	e.mu.Lock()
-	e.cache.put(key, c)
+	evicted := e.cache.put(key, c)
+	ds := e.dstore
 	e.mu.Unlock()
+	// Lazy write-behind: entries pushed out of the memory tier are flushed
+	// to the persistent store (outside the engine mutex) rather than lost,
+	// so the disk tier accumulates the full history of the working set.
+	if ds == nil {
+		return
+	}
+	before := ds.Stats().Saves
+	for _, ent := range evicted {
+		if ent.val.sol == nil || ent.val.sol.Degraded {
+			continue
+		}
+		_ = ds.Save(ent.key, ent.val.sol) // a failed flush only costs warmth
+	}
+	if flushed := ds.Stats().Saves - before; flushed > 0 {
+		e.mu.Lock()
+		e.stats.StoreFlushed += int64(flushed)
+		e.mu.Unlock()
+	}
 }
 
 // acquire resolves key against the cache with request coalescing. It
@@ -696,6 +796,28 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 	gen := j.Gen
 	if gen == nil {
 		gen = core.GenerateWith(j.Module, j.Summaries)
+	}
+	// Second tier: on a memory miss the leader consults the persistent
+	// store before solving. Store.Load re-verifies the CRC and fingerprint
+	// of every entry, so a hit here is exactly the solution a fresh solve
+	// would produce — it is promoted into the memory LRU and shared with
+	// coalesced waiters like any other cache hit. This is the warm-restart
+	// path: a restarted process re-answers its working set with zero
+	// re-solves.
+	if ds := e.DiskStore(); ds != nil && rsv != nil {
+		if sol, ok := ds.Load(key, gen.Problem); ok {
+			ent := cached{gen: gen, sol: sol}
+			if faults.Active() != nil {
+				ent.fp = fingerprintHash(sol)
+			}
+			e.store(key, ent)
+			rsv.c = ent
+			rsv.ok = true
+			e.mu.Lock()
+			e.stats.DiskHits++
+			e.mu.Unlock()
+			return Result{Gen: gen, Sol: sol, CacheHit: true, DiskHit: true}
+		}
 	}
 	reps := j.Reps
 	if reps < 1 {

@@ -3,7 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -169,15 +168,9 @@ func tightenBudget(b, tight core.Budget) core.Budget {
 }
 
 // fingerprintHash is the content hash stored next to cached solutions
-// when faults are armed: FNV-64a over the solution's canonical
-// fingerprint text. Lookup recomputes it and refuses to serve a
-// mismatching entry.
+// when faults are armed and beside every persisted store entry: FNV-64a
+// over the solution's canonical fingerprint text (core.FingerprintHash).
+// Lookup recomputes it and refuses to serve a mismatching entry.
 func fingerprintHash(sol *core.Solution) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(sol.Fingerprint()))
-	v := h.Sum64()
-	if v == 0 {
-		v = 1 // 0 means "no hash recorded"; avoid colliding with it
-	}
-	return v
+	return core.FingerprintHash(sol)
 }

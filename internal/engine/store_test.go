@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/store"
+)
+
+func engineWithStore(t *testing.T, dir string, cacheEntries int) *Engine {
+	t.Helper()
+	ds, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	eng := New(Options{Workers: 2, Cache: true, CacheEntries: cacheEntries})
+	eng.SetStore(ds)
+	return eng
+}
+
+// TestWarmRestartZeroResolves is the tentpole acceptance check at engine
+// level: solve a batch, drain (SyncStore), then answer the same batch
+// from a fresh engine over the same directory — every result must be a
+// fingerprint-verified disk hit, with zero re-solves.
+func TestWarmRestartZeroResolves(t *testing.T) {
+	dir := t.TempDir()
+	mods := testModules(8)
+	cfg := core.DefaultConfig()
+
+	eng := engineWithStore(t, dir, 0)
+	first := eng.Run(jobsFor(mods, cfg))
+	want := make([]string, len(first))
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		want[i] = r.Sol.Fingerprint()
+	}
+	if err := eng.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.StoreFlushed != int64(len(mods)) || st.StoreEntries != len(mods) {
+		t.Fatalf("drain flushed %d entries (store holds %d), want %d",
+			st.StoreFlushed, st.StoreEntries, len(mods))
+	}
+
+	// "Restart": a brand-new engine (cold memory tier) over the same dir.
+	eng2 := engineWithStore(t, dir, 0)
+	second := eng2.Run(jobsFor(mods, cfg))
+	for i, r := range second {
+		if r.Err != nil {
+			t.Fatalf("restarted job %d failed: %v", i, r.Err)
+		}
+		if !r.DiskHit || !r.CacheHit {
+			t.Fatalf("restarted job %d was re-solved (DiskHit=%v CacheHit=%v)", i, r.DiskHit, r.CacheHit)
+		}
+		if r.Sol.Fingerprint() != want[i] {
+			t.Fatalf("restarted job %d: fingerprint differs from the original solve", i)
+		}
+	}
+	st2 := eng2.Stats()
+	if st2.DiskHits != int64(len(mods)) {
+		t.Fatalf("DiskHits = %d, want %d", st2.DiskHits, len(mods))
+	}
+	if n := st2.Telemetry.Firings.Total(); n != 0 {
+		t.Fatalf("restarted engine fired %d rules — disk hits must not solve", n)
+	}
+
+	// Third pass on the warm engine: promoted entries answer from memory.
+	third := eng2.Run(jobsFor(mods, cfg))
+	for i, r := range third {
+		if !r.CacheHit || r.DiskHit {
+			t.Fatalf("third-pass job %d not a memory hit (CacheHit=%v DiskHit=%v)", i, r.CacheHit, r.DiskHit)
+		}
+	}
+}
+
+// TestEvictionFlushesToStore: entries pushed out of a tiny memory LRU
+// land in the disk tier and come back as verified disk hits.
+func TestEvictionFlushesToStore(t *testing.T) {
+	dir := t.TempDir()
+	mods := testModules(6)
+	cfg := core.DefaultConfig()
+	eng := engineWithStore(t, dir, 2) // memory holds 2 of 6
+	rs := eng.Run(jobsFor(mods, cfg))
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+	}
+	st := eng.Stats()
+	if st.StoreFlushed < int64(len(mods)-2) {
+		t.Fatalf("StoreFlushed = %d, want >= %d (evictions must flush)", st.StoreFlushed, len(mods)-2)
+	}
+	// Re-running the batch: nothing re-solves — everything answers from
+	// memory or the disk tier.
+	again := eng.Run(jobsFor(mods, cfg))
+	for i, r := range again {
+		if !r.CacheHit {
+			t.Fatalf("job %d re-solved after eviction (want memory or disk hit)", i)
+		}
+	}
+	if st := eng.Stats(); st.DiskHits == 0 {
+		t.Fatal("no disk hits — evicted entries were not consulted")
+	}
+}
+
+// TestCorruptStoreEntryIsMissCleanAreHits is the ISSUE's store round-trip
+// test at engine level: solve → flush → corrupt one entry on disk →
+// restart → the corrupted entry re-solves (miss) while clean entries are
+// verified hits with bit-identical fingerprints.
+func TestCorruptStoreEntryIsMissCleanAreHits(t *testing.T) {
+	dir := t.TempDir()
+	mods := testModules(4)
+	cfg := core.DefaultConfig()
+	eng := engineWithStore(t, dir, 0)
+	first := eng.Run(jobsFor(mods, cfg))
+	want := make([]string, len(first))
+	for i, r := range first {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		want[i] = r.Sol.Fingerprint()
+	}
+	if err := eng.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the last payload byte of the first record, on disk. Walking
+	// the frame explicitly (header, then magic+keyLen+key+fp+payloadLen)
+	// keeps the flip inside the payload so later records stay framed.
+	path := filepath.Join(dir, "solutions.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const header = 10 // "PIPSTORE1\n"
+	keyLen := int(raw[header+4]) | int(raw[header+5])<<8
+	lenOff := header + 6 + keyLen + 8
+	payloadLen := int(raw[lenOff]) | int(raw[lenOff+1])<<8 | int(raw[lenOff+2])<<16 | int(raw[lenOff+3])<<24
+	raw[lenOff+4+payloadLen-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := engineWithStore(t, dir, 0)
+	second := eng2.Run(jobsFor(mods, cfg))
+	resolved, diskHits := 0, 0
+	for i, r := range second {
+		if r.Err != nil {
+			t.Fatalf("restarted job %d failed: %v", i, r.Err)
+		}
+		if r.Sol.Fingerprint() != want[i] {
+			t.Fatalf("restarted job %d: wrong answer after corruption", i)
+		}
+		if r.DiskHit {
+			diskHits++
+		} else {
+			resolved++
+		}
+	}
+	if resolved != 1 || diskHits != len(mods)-1 {
+		t.Fatalf("re-solved %d, disk hits %d; want exactly 1 re-solve and %d verified hits",
+			resolved, diskHits, len(mods)-1)
+	}
+	if st := eng2.Stats(); st.StoreCorrupt != 1 {
+		t.Fatalf("StoreCorrupt = %d, want 1", st.StoreCorrupt)
+	}
+}
+
+// TestStoreLoadFaultFallsBackToSolve: an injected store.load error makes
+// the disk tier miss; the job still answers correctly by solving.
+func TestStoreLoadFaultFallsBackToSolve(t *testing.T) {
+	dir := t.TempDir()
+	mods := testModules(2)
+	cfg := core.DefaultConfig()
+	eng := engineWithStore(t, dir, 0)
+	first := eng.Run(jobsFor(mods, cfg))
+	if err := eng.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := faults.ParseSpec("seed=11;store.load=error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	defer faults.Disarm()
+
+	eng2 := engineWithStore(t, dir, 0)
+	second := eng2.Run(jobsFor(mods, cfg))
+	for i, r := range second {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.DiskHit {
+			t.Fatalf("job %d served from a store whose every load faults", i)
+		}
+		if r.Sol.Fingerprint() != first[i].Sol.Fingerprint() {
+			t.Fatalf("job %d: fallback solve produced a different answer", i)
+		}
+	}
+}
+
+// TestDegradedNeverFlushed: degraded results are not cached, so neither
+// eviction nor SyncStore can leak them to disk.
+func TestDegradedNeverFlushed(t *testing.T) {
+	dir := t.TempDir()
+	mods := testModules(3)
+	cfg := core.DefaultConfig()
+	cfg.Budget = core.Budget{Firings: 1} // degrade everything
+	eng := engineWithStore(t, dir, 0)
+	rs := eng.Run(jobsFor(mods, cfg))
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if !r.Degraded {
+			t.Fatalf("job %d not degraded under a 1-firing budget", i)
+		}
+	}
+	if err := eng.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.DiskStore().Len(); n != 0 {
+		t.Fatalf("store holds %d entries after degraded-only run, want 0", n)
+	}
+}

@@ -52,6 +52,9 @@ const (
 	EngineCacheLook Point = "engine.cache.lookup"
 	ServeAdmission  Point = "serve.admission" // request admitted, before queueing
 	ServeHandler    Point = "serve.handler"   // solve/alias handler, before compile
+	StoreSave       Point = "store.save"      // persistent store append, before write
+	StoreLoad       Point = "store.load"      // persistent store read, before decode/verify
+	RouterForward   Point = "router.forward"  // shard router, before each backend attempt
 )
 
 // Points lists every built-in injection point; the chaos suite uses it to
@@ -61,6 +64,7 @@ func Points() []Point {
 		CoreSolve, CoreWave, CoreCollapse, CoreStrata,
 		EngineDispatch, EngineCacheIns, EngineCacheLook,
 		ServeAdmission, ServeHandler,
+		StoreSave, StoreLoad, RouterForward,
 	}
 }
 

@@ -158,6 +158,20 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.printf("%s %s\n", name, formatValue(v))
 }
 
+// GaugeVec emits a gauge family with one sample per label value.
+// Samples are emitted in sorted label-value order for stable output.
+func (p *PromWriter) GaugeVec(name, help, label string, samples map[string]float64) {
+	p.header(name, help, "gauge")
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.printf("%s%s %s\n", name, formatLabels([][2]string{{label, k}}), formatValue(samples[k]))
+	}
+}
+
 // Histogram emits a histogram family with cumulative buckets, sum, and
 // count, the shape Prometheus expects.
 func (p *PromWriter) Histogram(name, help string, h *Histogram) {

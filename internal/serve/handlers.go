@@ -57,6 +57,9 @@ type solveResponse struct {
 	Config   string `json:"config"`
 	Degraded bool   `json:"degraded"`
 	CacheHit bool   `json:"cache_hit"`
+	// DiskHit marks a cache hit that was served from the persistent
+	// store (fingerprint-verified) rather than resident memory.
+	DiskHit bool `json:"disk_hit,omitempty"`
 	// DurationNS is the solve time in nanoseconds (0 on cache hits).
 	DurationNS int64                    `json:"duration_ns"`
 	PointsTo   map[string]pointsToEntry `json:"points_to,omitempty"`
@@ -275,6 +278,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Config:     cfg.String(),
 		Degraded:   res.Degraded,
 		CacheHit:   res.CacheHit,
+		DiskHit:    res.DiskHit,
 		DurationNS: res.Duration.Nanoseconds(),
 		Escaped:    res.Result.ExternallyAccessible(),
 		Demand:     res.Demand,
@@ -403,6 +407,10 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// create/get acquire a reference that keeps the session out of the
+	// evictor's reach for the whole resolve: without it, LRU churn from
+	// concurrent session creation could free this lineage's checkpoint
+	// state mid-solve and pair the response with a dead handle.
 	var sess *session
 	if req.Handle == "" {
 		sess = s.sessions.create(s.eng, cfg)
@@ -414,10 +422,12 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if named && cfg.String() != sess.cfg.String() {
+			s.sessions.release(sess)
 			s.writeAnalyzeError(w, badRequestf("config %q differs from the session's %q; a lineage's configuration is fixed at creation", cfg, sess.cfg))
 			return
 		}
 	}
+	defer s.sessions.release(sess)
 
 	sess.mu.Lock()
 	solveStart := time.Now()
@@ -562,6 +572,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("pip_cache_capacity", "Configured cache bound (0 = unbounded).", float64(s.eng.CacheCap()))
 	p.Counter("pip_cache_hits_total", "Solves served from the solution cache.", float64(st.CacheHits))
 	p.Counter("pip_cache_evictions_total", "Cached solutions dropped by the LRU bound.", float64(st.CacheEvictions))
+
+	// Persistent solution store (the disk tier under the memory LRU).
+	p.Counter("pip_store_hits_total", "Solves served from the persistent store after a memory miss.", float64(st.DiskHits))
+	p.Counter("pip_store_flushed_total", "Solutions flushed to the persistent store (eviction write-behind plus drain).", float64(st.StoreFlushed))
+	p.Gauge("pip_store_entries", "Live entries in the persistent store (0 when no store is attached).", float64(st.StoreEntries))
+	p.Counter("pip_store_corrupt_total", "Store entries that failed CRC/decode/fingerprint verification and were treated as misses.", float64(st.StoreCorrupt))
 
 	// Incremental re-solve (/v1/resolve sessions) and demand-driven
 	// (?ptr=) queries.

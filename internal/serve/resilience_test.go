@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -114,9 +115,7 @@ func TestBreakerOpensAndReclosesOverHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("open breaker answered %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("open-breaker 503 missing Retry-After")
-	}
+	assertRetryAfterFloor(t, resp)
 	if s.breakerRejected.Load() == 0 {
 		t.Fatal("shed request not counted in breakerRejected")
 	}
@@ -175,9 +174,7 @@ func TestAdmissionFaultRejectsBeforeAdmission(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("admission fault answered %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("admission-fault 503 missing Retry-After")
-	}
+	assertRetryAfterFloor(t, resp)
 	// The request was refused before admission: nothing to drain, nothing
 	// accepted.
 	var m metricsResponse
@@ -296,6 +293,107 @@ func TestMetricsExposeResilience(t *testing.T) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
 		}
 	}
+}
+
+// TestRetryAfterSeconds pins the helper's contract: ceil to whole
+// seconds, floored at 1 — sub-second cooldowns must never truncate to 0.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{10 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+// assertRetryAfterFloor checks the shed-path contract: every 429/503
+// carries a Retry-After that is a whole number of seconds >= 1. A "0"
+// (sub-second delay truncated down) would instruct well-behaved clients
+// to hammer a server that is shedding load.
+func assertRetryAfterFloor(t *testing.T, resp *http.Response) {
+	t.Helper()
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		t.Fatalf("%d response missing Retry-After", resp.StatusCode)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", v)
+	}
+}
+
+// TestShedPathsRetryAfterAtLeastOne drives each shed path — open breaker
+// 503, queue-full 429, draining 503 — and asserts the floor directly. The
+// breaker's 10ms cooldown makes its remaining delay sub-second, the case
+// that integer-second truncation used to render as "0".
+func TestShedPathsRetryAfterAtLeastOne(t *testing.T) {
+	s := New(Options{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		Breaker:       BreakerOptions{Window: 4, MinSamples: 2, Threshold: 0.5, Cooldown: 10 * time.Millisecond, Probes: 1},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	post := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// Open breaker: trip by hand so the whole cooldown (10ms) remains.
+	s.breaker.mu.Lock()
+	s.breaker.trip()
+	s.breaker.mu.Unlock()
+	resp := post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker answered %d, want 503", resp.StatusCode)
+	}
+	assertRetryAfterFloor(t, resp)
+	// Wait out the cooldown and let one probe (a 4xx is not a breaker
+	// failure) re-close it, so the later paths are not shadowed by the
+	// breaker.
+	time.Sleep(20 * time.Millisecond)
+	post()
+
+	// Queue full: occupy every admission slot so the non-blocking take in
+	// admitted fails.
+	for i := 0; i < cap(s.queueSlots); i++ {
+		s.queueSlots <- struct{}{}
+	}
+	resp = post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	assertRetryAfterFloor(t, resp)
+	for i := 0; i < cap(s.queueSlots); i++ {
+		<-s.queueSlots
+	}
+
+	// Draining: a post-shutdown request is refused with a pointer at the
+	// successor.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp = post()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered %d, want 503", resp.StatusCode)
+	}
+	assertRetryAfterFloor(t, resp)
 }
 
 func mustJSON(t *testing.T, v any) string {

@@ -1,0 +1,488 @@
+package serve
+
+// The shard router is the horizontal-scaling front door: it owns no
+// engine of its own for normal traffic, but places every module on one
+// of N pipserve backends by consistent hash of the module's content and
+// configuration. Identical modules therefore always land on the same
+// backend, whose solution cache (and persistent store, PR 8) already
+// holds the answer — the cluster's caches shard instead of duplicating.
+//
+// The router inherits the paper's degradation discipline end to end:
+//
+//   - a per-backend circuit breaker stops hammering a dead shard;
+//   - a failed or shed forward (transport error, 5xx, 429, injected
+//     router.forward fault) reroutes to the next distinct backend on the
+//     ring, in ring order, so a killed shard's keyspace redistributes
+//     deterministically;
+//   - when every backend is down the router answers locally with the
+//     trivially sound Ω-degraded solution (pip.AnalyzeDegraded) rather
+//     than dropping the request — a sound over-approximation beats an
+//     error, exactly as inside the solver.
+//
+// Incremental lineages (/v1/resolve handles) are pinned: a handle's
+// session state lives on the backend that created it, so the router
+// remembers handle→backend and routes resubmissions there regardless of
+// the module hash. A lost backend loses its lineages — clients get 404
+// (or a local Ω answer if everything is down) and restart the lineage,
+// which is the same contract a single pipserve gives after an eviction.
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Backends are the pipserve base URLs to shard across, e.g.
+	// "http://127.0.0.1:7071". At least one is required.
+	Backends []string
+	// Replicas is the number of virtual nodes per backend on the hash
+	// ring; <= 0 means DefaultRouterReplicas. More replicas smooth the
+	// keyspace split at the cost of a larger ring.
+	Replicas int
+	// Breaker configures the per-backend circuit breaker (zero value:
+	// conservative defaults, like the Server's).
+	Breaker BreakerOptions
+	// Client performs the forwards; nil means a client with
+	// DefaultForwardTimeout.
+	Client *http.Client
+	// MaxBodyBytes bounds request bodies; <= 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// LogWriter receives structured request logs; nil disables logging.
+	LogWriter io.Writer
+}
+
+// Defaults for the zero RouterOptions value.
+const (
+	DefaultRouterReplicas = 64
+	DefaultForwardTimeout = 2 * time.Minute
+)
+
+// routerBackend is one shard: its base URL, its breaker, and counters.
+type routerBackend struct {
+	url       string
+	breaker   *breaker
+	forwarded atomic.Int64 // successful forwards
+	failures  atomic.Int64 // failed attempts (transport, 5xx, 429, fault)
+}
+
+// ringPoint is one virtual node: hash position → backend index.
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// Router is the sharding reverse proxy. Create with NewRouter, expose
+// via Handler.
+type Router struct {
+	opts     RouterOptions
+	log      *slog.Logger
+	mux      *http.ServeMux
+	client   *http.Client
+	backends []*routerBackend
+	ring     []ringPoint // sorted by hash
+
+	// handles pins resolve lineages to the backend holding their session
+	// state. Bounded by dropping arbitrary entries past routerMaxHandles:
+	// a dropped pin only costs the client a 404 + lineage restart.
+	mu      sync.Mutex
+	handles map[string]int
+
+	draining atomic.Bool
+
+	forwarded     atomic.Int64 // requests answered by a backend
+	rerouted      atomic.Int64 // failed attempts that moved to the next backend
+	degradedLocal atomic.Int64 // requests answered by the local Ω fallback
+	badRequests   atomic.Int64
+}
+
+// routerMaxHandles bounds the handle→backend pin table.
+const routerMaxHandles = 4096
+
+// NewRouter builds the shard router. It panics when no backends are
+// given — a router with nothing behind it is a configuration error, not
+// a runtime condition to degrade around.
+func NewRouter(opts RouterOptions) *Router {
+	if len(opts.Backends) == 0 {
+		panic("serve.NewRouter: no backends")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = DefaultRouterReplicas
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	rt := &Router{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		client:  opts.Client,
+		handles: make(map[string]int),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: DefaultForwardTimeout}
+	}
+	if opts.LogWriter != nil {
+		rt.log = slog.New(slog.NewJSONHandler(opts.LogWriter, nil))
+	} else {
+		rt.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
+	for i, u := range opts.Backends {
+		rt.backends = append(rt.backends, &routerBackend{url: u, breaker: newBreaker(opts.Breaker)})
+		for v := 0; v < opts.Replicas; v++ {
+			h := fnv.New64a()
+			io.WriteString(h, u)
+			h.Write([]byte{'#', byte(v), byte(v >> 8)})
+			rt.ring = append(rt.ring, ringPoint{hash: h.Sum64(), idx: i})
+		}
+	}
+	sort.Slice(rt.ring, func(a, b int) bool { return rt.ring[a].hash < rt.ring[b].hash })
+
+	rt.mux.HandleFunc("POST /v1/solve", withRequestID(rt.route))
+	rt.mux.HandleFunc("POST /v1/alias", withRequestID(rt.route))
+	rt.mux.HandleFunc("POST /v1/resolve", withRequestID(rt.route))
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Shutdown stops admitting new requests. Forwards already in flight run
+// to completion on their own goroutines (the HTTP server's), so callers
+// drain by closing the listener as usual.
+func (rt *Router) Shutdown() { rt.draining.Store(true) }
+
+// routeProbe is the subset of an analysis request the router needs: the
+// module content and configuration feed the hash, the handle pins
+// lineages. Unknown fields (queries, pairs, ...) pass through untouched.
+type routeProbe struct {
+	Name   string `json:"name"`
+	MIR    string `json:"mir"`
+	C      string `json:"c"`
+	Config string `json:"config"`
+	Budget string `json:"budget"`
+	Handle string `json:"handle"`
+}
+
+// routeKey hashes what determines the answer — module content and
+// configuration — so equal modules always map to the same shard and hit
+// its cache. The request name is deliberately excluded: renaming a file
+// must not move (and re-solve) its module.
+func routeKey(p *routeProbe, query string) uint64 {
+	h := fnv.New64a()
+	for _, s := range []string{p.MIR, "\x00", p.C, "\x00", p.Config, "\x00", query} {
+		io.WriteString(h, s)
+	}
+	return h.Sum64()
+}
+
+// candidates returns every backend index in ring order starting at the
+// key's position — the first entry is the owner, the rest the reroute
+// order when it fails. Deterministic: the same key always yields the
+// same sequence.
+func (rt *Router) candidates(key uint64) []int {
+	start := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= key })
+	out := make([]int, 0, len(rt.backends))
+	seen := make(map[int]bool, len(rt.backends))
+	for i := 0; i < len(rt.ring) && len(out) < len(rt.backends); i++ {
+		p := rt.ring[(start+i)%len(rt.ring)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// route is the forwarding pipeline shared by all three analysis
+// endpoints: probe the body, pick the candidate order, forward with
+// failover, fall back to the local Ω answer when every shard is down.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
+		writeRouterError(w, http.StatusServiceUnavailable, "router is shutting down")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		rt.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, "body: "+err.Error())
+		return
+	}
+	var probe routeProbe
+	if err := json.Unmarshal(body, &probe); err != nil {
+		rt.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+
+	// Candidate order: the handle's pinned backend first for lineages,
+	// then (or otherwise) consistent-hash ring order.
+	cands := rt.candidates(routeKey(&probe, r.URL.Query().Get("config")))
+	if probe.Handle != "" {
+		rt.mu.Lock()
+		pin, ok := rt.handles[probe.Handle]
+		rt.mu.Unlock()
+		if ok {
+			reordered := []int{pin}
+			for _, c := range cands {
+				if c != pin {
+					reordered = append(reordered, c)
+				}
+			}
+			cands = reordered
+		}
+	}
+
+	id := requestIDFrom(r.Context())
+	for attempt, idx := range cands {
+		b := rt.backends[idx]
+		if ok, _ := b.breaker.allow(); !ok {
+			continue // open breaker: this shard is known-dead, skip it
+		}
+		if attempt > 0 {
+			rt.rerouted.Add(1)
+		}
+		resp, err := rt.forward(r, b, body, id)
+		if err != nil {
+			b.failures.Add(1)
+			b.breaker.record(true)
+			rt.log.Info("forward failed", "backend", b.url, "err", err, "request_id", id)
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			// A shed (429/503) or failed (5xx) backend answer is this
+			// shard's problem, not the client's: record and fail over.
+			b.failures.Add(1)
+			b.breaker.record(true)
+			continue
+		}
+		b.breaker.record(false)
+		b.forwarded.Add(1)
+		rt.forwarded.Add(1)
+		if r.URL.Path == "/v1/resolve" && resp.StatusCode == http.StatusOK {
+			rt.pinHandle(respBody, idx)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		return
+	}
+
+	// Every shard is unreachable, shedding, or failing: answer locally
+	// with the sound Ω degradation rather than dropping the request.
+	rt.degradeLocally(w, r, body, &probe)
+}
+
+// forward performs one backend attempt, preserving the method, path,
+// query string, body, content type, and request ID. The injected
+// router.forward fault fails the attempt before any bytes move, exactly
+// like a refused connection.
+func (rt *Router) forward(r *http.Request, b *routerBackend, body []byte, id string) (*http.Response, error) {
+	if err := faults.Inject(faults.RouterForward); err != nil {
+		return nil, err
+	}
+	u := b.url + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("X-Request-Id", id)
+	return rt.client.Do(req)
+}
+
+// pinHandle records which backend owns a lineage, from a successful
+// resolve response.
+func (rt *Router) pinHandle(respBody []byte, idx int) {
+	var rr struct {
+		Handle string `json:"handle"`
+	}
+	if json.Unmarshal(respBody, &rr) != nil || rr.Handle == "" {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.handles) >= routerMaxHandles {
+		for h := range rt.handles { // drop an arbitrary pin; cost: one 404
+			delete(rt.handles, h)
+			break
+		}
+	}
+	rt.handles[rr.Handle] = idx
+}
+
+// degradeLocally answers the request with pip.AnalyzeDegraded: every
+// pointer points to external memory, everything escapes. Sound for any
+// program the backends would have analyzed, and infinitely better than
+// a drop — the client can distinguish it by the degraded flag and retry
+// for an exact answer later.
+func (rt *Router) degradeLocally(w http.ResponseWriter, r *http.Request, body []byte, probe *routeProbe) {
+	mreq := moduleRequest{Name: probe.Name, MIR: probe.MIR, C: probe.C}
+	m, err := parseModule(&mreq)
+	if err != nil {
+		rt.badRequests.Add(1)
+		writeRouterError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfgName := r.URL.Query().Get("config")
+	if cfgName == "" {
+		cfgName = probe.Config
+	}
+	cfg := pip.DefaultConfig()
+	if cfgName != "" {
+		c, err := pip.ParseConfig(cfgName)
+		if err != nil {
+			rt.badRequests.Add(1)
+			writeRouterError(w, http.StatusBadRequest, "config: "+err.Error())
+			return
+		}
+		cfg = c
+	}
+	res := pip.AnalyzeDegraded(m)
+	rt.degradedLocal.Add(1)
+	rt.log.Info("all backends down, served local degraded answer",
+		"path", r.URL.Path, "request_id", requestIDFrom(r.Context()))
+
+	switch r.URL.Path {
+	case "/v1/alias":
+		var req aliasRequest
+		if err := json.Unmarshal(body, &req); err != nil || len(req.Pairs) == 0 {
+			writeRouterError(w, http.StatusBadRequest, `"pairs" missing or empty`)
+			return
+		}
+		resp := aliasResponse{Name: probe.Name, Config: cfg.String(), Degraded: true,
+			Answers: make([]aliasAnswer, 0, len(req.Pairs))}
+		for _, pair := range req.Pairs {
+			ans := aliasAnswer{A: pair[0], B: pair[1]}
+			verdict, err := res.Alias(pair[0], pair[1], req.Size)
+			if err != nil {
+				ans.Error = err.Error()
+			} else {
+				ans.Result = verdict.String()
+			}
+			resp.Answers = append(resp.Answers, ans)
+		}
+		writeRouterJSON(w, http.StatusOK, resp)
+	case "/v1/resolve":
+		// No backend means no session state; answer soundly without a
+		// handle so the client restarts the lineage when shards return.
+		var req resolveRequest
+		_ = json.Unmarshal(body, &req)
+		resp := resolveResponse{Name: probe.Name, Config: cfg.String(), Degraded: true,
+			Escaped: res.ExternallyAccessible()}
+		fillPointsTo(&resp.PointsTo, &resp.Dump, res, req.Queries)
+		writeRouterJSON(w, http.StatusOK, resp)
+	default: // /v1/solve
+		var req solveRequest
+		_ = json.Unmarshal(body, &req)
+		resp := solveResponse{Name: probe.Name, Config: cfg.String(), Degraded: true,
+			Escaped: res.ExternallyAccessible()}
+		fillPointsTo(&resp.PointsTo, &resp.Dump, res, req.Queries)
+		writeRouterJSON(w, http.StatusOK, resp)
+	}
+}
+
+// fillPointsTo renders query answers (or the full dump) from a Result —
+// the shared tail of the solve/resolve response shapes.
+func fillPointsTo(pointsTo *map[string]pointsToEntry, dump *string, res *pip.Result, queries []string) {
+	if len(queries) == 0 {
+		*dump = res.Dump()
+		return
+	}
+	*pointsTo = make(map[string]pointsToEntry, len(queries))
+	for _, name := range queries {
+		targets, external, err := res.PointsTo(name)
+		if err != nil {
+			(*pointsTo)[name] = pointsToEntry{Error: err.Error()}
+			continue
+		}
+		if targets == nil {
+			targets = []string{}
+		}
+		(*pointsTo)[name] = pointsToEntry{Targets: targets, External: external}
+	}
+}
+
+// routerHealthz is the router's /healthz body.
+type routerHealthz struct {
+	Status   string `json:"status"` // "ok" | "draining"
+	Backends int    `json:"backends"`
+	// Open counts backends with an open breaker (known-dead shards).
+	Open int `json:"open"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := routerHealthz{Status: "ok", Backends: len(rt.backends)}
+	for _, b := range rt.backends {
+		if st, _ := b.breaker.snapshot(); st == breakerOpen {
+			resp.Open++
+		}
+	}
+	status := http.StatusOK
+	if rt.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeRouterJSON(w, status, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	p.Counter("pip_router_forwarded_total", "Requests answered by a backend shard.", float64(rt.forwarded.Load()))
+	p.Counter("pip_router_rerouted_total", "Failed-over forward attempts (dead, shedding, or faulted shards).", float64(rt.rerouted.Load()))
+	p.Counter("pip_router_degraded_local_total", "Requests answered by the local sound Ω fallback with every shard down.", float64(rt.degradedLocal.Load()))
+	p.Counter("pip_router_bad_requests_total", "Requests refused with a 4xx by the router itself.", float64(rt.badRequests.Load()))
+	fw := make(map[string]float64, len(rt.backends))
+	fl := make(map[string]float64, len(rt.backends))
+	open := make(map[string]float64, len(rt.backends))
+	for _, b := range rt.backends {
+		fw[b.url] = float64(b.forwarded.Load())
+		fl[b.url] = float64(b.failures.Load())
+		st, _ := b.breaker.snapshot()
+		open[b.url] = float64(st)
+	}
+	p.CounterVec("pip_router_backend_forwarded_total", "Successful forwards per backend.", "backend", fw)
+	p.CounterVec("pip_router_backend_failures_total", "Failed forward attempts per backend.", "backend", fl)
+	p.GaugeVec("pip_router_backend_state", "Per-backend breaker state: 0 closed, 1 open, 2 half-open.", "backend", open)
+	rt.mu.Lock()
+	pins := len(rt.handles)
+	rt.mu.Unlock()
+	p.Gauge("pip_router_handle_pins", "Resolve lineages pinned to their owning backend.", float64(pins))
+	if err := p.Err(); err != nil {
+		rt.log.Error("write metrics", "err", err)
+	}
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeRouterError(w http.ResponseWriter, status int, msg string) {
+	writeRouterJSON(w, status, errorResponse{Error: msg})
+}

@@ -281,8 +281,9 @@ type requestIDKey struct{}
 // service slots into a tracing mesh) or generates one, echoes it on the
 // response, and stores it in the request context for logging and trace
 // attachment. Caller-supplied IDs are dropped when unprintable or
-// oversized — they end up in logs and trace files verbatim.
-func (s *Server) requestID(h http.HandlerFunc) http.HandlerFunc {
+// oversized — they end up in logs and trace files verbatim. Shared with
+// the shard router, which threads the same ID to every backend attempt.
+func withRequestID(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
 		if id == "" || len(id) > 128 || strings.ContainsFunc(id, func(c rune) bool {
@@ -294,6 +295,10 @@ func (s *Server) requestID(h http.HandlerFunc) http.HandlerFunc {
 		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
 		h(w, r.WithContext(ctx))
 	}
+}
+
+func (s *Server) requestID(h http.HandlerFunc) http.HandlerFunc {
+	return withRequestID(h)
 }
 
 // requestIDFrom returns the request's ID, or "" outside the middleware.
@@ -325,11 +330,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Graceful drain: flush every resident cached solution to the
+		// persistent store (when one is attached) so the next process
+		// start over the same directory is warm. Failure costs only
+		// warmth, never correctness — log it and drain clean anyway.
+		if err := s.eng.SyncStore(); err != nil {
+			s.log.Error("store flush on drain", "err", err)
+		}
 		return nil
 	case <-ctx.Done():
+		// Timed-out drain: still flush what we can, best effort.
+		if err := s.eng.SyncStore(); err != nil {
+			s.log.Error("store flush on timed-out drain", "err", err)
+		}
 		return ctx.Err()
 	}
 }
+
+// OpenStore attaches a persistent solution store rooted at dir to the
+// server's engine (see pip.Engine.OpenStore): restarts over the same
+// directory answer their previous working set from verified disk hits
+// instead of re-solving. Call before serving traffic.
+func (s *Server) OpenStore(dir string) error { return s.eng.OpenStore(dir) }
+
+// CloseStore flushes and closes the persistent store, if one is attached.
+// Call after Shutdown has drained.
+func (s *Server) CloseStore() error { return s.eng.CloseStore() }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -387,6 +413,20 @@ func markDegraded(w http.ResponseWriter) {
 	}
 }
 
+// retryAfterSeconds renders a shed delay as a Retry-After value: whole
+// seconds, rounded UP, floored at 1. Rounding down would tell well-behaved
+// clients to retry after "0" seconds whenever the remaining cooldown is
+// sub-second — an instruction to hammer a server that is shedding load.
+// Every shed path (breaker 503, admission 429/503, drain 503) goes
+// through this helper so none of them can regress to a zero.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // breakered wraps an analysis handler with the circuit breaker: shed
 // immediately with 503 + Retry-After while the breaker is open, feed
 // every completed request's outcome back into its window. Shed requests
@@ -396,11 +436,7 @@ func (s *Server) breakered(h http.HandlerFunc) http.HandlerFunc {
 		ok, retryAfter := s.breaker.allow()
 		if !ok {
 			s.breakerRejected.Add(1)
-			secs := int(retryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 			s.writeError(w, http.StatusServiceUnavailable, "circuit breaker open: server is shedding load")
 			return
 		}
@@ -439,13 +475,16 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		// admitted (no slot taken, not counted in the drain), exactly like
 		// a transient front-door failure. Panics propagate to recovered.
 		if err := faults.Inject(faults.ServeAdmission); err != nil {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
 			s.writeError(w, http.StatusServiceUnavailable, "admission failed, retry")
 			return
 		}
 		s.admitMu.Lock()
 		if s.draining.Load() {
 			s.admitMu.Unlock()
+			// A draining server is gone in moments; point clients at its
+			// successor (or restart) after a beat rather than immediately.
+			w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
 			s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
 		}
@@ -454,7 +493,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.admitMu.Unlock()
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSeconds(time.Second))
 			s.writeError(w, http.StatusTooManyRequests, "server overloaded: request queue full")
 			return
 		}

@@ -22,13 +22,22 @@ type session struct {
 	// pair the stats with the generation it created).
 	mu       sync.Mutex
 	lastUsed time.Time
+	// refs counts in-flight resolves holding this session (guarded by the
+	// store's mutex, not mu). The evictor skips sessions with refs > 0: an
+	// evicted-while-busy session would have its checkpoint state freed
+	// under the resolver and its response would pair stats with a lineage
+	// that no longer exists.
+	refs int
 }
 
 // sessionStore is a bounded LRU map of live sessions. A long-running
 // server holds propagation state (checkpoints) per session — memory that
 // must stay bounded under an unbounded stream of clients, exactly like
-// the solution cache. Beyond the cap the least recently used lineage is
-// dropped; its client's next resolve falls back to a fresh generation 0.
+// the solution cache. Beyond the cap the least recently used idle lineage
+// is dropped; its client's next resolve falls back to a fresh generation
+// 0. Busy sessions (an in-flight resolve holds a reference) are never
+// evicted, so the store can transiently exceed its cap by the number of
+// concurrent resolves — bounded in turn by the server's admission cap.
 type sessionStore struct {
 	mu        sync.Mutex
 	cap       int
@@ -37,17 +46,25 @@ type sessionStore struct {
 }
 
 func newSessionStore(cap int) *sessionStore {
+	// Clamp: a non-positive cap would otherwise make the eviction loop in
+	// create spin forever looking for a victim in an empty map. One
+	// resident session is the smallest store that can still serve.
+	if cap < 1 {
+		cap = 1
+	}
 	return &sessionStore{cap: cap, entries: make(map[string]*session)}
 }
 
 // create registers a new lineage under a fresh handle, evicting the least
-// recently used session when the store is full.
+// recently used idle session when the store is full. The returned session
+// is acquired (refs held); the caller must release it.
 func (st *sessionStore) create(eng *pip.Engine, cfg pip.Config) *session {
 	s := &session{
 		id:       obs.NewID(),
 		cfg:      cfg,
 		sess:     eng.NewSession(cfg),
 		lastUsed: time.Now(),
+		refs:     1,
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -55,9 +72,17 @@ func (st *sessionStore) create(eng *pip.Engine, cfg pip.Config) *session {
 		oldest := ""
 		var oldestAt time.Time
 		for id, e := range st.entries {
+			if e.refs > 0 {
+				continue // busy: an in-flight resolve owns it
+			}
 			if oldest == "" || e.lastUsed.Before(oldestAt) {
 				oldest, oldestAt = id, e.lastUsed
 			}
+		}
+		if oldest == "" {
+			// Every resident session is busy; overflow transiently rather
+			// than evict state out from under a live resolve.
+			break
 		}
 		delete(st.entries, oldest)
 		st.evictions++
@@ -66,15 +91,25 @@ func (st *sessionStore) create(eng *pip.Engine, cfg pip.Config) *session {
 	return s
 }
 
-// get returns the session for a handle, refreshing its LRU position.
+// get returns the session for a handle, refreshing its LRU position and
+// acquiring a reference; the caller must release it.
 func (st *sessionStore) get(id string) (*session, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s, ok := st.entries[id]
 	if ok {
 		s.lastUsed = time.Now()
+		s.refs++
 	}
 	return s, ok
+}
+
+// release drops a reference acquired by create or get, making the session
+// evictable again once no resolve holds it.
+func (st *sessionStore) release(s *session) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.refs--
 }
 
 // stats reports resident sessions and lifetime evictions.

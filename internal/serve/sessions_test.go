@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pip-analysis/pip"
+)
+
+// TestSessionStoreCapClamped is the regression test for the cap<=0 spin:
+// create's eviction loop used to hunt forever for a victim in an empty
+// map when the cap was zero or negative. The store must clamp to one
+// resident session and keep serving.
+func TestSessionStoreCapClamped(t *testing.T) {
+	eng := pip.NewEngine(pip.BatchOptions{})
+	for _, cap := range []int{0, -3} {
+		st := newSessionStore(cap)
+		done := make(chan *session, 1)
+		go func() { done <- st.create(eng, pip.DefaultConfig()) }()
+		select {
+		case s := <-done:
+			st.release(s)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("create(cap=%d) hung: eviction loop spinning on an empty store", cap)
+		}
+		// The clamped store behaves like cap=1: each new idle session
+		// evicts the previous one.
+		s2 := st.create(eng, pip.DefaultConfig())
+		st.release(s2)
+		if resident, evictions := st.stats(); resident != 1 || evictions != 1 {
+			t.Fatalf("cap=%d: resident=%d evictions=%d, want 1/1", cap, resident, evictions)
+		}
+	}
+}
+
+// TestBusySessionNotEvicted: a session with an in-flight resolve (refs
+// held) must survive arbitrary churn; evicting it would free checkpoint
+// state out from under the resolver. Idle again, it is evictable.
+func TestBusySessionNotEvicted(t *testing.T) {
+	eng := pip.NewEngine(pip.BatchOptions{})
+	cfg := pip.DefaultConfig()
+	st := newSessionStore(1)
+
+	busy := st.create(eng, cfg) // ref held: simulates an in-flight resolve
+
+	// Churn past the cap. The only resident session is busy, so the store
+	// overflows transiently instead of evicting it.
+	others := make([]*session, 3)
+	for i := range others {
+		others[i] = st.create(eng, cfg)
+	}
+	if _, ok := st.get(busy.id); !ok {
+		t.Fatal("busy session evicted by churn")
+	}
+	st.release(busy) // drop the get ref
+
+	// Release everything; the next create now finds idle victims and
+	// shrinks the store back under its cap, taking the busy-no-more
+	// session with it.
+	st.release(busy)
+	for _, s := range others {
+		st.release(s)
+	}
+	last := st.create(eng, cfg)
+	st.release(last)
+	if resident, _ := st.stats(); resident != 1 {
+		t.Fatalf("store did not shrink to cap once idle: resident=%d", resident)
+	}
+	if _, ok := st.get(busy.id); ok {
+		t.Fatal("idle session survived eviction pressure meant for it")
+	}
+}
+
+// TestSessionStoreConcurrentChurn holds a reference across concurrent
+// create/release churn and asserts the held session stays resident the
+// whole time. Run under -race this also proves the refcount and LRU
+// bookkeeping are properly serialized.
+func TestSessionStoreConcurrentChurn(t *testing.T) {
+	eng := pip.NewEngine(pip.BatchOptions{})
+	cfg := pip.DefaultConfig()
+	st := newSessionStore(2)
+
+	hot := st.create(eng, cfg) // ref held for the whole test
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := st.create(eng, cfg)
+				st.release(s)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s, ok := st.get(hot.id)
+		if !ok {
+			t.Error("session with a held reference was evicted")
+			break
+		}
+		st.release(s)
+	}
+	close(stop)
+	wg.Wait()
+	st.release(hot)
+}
+
+// TestResolveConcurrentChurn drives /v1/resolve from many clients over a
+// tiny session store under -race: lineage resubmissions race with
+// evictions. Every response must be definitive — 200 (resolved) or 404
+// (handle evicted between requests) — never a 5xx from state freed under
+// a live resolve.
+func TestResolveConcurrentChurn(t *testing.T) {
+	s := New(Options{MaxSessions: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				var r0 resolveResponse
+				code := postJSON(t, ts, "/v1/resolve", resolveRequest{
+					moduleRequest: moduleRequest{Name: "t.c", C: solveSrc},
+				}, &r0)
+				if code != 200 {
+					errs <- "create returned non-200"
+					return
+				}
+				// Resubmit the lineage twice while the other workers churn
+				// the 2-slot store underneath it.
+				for j := 0; j < 2; j++ {
+					code = postJSON(t, ts, "/v1/resolve", resolveRequest{
+						moduleRequest: moduleRequest{Name: "t.c", C: resolveSrcEdit},
+						Handle:        r0.Handle,
+					}, nil)
+					if code != 200 && code != 404 {
+						errs <- "resubmit returned a non-definitive code"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// All references released: the store is back at (or under) cap.
+	if resident, _ := s.sessions.stats(); resident > 2 {
+		t.Fatalf("store above cap after churn settled: resident=%d", resident)
+	}
+}

@@ -1,0 +1,355 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/pip-analysis/pip/internal/core"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/ir"
+)
+
+const storeSrc = `
+module "st"
+global @g : ptr = zero:ptr internal
+global @buf : [8 x i8] = zero:[8 x i8] internal
+declare func @ext(ptr) -> ptr
+
+func @main() -> ptr internal {
+entry:
+  %p = alloca ptr
+  store @buf, %p
+  %l = load ptr, %p
+  %r = call ptr, @ext(%l)
+  ret %r
+}
+`
+
+func solveOne(t *testing.T, cfgStr string) (*core.Problem, *core.Solution) {
+	t.Helper()
+	m, err := ir.Parse(storeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.Generate(m)
+	return g.Problem, core.MustSolve(g.Problem, core.MustParseConfig(cfgStr))
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	s := mustOpen(t, dir)
+	if err := s.Save("k1", sol); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load("k1", p)
+	if !ok {
+		t.Fatal("verified load missed")
+	}
+	if got.Fingerprint() != sol.Fingerprint() {
+		t.Fatal("fingerprint changed through the store")
+	}
+	if _, ok := s.Load("absent", p); ok {
+		t.Fatal("absent key hit")
+	}
+	st := s.Stats()
+	if st.Saves != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenIsWarm(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	_, sol2 := solveOne(t, "EP+OVS+WL(LRF)+OCD")
+	s := mustOpen(t, dir)
+	if err := s.Save("a", sol); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("b", sol2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2", s2.Len())
+	}
+	for key, want := range map[string]*core.Solution{"a": sol, "b": sol2} {
+		got, ok := s2.Load(key, p)
+		if !ok {
+			t.Fatalf("key %q missed after reopen", key)
+		}
+		if core.FingerprintHash(got) != core.FingerprintHash(want) {
+			t.Fatalf("key %q: fingerprint hash changed across restart", key)
+		}
+	}
+}
+
+// TestOnDiskCorruptionIsAMiss flips one byte inside the first record's
+// payload directly in the log file: after reopen that entry must be a
+// counted miss while the untouched entry stays a verified hit.
+func TestOnDiskCorruptionIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	_, sol2 := solveOne(t, "EP+OVS+WL(LRF)+OCD")
+	s := mustOpen(t, dir)
+	if err := s.Save("clean", sol2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("dirty", sol); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.RLock()
+	dirtyOff := s.index["dirty"].off
+	dirtyLen := s.index["dirty"].len
+	s.mu.RUnlock()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[dirtyOff+dirtyLen-8] ^= 0x01 // inside the payload, ahead of the CRC
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if _, ok := s2.Load("dirty", p); ok {
+		t.Fatal("corrupted entry was served")
+	}
+	if got, ok := s2.Load("clean", p); !ok {
+		t.Fatal("clean entry missed")
+	} else if core.FingerprintHash(got) != core.FingerprintHash(sol2) {
+		t.Fatal("clean entry fingerprint drifted")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt + 1 hit", st)
+	}
+}
+
+// TestLoadFaultPoint arms the store.load point: an injected error is a
+// miss; an injected flip corrupts the read copy (caught by CRC) and the
+// next, un-flipped load of the same key is served verified.
+func TestLoadFaultPoint(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	s := mustOpen(t, dir)
+	if err := s.Save("k", sol); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := faults.ParseSpec("seed=7;store.load=error:@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	defer faults.Disarm()
+	if _, ok := s.Load("k", p); ok {
+		t.Fatal("load with injected error was served")
+	}
+	if _, ok := s.Load("k", p); !ok {
+		t.Fatal("load after the injected error missed")
+	}
+
+	reg, err = faults.ParseSpec("seed=7;store.load=flip:@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	if _, ok := s.Load("k", p); ok {
+		t.Fatal("flipped load was served")
+	}
+	if _, ok := s.Load("k", p); !ok {
+		t.Fatal("load after the flip missed — corruption must not persist")
+	}
+	if st := s.Stats(); st.Corrupt != 2 {
+		t.Fatalf("stats = %+v, want 2 corrupt (1 error + 1 flip)", st)
+	}
+}
+
+func TestSaveFaultPoint(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	s := mustOpen(t, dir)
+	reg, err := faults.ParseSpec("seed=7;store.save=error:@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	defer faults.Disarm()
+	if err := s.Save("k", sol); !faults.IsFault(err) {
+		t.Fatalf("Save with injected fault returned %v", err)
+	}
+	if s.Contains("k") {
+		t.Fatal("failed save left a live index entry")
+	}
+	if err := s.Save("k", sol); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("k", p); !ok {
+		t.Fatal("retried save did not round-trip")
+	}
+}
+
+// TestTornTailTruncated crashes mid-append by chopping bytes off the log;
+// reopen must keep every intact record and drop the fragment.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	_, sol2 := solveOne(t, "EP+OVS+WL(LRF)+OCD")
+	s := mustOpen(t, dir)
+	if err := s.Save("keep", sol); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("torn", sol2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, logName)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want the 1 intact one", s2.Len())
+	}
+	if _, ok := s2.Load("keep", p); !ok {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	// The truncated tail must not block new appends from round-tripping.
+	if err := s2.Save("torn", sol2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Load("torn", p); !ok || core.FingerprintHash(got) != core.FingerprintHash(sol2) {
+		t.Fatal("re-append over a torn tail did not round-trip")
+	}
+}
+
+func TestSupersedeAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	_, sol2 := solveOne(t, "EP+OVS+WL(LRF)+OCD")
+	s := mustOpen(t, dir)
+	if err := s.Save("k", sol); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("k", sol2); err != nil { // supersedes
+		t.Fatal(err)
+	}
+	if err := s.Save("k", sol2); err != nil { // identical: skipped
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Saves != 2 || st.Skipped != 1 {
+		t.Fatalf("stats = %+v, want 2 saves + 1 skip", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", s.Len())
+	}
+	before, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink the log (%d -> %d)", before.Size(), after.Size())
+	}
+	if got, ok := s.Load("k", p); !ok || got.Fingerprint() != sol2.Fingerprint() {
+		t.Fatal("latest version lost by compaction")
+	}
+	// And the compacted log must survive a reopen.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if got, ok := s2.Load("k", p); !ok || got.Fingerprint() != sol2.Fingerprint() {
+		t.Fatal("compacted log did not reopen warm")
+	}
+}
+
+// TestAutoCompactOnOpen: a log that is mostly superseded records is
+// compacted during Open.
+func TestAutoCompactOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	p, sol := solveOne(t, "IP+WL(FIFO)+PIP")
+	_, sol2 := solveOne(t, "EP+OVS+WL(LRF)+OCD")
+	s := mustOpen(t, dir)
+	// Alternate so every save supersedes (identical saves are skipped).
+	for i := 0; i < 6; i++ {
+		v := sol
+		if i%2 == 1 {
+			v = sol2
+		}
+		if err := s.Save("k", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	after, err := os.Stat(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("open did not auto-compact a mostly-dead log (%d -> %d)", before.Size(), after.Size())
+	}
+	if got, ok := s2.Load("k", p); !ok || got.Fingerprint() != sol2.Fingerprint() {
+		t.Fatal("auto-compacted log lost the live version")
+	}
+}
+
+func TestDegradedNeverPersisted(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := solveOne(t, "IP+WL(FIFO)+PIP")
+	s := mustOpen(t, dir)
+	if err := s.Save("d", core.DegradedSolution(p)); err == nil {
+		t.Fatal("Save accepted a degraded solution")
+	}
+	if s.Len() != 0 {
+		t.Fatal("degraded solution reached the log")
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("not a pip log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a foreign file as the log")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/pip-analysis/pip/internal/modref"
 	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/opt"
+	"github.com/pip-analysis/pip/internal/store"
 )
 
 // Config selects a solver configuration (paper Table IV). Use
@@ -243,6 +244,10 @@ type BatchResult struct {
 	// Demand reports how much of the problem a demand-driven analysis
 	// explored; nil for exhaustive analyses.
 	Demand *DemandStats
+	// DiskHit reports that the solution was loaded, fingerprint-verified,
+	// from the engine's persistent store rather than solved — the
+	// warm-restart path. Disk hits are also CacheHits.
+	DiskHit bool
 }
 
 // IncrementalStats reports which path an incremental re-analysis took
@@ -326,6 +331,52 @@ func (e *Engine) CacheCap() int { return e.eng.CacheCap() }
 // Publish exports the engine's live stats under the given expvar name.
 func (e *Engine) Publish(name string) { e.eng.Publish(name) }
 
+// OpenStore attaches a persistent on-disk solution store rooted at dir as
+// the cache's second tier: memory hit → verified disk hit → solve. Cached
+// solutions are flushed to it lazily on LRU eviction and in bulk by
+// SyncStore, so a process restarted over the same directory answers its
+// previous working set without re-solving. Every load is CRC- and
+// fingerprint-verified; corrupt or stale entries are misses, never served.
+func (e *Engine) OpenStore(dir string) error {
+	ds, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	e.eng.SetStore(ds)
+	return nil
+}
+
+// SyncStore flushes every resident non-degraded cached solution to the
+// persistent store and syncs it to stable storage. Servers call this on
+// graceful drain. No-op when no store is attached.
+func (e *Engine) SyncStore() error { return e.eng.SyncStore() }
+
+// CloseStore detaches and closes the persistent store (flushing the cache
+// to it first). No-op when no store is attached.
+func (e *Engine) CloseStore() error {
+	ds := e.eng.DiskStore()
+	if ds == nil {
+		return nil
+	}
+	err := e.eng.SyncStore()
+	e.eng.SetStore(nil)
+	if cerr := ds.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// AnalyzeDegraded returns the trivially sound Ω-degraded analysis of m
+// without solving: every pointer-compatible variable points to external
+// memory and everything escapes. It is the answer of last resort — the
+// shard router serves it when every backend and the local solve path are
+// unavailable, because a sound over-approximation is always preferable to
+// a drop or an error.
+func AnalyzeDegraded(m *Module) *Result {
+	gen := core.Generate(m)
+	return &Result{Module: m, gen: gen, sol: core.DegradedSolution(gen.Problem)}
+}
+
 func toBatchResult(m *Module, r engine.Result) BatchResult {
 	if r.Err != nil {
 		return BatchResult{Err: r.Err}
@@ -345,6 +396,7 @@ func toBatchResult(m *Module, r engine.Result) BatchResult {
 		Duration:    r.Duration,
 		Incremental: r.Incremental,
 		Demand:      r.DemandStats,
+		DiskHit:     r.DiskHit,
 	}
 }
 
