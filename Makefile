@@ -33,13 +33,16 @@ bench-snapshot:
 
 # End-to-end check of the analysis service: ephemeral port, one real
 # HTTP solve + healthz + a validated Prometheus /metrics scrape +
-# legacy JSON metrics, graceful drain.
+# legacy JSON metrics + a traced request round-tripped through
+# /debug/trace?id= and /debug/flightrec, graceful drain.
 serve-smoke:
 	$(GO) run ./cmd/pipserve -smoke
 
 # Same, for router mode: an in-process solving backend is spun up and
-# one solve is pushed through the full consistent-hash forward path,
-# then the router's /metrics exposition is validated.
+# one traced solve is pushed through the full consistent-hash forward
+# path, then the router's /metrics exposition and the merged cluster
+# trace from /debug/trace?id= (router + backend spans under one
+# X-Trace-Id) are validated.
 router-smoke:
 	$(GO) run ./cmd/pipserve -router -smoke
 
@@ -63,7 +66,10 @@ chaos:
 # The PR-8 slice of the suite under its own pinned seed (override with
 # PIP_CHAOS_SEED3): kill a live shard behind the router mid-load with
 # injected forward faults, and hammer the persistent store with save
-# errors and load bit-flips across restarts.
+# errors and load bit-flips across restarts. The kill-shard run asserts
+# the flight recorder dumps a breaker.open naming the killed backend;
+# set PIP_CHAOS_DUMPDIR to keep the dump files (CI uploads them as
+# artifacts on failure).
 router-chaos:
 	$(GO) test -race -v -run 'TestChaosRouterKillShard|TestChaosStoreFaults' ./internal/chaos/
 

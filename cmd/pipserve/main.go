@@ -17,6 +17,10 @@
 //	GET  /healthz    liveness; 503 while draining
 //	GET  /metrics    Prometheus text exposition (?format=json for the
 //	                 legacy JSON body; router mode serves its own families)
+//	GET  /debug/trace?id=ID  a trace's spans as Chrome trace_event JSON;
+//	                 in -router mode, merged across the router and every
+//	                 backend that saw the trace ID
+//	GET  /debug/flightrec    recent anomaly dumps from the flight recorder
 //	GET  /debug/pprof/*  Go profiling, only with -pprof
 //
 // -store DIR attaches a persistent solution store: solutions are flushed
@@ -89,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"expose Go profiling under /debug/pprof/ (off by default: profiles leak internals, keep the port private)")
 	tracePath := fs.String("trace", "",
 		"write a Chrome trace_event JSON file of per-request solve spans on shutdown (open in Perfetto or chrome://tracing)")
+	traceCheckpoint := fs.Duration("trace-checkpoint", 30*time.Second,
+		"with -trace, also checkpoint the trace file this often (and on every flight-recorder dump) so an unclean exit keeps the tail; 0 writes only on clean shutdown")
+	flightDir := fs.String("flightrec", "",
+		"directory for flight-recorder anomaly dump files (dumps stay in memory at /debug/flightrec either way)")
+	checkTrace := fs.String("check-trace", "",
+		"validate FILE as Chrome trace_event JSON (as written by -trace or /debug/trace) and exit")
 	smoke := fs.Bool("smoke", false,
 		"self-test: listen on an ephemeral port, run one end-to-end request, drain, exit")
 	retries := fs.Int("retries", 2,
@@ -122,6 +132,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-store is a solving-server flag; the router holds no solutions")
 	}
 
+	if *checkTrace != "" {
+		data, err := os.ReadFile(*checkTrace)
+		if err != nil {
+			return err
+		}
+		if err := obs.CheckChrome(data); err != nil {
+			return fmt.Errorf("check-trace %s: %w", *checkTrace, err)
+		}
+		fmt.Fprintf(stdout, "trace ok: %s\n", *checkTrace)
+		return nil
+	}
+
 	if *chaosSpec != "" {
 		disarm, err := pip.ArmChaos(*chaosSpec)
 		if err != nil {
@@ -131,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *routerMode {
-		return runRouter(*addr, *backendList, *drainTimeout, *smoke, *quiet, stdout, stderr)
+		return runRouter(*addr, *backendList, *flightDir, *drainTimeout, *smoke, *quiet, stdout, stderr)
 	}
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -159,10 +181,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opts.TightBudget = b
 	}
+	opts.FlightDir = *flightDir
 	var tr *pip.Trace
+	var checkpoint func()
 	if *tracePath != "" {
 		tr = pip.NewTrace("pipserve", 1<<16)
 		opts.Trace = tr
+		// Checkpoint writes are atomic (temp file + rename), so a reader
+		// or a crash mid-write never sees a torn trace. Wiring the same
+		// checkpoint into OnFlightDump means an anomaly snapshots the
+		// trace tail to disk even if the process dies moments later.
+		path := *tracePath
+		checkpoint = func() {
+			if err := tr.WriteChromeFile(path); err != nil {
+				fmt.Fprintln(stderr, "pipserve: trace checkpoint:", err)
+			}
+		}
+		opts.OnFlightDump = func(string) { checkpoint() }
 	}
 	if *budgetStr != "" {
 		b, err := pip.ParseBudget(*budgetStr)
@@ -196,6 +231,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stdout, "pipserve listening on %s (config %s)\n", ln.Addr(), cfg)
+
+	if checkpoint != nil && *traceCheckpoint > 0 {
+		tick := time.NewTicker(*traceCheckpoint)
+		done := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					checkpoint()
+				case <-done:
+					return
+				}
+			}
+		}()
+		defer func() { tick.Stop(); close(done) }()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -248,7 +299,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // static backend list. In -smoke mode with no -backends it starts one
 // in-process solving backend on an ephemeral port, so the smoke check
 // exercises real forwarding end to end.
-func runRouter(addr, backendList string, drainTimeout time.Duration, smoke, quiet bool, stdout, stderr io.Writer) error {
+func runRouter(addr, backendList, flightDir string, drainTimeout time.Duration, smoke, quiet bool, stdout, stderr io.Writer) error {
 	var backends []string
 	for _, b := range strings.Split(backendList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
@@ -279,7 +330,7 @@ func runRouter(addr, backendList string, drainTimeout time.Duration, smoke, quie
 		}
 	}
 
-	ropts := serve.RouterOptions{Backends: backends}
+	ropts := serve.RouterOptions{Backends: backends, FlightDir: flightDir}
 	if !quiet {
 		ropts.LogWriter = stderr
 	}
@@ -335,8 +386,9 @@ func runRouter(addr, backendList string, drainTimeout time.Duration, smoke, quie
 }
 
 // routerSmokeCheck exercises the router end to end: one forwarded solve
-// (exact, through the backend), /healthz, and the router's Prometheus
-// exposition.
+// (exact, through the backend) under a caller-chosen trace ID, the
+// cluster-wide merged trace for that ID, /healthz, and the router's
+// Prometheus exposition.
 func routerSmokeCheck(base string) error {
 	body, err := json.Marshal(map[string]any{
 		"name":    "smoke.c",
@@ -346,7 +398,14 @@ func routerSmokeCheck(base string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	const traceID = "smoke-router-trace"
+	req, err := http.NewRequest("POST", base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -354,6 +413,9 @@ func routerSmokeCheck(base string) error {
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("solve: status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		return fmt.Errorf("solve: trace ID not echoed (got %q)", got)
 	}
 	var solved struct {
 		Degraded bool `json:"degraded"`
@@ -370,7 +432,39 @@ func routerSmokeCheck(base string) error {
 		return fmt.Errorf("solve through router: unexpected answer %+v", solved)
 	}
 
-	r, err := http.Get(base + "/healthz")
+	// The merged cluster trace must validate and carry spans from both
+	// processes: the router's forward and the backend's solve.
+	r, err := http.Get(base + "/debug/trace?id=" + traceID)
+	if err != nil {
+		return err
+	}
+	traceBody, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/trace: status %d: %s", r.StatusCode, traceBody)
+	}
+	if err := obs.CheckChrome(traceBody); err != nil {
+		return fmt.Errorf("/debug/trace: invalid merged trace: %w", err)
+	}
+	for _, proc := range []string{`"router"`, `"backend-0"`} {
+		if !bytes.Contains(traceBody, []byte(proc)) {
+			return fmt.Errorf("/debug/trace: merged trace missing process %s", proc)
+		}
+	}
+
+	r, err = http.Get(base + "/debug/flightrec")
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flightrec: status %d", r.StatusCode)
+	}
+
+	r, err = http.Get(base + "/healthz")
 	if err != nil {
 		return err
 	}
@@ -416,6 +510,7 @@ func smokeCheck(base string) error {
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-Id", "smoke-1")
+	req.Header.Set("X-Trace-Id", "smoke-trace-1")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
@@ -427,6 +522,9 @@ func smokeCheck(base string) error {
 	}
 	if got := resp.Header.Get("X-Request-Id"); got != "smoke-1" {
 		return fmt.Errorf("solve: request ID not echoed (got %q)", got)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "smoke-trace-1" {
+		return fmt.Errorf("solve: trace ID not echoed (got %q)", got)
 	}
 	var solved struct {
 		Degraded bool `json:"degraded"`
@@ -443,7 +541,33 @@ func smokeCheck(base string) error {
 		return fmt.Errorf("solve: unexpected answer %+v", solved)
 	}
 
-	r, err := http.Get(base + "/healthz")
+	// The request's trace must be queryable back out as valid Chrome
+	// trace_event JSON, and the flight recorder endpoint must answer.
+	r, err := http.Get(base + "/debug/trace?id=smoke-trace-1")
+	if err != nil {
+		return err
+	}
+	traceBody, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/trace: status %d: %s", r.StatusCode, traceBody)
+	}
+	if err := obs.CheckChrome(traceBody); err != nil {
+		return fmt.Errorf("/debug/trace: invalid trace: %w", err)
+	}
+	r, err = http.Get(base + "/debug/flightrec")
+	if err != nil {
+		return err
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flightrec: status %d", r.StatusCode)
+	}
+
+	r, err = http.Get(base + "/healthz")
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"github.com/pip-analysis/pip/internal/core"
 	"github.com/pip-analysis/pip/internal/engine"
 	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
 	"github.com/pip-analysis/pip/internal/serve"
 	"github.com/pip-analysis/pip/internal/store"
 	"github.com/pip-analysis/pip/internal/workload"
@@ -84,9 +85,16 @@ void f%d() { take(&p%d); }
 		urls[i] = backends[i].URL
 		defer backends[i].Close()
 	}
+	// Flight-recorder dumps land where CI can collect them on failure
+	// (PIP_CHAOS_DUMPDIR), or in a throwaway dir otherwise.
+	dumpDir := os.Getenv("PIP_CHAOS_DUMPDIR")
+	if dumpDir == "" {
+		dumpDir = t.TempDir()
+	}
 	rt := serve.NewRouter(serve.RouterOptions{
-		Backends: urls,
-		Breaker:  serve.BreakerOptions{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: 50 * time.Millisecond, Probes: 2},
+		Backends:  urls,
+		Breaker:   serve.BreakerOptions{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: 50 * time.Millisecond, Probes: 2},
+		FlightDir: dumpDir,
 	})
 	ts := httptest.NewServer(rt.Handler())
 	defer ts.Close()
@@ -194,6 +202,43 @@ void f%d() { take(&p%d); }
 		if !out.Degraded && out.Dump != exact[si] {
 			t.Fatalf("post-kill src %d: unsound answer", si)
 		}
+	}
+
+	// The flight recorder must have caught the anomaly: killing the shard
+	// drove its breaker open, and the dump names which backend tripped.
+	var flight struct {
+		Dumps []obs.Dump `json:"dumps"`
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/debug/flightrec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&flight)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("bad /debug/flightrec body: %v", err)
+		}
+		found := false
+		for _, d := range flight.Dumps {
+			if d.Reason == "breaker.open" && strings.Contains(d.Detail, urls[1]) {
+				found = true
+				if d.File == "" {
+					t.Fatal("breaker.open dump has no on-disk file despite FlightDir")
+				}
+				if _, err := os.Stat(d.File); err != nil {
+					t.Fatalf("breaker.open dump file missing: %v", err)
+				}
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no flight-recorder dump names the killed backend %s (dumps: %+v)", urls[1], flight.Dumps)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

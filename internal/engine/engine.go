@@ -94,6 +94,16 @@ type Options struct {
 	// TightBudget is the budget imposed under memory pressure. Ignored
 	// when MemSoftLimit is 0.
 	TightBudget core.Budget
+
+	// OnAnomaly, when non-nil, is called at the engine's anomaly sites —
+	// watchdog-forced Ω ("engine.watchdog"), memory-guard budget
+	// tightening ("engine.memguard"), cache verify-on-read failure
+	// ("engine.cache_corrupt"), and store verified-miss
+	// ("store.corrupt") — with a stable reason string and a detail (the
+	// cache key where one exists). It is always invoked outside the
+	// engine's mutex, so the hook may query Stats; it must still return
+	// quickly (it runs on job goroutines).
+	OnAnomaly func(reason, detail string)
 }
 
 // Job is one unit of work: solve one problem under one configuration.
@@ -616,6 +626,14 @@ func (e *Engine) store(key string, c cached) {
 	}
 }
 
+// anomaly reports an anomaly to the Options.OnAnomaly hook, if any.
+// Callers must not hold e.mu: the hook may read Stats.
+func (e *Engine) anomaly(reason, detail string) {
+	if e.opts.OnAnomaly != nil {
+		e.opts.OnAnomaly(reason, detail)
+	}
+}
+
 // acquire resolves key against the cache with request coalescing. It
 // either returns a verified cache hit (rsv == nil), or makes the caller
 // the leader for key (hit == false): the caller must solve and then
@@ -624,6 +642,15 @@ func (e *Engine) store(key string, c cached) {
 // coalesced hit, while a failed or degraded leader sends waiters back
 // around the loop to solve for themselves.
 func (e *Engine) acquire(key string) (c cached, hit bool, coalesced bool, rsv *reservation) {
+	// A verify-on-read failure is detected under e.mu; the anomaly hook
+	// must run outside it (it may read Stats), so flag it and fire on the
+	// way out — whichever branch returns.
+	corrupt := false
+	defer func() {
+		if corrupt {
+			e.anomaly("engine.cache_corrupt", key)
+		}
+	}()
 	for {
 		e.mu.Lock()
 		if c, ok := e.cache.get(key); ok {
@@ -633,6 +660,7 @@ func (e *Engine) acquire(key string) (c cached, hit bool, coalesced bool, rsv *r
 			}
 			// Entry failed content-hash verification: verifyEntry dropped
 			// it; fall through and solve as if it had never been cached.
+			corrupt = true
 		}
 		r, inFlight := e.cache.reserved[key]
 		if !inFlight {
@@ -736,6 +764,7 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 			e.mu.Lock()
 			e.stats.MemTightened++
 			e.mu.Unlock()
+			e.anomaly("engine.memguard", "")
 		}
 	}
 	// Fold the engine's default budget into the job's configuration before
@@ -805,6 +834,7 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 	// path: a restarted process re-answers its working set with zero
 	// re-solves.
 	if ds := e.DiskStore(); ds != nil && rsv != nil {
+		corruptBefore := ds.Stats().Corrupt
 		if sol, ok := ds.Load(key, gen.Problem); ok {
 			ent := cached{gen: gen, sol: sol}
 			if faults.Active() != nil {
@@ -817,6 +847,11 @@ func (e *Engine) attemptJob(j Job, tk obs.Track, ar *core.Arena) (res Result) {
 			e.stats.DiskHits++
 			e.mu.Unlock()
 			return Result{Gen: gen, Sol: sol, CacheHit: true, DiskHit: true}
+		} else if ds.Stats().Corrupt > corruptBefore {
+			// A verified miss: the store had the entry but its
+			// CRC/decode/fingerprint check failed. The job re-solves;
+			// the anomaly hook gets the forensic signal.
+			e.anomaly("store.corrupt", key)
 		}
 	}
 	reps := j.Reps

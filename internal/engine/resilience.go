@@ -128,6 +128,7 @@ func (e *Engine) solveGuarded(prob *core.Problem, cfg core.Config, tk obs.Track,
 		e.mu.Lock()
 		e.stats.WatchdogFired++
 		e.mu.Unlock()
+		e.anomaly("engine.watchdog", "")
 		return core.DegradedSolution(prob), nil
 	}
 }

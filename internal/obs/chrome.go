@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 )
 
 // This file exports a Trace in Chrome trace_event JSON ("JSON Object
@@ -67,6 +69,9 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			"trace_id":        t.ID(),
 			"label":           t.Label(),
 			"dropped_records": t.Dropped(),
+			// Wall-clock start lets MergeChrome align this process's
+			// relative timestamps against other processes' on one timeline.
+			"start_unix_ns": t.start.UnixNano(),
 		},
 	}
 	for i, name := range names {
@@ -78,7 +83,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Args:  map[string]any{"name": name},
 		})
 	}
-	for _, r := range recs {
+	for seq, r := range recs {
 		ev := chromeEvent{
 			Name: r.name,
 			TS:   float64(r.start) / 1e3,
@@ -86,15 +91,19 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			TID:  int(r.track),
 			Args: argsMap(r.args),
 		}
+		// Every non-metadata event carries a span ID unique within this
+		// export; MergeChrome prefixes it per process so the merged trace
+		// has globally unique IDs (CheckChrome verifies).
+		if ev.Args == nil {
+			ev.Args = map[string]any{}
+		}
+		ev.Args["sid"] = "s" + strconv.Itoa(seq)
 		switch r.kind {
 		case kindSpan:
 			ev.Phase = "X"
 			d := float64(r.dur) / 1e3
 			ev.Dur = &d
 			if r.open {
-				if ev.Args == nil {
-					ev.Args = map[string]any{}
-				}
 				ev.Args["open"] = 1
 			}
 		case kindInstant:
@@ -112,18 +121,32 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 }
 
 // WriteChromeFile writes the Chrome trace to a file path; the conventional
-// extension is .json (drag the file into ui.perfetto.dev to view).
+// extension is .json (drag the file into ui.perfetto.dev to view). The
+// write is atomic (temp file + rename) so periodic checkpointing can
+// overwrite a live trace file without a crash mid-write ever leaving a
+// torn, unloadable JSON behind.
 func (t *Trace) WriteChromeFile(path string) error {
 	if t == nil {
 		return fmt.Errorf("obs: cannot export a nil trace")
 	}
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := t.WriteChrome(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

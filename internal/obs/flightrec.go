@@ -1,0 +1,272 @@
+package obs
+
+// The flight recorder is the forensic layer over tracing: an always-on
+// bounded ring of recent completed request records (their spans, outcome,
+// and identifiers) that costs one mutexed append per request, plus a
+// trigger API wired to the anomaly sites the resilience layer already
+// detects (watchdog-forced Ω, breaker transitions, store corruption,
+// memory-guard tightening, Ω degradation). A trigger snapshots the ring
+// and a metrics scrape into a Dump — kept in memory for GET
+// /debug/flightrec and optionally written to a timestamped JSON file —
+// so the requests leading up to an anomaly are explainable after the
+// fact, exactly the forensic record a degraded answer needs. Triggers
+// are rate-limited per (reason, detail) so an anomaly storm produces a
+// bounded number of dumps, never a dump storm.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReqRecord is one completed request as the flight recorder keeps it:
+// identifiers, outcome, timing, and the request's exported trace spans.
+type ReqRecord struct {
+	TraceID    string   `json:"trace_id,omitempty"`
+	RequestID  string   `json:"request_id,omitempty"`
+	Path       string   `json:"path,omitempty"`
+	Status     int      `json:"status,omitempty"`
+	Degraded   bool     `json:"degraded,omitempty"`
+	Start      int64    `json:"start_unix_ns,omitempty"`
+	DurationNS int64    `json:"duration_ns,omitempty"`
+	Dropped    uint64   `json:"dropped_spans,omitempty"`
+	Spans      []Record `json:"spans,omitempty"`
+}
+
+// Dump is one anomaly snapshot: the trigger that fired, the ring of
+// recent requests at that moment, and a metrics scrape.
+type Dump struct {
+	Seq     uint64      `json:"seq"`
+	Reason  string      `json:"reason"`
+	Detail  string      `json:"detail,omitempty"`
+	Time    time.Time   `json:"time"`
+	Records []ReqRecord `json:"records"`
+	Metrics string      `json:"metrics,omitempty"`
+	File    string      `json:"file,omitempty"`
+}
+
+// FlightRecorderOptions configures a FlightRecorder; the zero value is
+// usable (in-memory only, default bounds).
+type FlightRecorderOptions struct {
+	// Records bounds the ring of recent completed requests; <= 0 means
+	// DefaultFlightRecords. The ring overwrites oldest-first — "recent"
+	// is the point of a flight recorder.
+	Records int
+	// Dumps bounds retained dumps (oldest evicted); <= 0 means
+	// DefaultFlightDumps.
+	Dumps int
+	// Dir, when non-empty, writes each dump to a timestamped JSON file
+	// under it (created if missing). Empty keeps dumps in memory only.
+	Dir string
+	// Cooldown is the minimum interval between dumps for one
+	// (reason, detail) pair; <= 0 means DefaultFlightCooldown.
+	Cooldown time.Duration
+	// Metrics, when non-nil, scrapes the owner's metrics exposition into
+	// each dump. Called outside the recorder's lock, so it may read
+	// state that itself queries the recorder.
+	Metrics func() string
+	// OnDump runs after each dump is recorded (outside the lock) — the
+	// server uses it to checkpoint its trace file on the trigger path.
+	OnDump func(d *Dump)
+	// Now is replaceable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Defaults for the zero FlightRecorderOptions value.
+const (
+	DefaultFlightRecords  = 64
+	DefaultFlightDumps    = 8
+	DefaultFlightCooldown = time.Second
+)
+
+// FlightRecorder is the bounded request ring plus the dump machinery.
+// Create with NewFlightRecorder; all methods are safe for concurrent use.
+type FlightRecorder struct {
+	opts FlightRecorderOptions
+
+	mu       sync.Mutex
+	ring     []ReqRecord
+	next     int
+	filled   int
+	lastDump map[string]time.Time
+	dumps    []Dump
+
+	dumpSeq    atomic.Uint64 // dumps recorded (pip_flightrec_dumps_total)
+	suppressed atomic.Uint64 // triggers swallowed by the cooldown
+	total      atomic.Uint64 // requests ever recorded
+}
+
+// NewFlightRecorder builds a recorder from opts.
+func NewFlightRecorder(opts FlightRecorderOptions) *FlightRecorder {
+	if opts.Records <= 0 {
+		opts.Records = DefaultFlightRecords
+	}
+	if opts.Dumps <= 0 {
+		opts.Dumps = DefaultFlightDumps
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultFlightCooldown
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &FlightRecorder{
+		opts:     opts,
+		ring:     make([]ReqRecord, opts.Records),
+		lastDump: make(map[string]time.Time),
+	}
+}
+
+// Record appends one completed request to the ring (overwriting the
+// oldest entry when full). Nil receiver is a no-op, mirroring Trace.
+func (f *FlightRecorder) Record(r ReqRecord) {
+	if f == nil {
+		return
+	}
+	f.total.Add(1)
+	f.mu.Lock()
+	f.ring[f.next] = r
+	f.next = (f.next + 1) % len(f.ring)
+	if f.filled < len(f.ring) {
+		f.filled++
+	}
+	f.mu.Unlock()
+}
+
+// snapshotRing returns the ring oldest-first. Called under mu.
+func (f *FlightRecorder) snapshotRing() []ReqRecord {
+	out := make([]ReqRecord, 0, f.filled)
+	start := f.next - f.filled
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.filled; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// Trigger fires an anomaly dump unless the same (reason, detail) pair
+// dumped within the cooldown. It returns the dump, or nil when
+// suppressed. Reasons are stable strings ("engine.watchdog",
+// "breaker.open", ...); detail carries the specifics (the backend URL,
+// the cache key) and is part of the rate-limit key, so per-backend
+// breaker events each get their own dump.
+func (f *FlightRecorder) Trigger(reason, detail string) *Dump {
+	if f == nil {
+		return nil
+	}
+	now := f.opts.Now()
+	key := reason + "|" + detail
+	f.mu.Lock()
+	if last, ok := f.lastDump[key]; ok && now.Sub(last) < f.opts.Cooldown {
+		f.mu.Unlock()
+		f.suppressed.Add(1)
+		return nil
+	}
+	f.lastDump[key] = now
+	records := f.snapshotRing()
+	f.mu.Unlock()
+
+	d := &Dump{
+		Seq:     f.dumpSeq.Add(1),
+		Reason:  reason,
+		Detail:  detail,
+		Time:    now,
+		Records: records,
+	}
+	// The metrics scrape and file write run outside mu: the scrape may
+	// itself read recorder counters (the exposition exports
+	// pip_flightrec_dumps_total), and neither belongs under a lock the
+	// request path takes.
+	if f.opts.Metrics != nil {
+		d.Metrics = f.opts.Metrics()
+	}
+	if f.opts.Dir != "" {
+		if path, err := f.writeDumpFile(d); err == nil {
+			d.File = path
+		} else {
+			d.Detail = strings.TrimSpace(d.Detail + " [dump file: " + err.Error() + "]")
+		}
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, *d)
+	if len(f.dumps) > f.opts.Dumps {
+		f.dumps = f.dumps[len(f.dumps)-f.opts.Dumps:]
+	}
+	f.mu.Unlock()
+	if f.opts.OnDump != nil {
+		f.opts.OnDump(d)
+	}
+	return d
+}
+
+// writeDumpFile persists one dump as pretty JSON under Dir.
+func (f *FlightRecorder) writeDumpFile(d *Dump) (string, error) {
+	if err := os.MkdirAll(f.opts.Dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("flightrec-%s-%03d-%s.json",
+		d.Time.UTC().Format("20060102T150405.000000000Z"), d.Seq, sanitizeReason(d.Reason))
+	path := filepath.Join(f.opts.Dir, name)
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// sanitizeReason maps a trigger reason onto a filename-safe slug.
+func sanitizeReason(reason string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+			return c
+		default:
+			return '_'
+		}
+	}, reason)
+}
+
+// Dumps returns the retained dumps, newest last.
+func (f *FlightRecorder) Dumps() []Dump {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Dump(nil), f.dumps...)
+}
+
+// DumpCount returns how many dumps have been recorded over the
+// recorder's lifetime (retained or not).
+func (f *FlightRecorder) DumpCount() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dumpSeq.Load()
+}
+
+// Suppressed returns how many triggers the cooldown swallowed.
+func (f *FlightRecorder) Suppressed() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.suppressed.Load()
+}
+
+// Recorded returns how many requests have ever been recorded.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.total.Load()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingBound(t *testing.T) {
+	f := NewFlightRecorder(FlightRecorderOptions{Records: 4, Cooldown: time.Nanosecond})
+	for i := 0; i < 10; i++ {
+		f.Record(ReqRecord{RequestID: fmt.Sprintf("r%d", i)})
+	}
+	if got := f.Recorded(); got != 10 {
+		t.Fatalf("Recorded() = %d, want 10", got)
+	}
+	d := f.Trigger("test.reason", "")
+	if d == nil {
+		t.Fatal("trigger suppressed unexpectedly")
+	}
+	if len(d.Records) != 4 {
+		t.Fatalf("dump carries %d records, want the ring bound 4", len(d.Records))
+	}
+	// Oldest-first, and only the most recent four survive the overwrites.
+	for i, r := range d.Records {
+		if want := fmt.Sprintf("r%d", 6+i); r.RequestID != want {
+			t.Fatalf("record %d = %q, want %q (oldest-first recent window)", i, r.RequestID, want)
+		}
+	}
+}
+
+func TestFlightRecorderCooldownPerReasonDetail(t *testing.T) {
+	now := time.Unix(1000, 0)
+	f := NewFlightRecorder(FlightRecorderOptions{
+		Cooldown: time.Second,
+		Now:      func() time.Time { return now },
+	})
+	if f.Trigger("breaker.open", "backend-a") == nil {
+		t.Fatal("first trigger suppressed")
+	}
+	if f.Trigger("breaker.open", "backend-a") != nil {
+		t.Fatal("repeat trigger inside cooldown not suppressed")
+	}
+	// A different detail is a different anomaly: its own dump, no cooldown
+	// interference (per-backend breaker events must each dump).
+	if f.Trigger("breaker.open", "backend-b") == nil {
+		t.Fatal("distinct detail suppressed by another key's cooldown")
+	}
+	if got := f.Suppressed(); got != 1 {
+		t.Fatalf("Suppressed() = %d, want 1", got)
+	}
+	now = now.Add(2 * time.Second)
+	if f.Trigger("breaker.open", "backend-a") == nil {
+		t.Fatal("trigger after cooldown still suppressed")
+	}
+	if got := f.DumpCount(); got != 3 {
+		t.Fatalf("DumpCount() = %d, want 3", got)
+	}
+}
+
+func TestFlightRecorderDumpRetention(t *testing.T) {
+	f := NewFlightRecorder(FlightRecorderOptions{Dumps: 2, Cooldown: time.Nanosecond})
+	for i := 0; i < 5; i++ {
+		// Distinct details dodge the cooldown so every trigger dumps.
+		f.Trigger("test.reason", fmt.Sprintf("d%d", i))
+		time.Sleep(time.Millisecond)
+	}
+	dumps := f.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dumps, want 2", len(dumps))
+	}
+	if dumps[0].Detail != "d3" || dumps[1].Detail != "d4" {
+		t.Fatalf("retention kept the wrong dumps: %+v", dumps)
+	}
+	if got := f.DumpCount(); got != 5 {
+		t.Fatalf("DumpCount() = %d, want 5 (lifetime, not retained)", got)
+	}
+}
+
+func TestFlightRecorderDumpFiles(t *testing.T) {
+	dir := t.TempDir()
+	var onDumpReason string
+	f := NewFlightRecorder(FlightRecorderOptions{
+		Dir:      dir,
+		Cooldown: time.Nanosecond,
+		Metrics:  func() string { return "pip_test_metric 1\n" },
+		OnDump:   func(d *Dump) { onDumpReason = d.Reason },
+	})
+	f.Record(ReqRecord{TraceID: "t1", RequestID: "r1", Path: "/v1/solve", Status: 200})
+	d := f.Trigger("engine.watchdog", "")
+	if d == nil {
+		t.Fatal("trigger suppressed")
+	}
+	if onDumpReason != "engine.watchdog" {
+		t.Fatalf("OnDump saw reason %q", onDumpReason)
+	}
+	if d.File == "" {
+		t.Fatal("dump has no file despite Dir being set")
+	}
+	if !strings.Contains(filepath.Base(d.File), "engine.watchdog") {
+		t.Fatalf("dump file name %q does not carry the reason", d.File)
+	}
+	data, err := os.ReadFile(d.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dump
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("dump file is not valid JSON: %v", err)
+	}
+	if back.Reason != "engine.watchdog" || len(back.Records) != 1 ||
+		back.Records[0].TraceID != "t1" || !strings.Contains(back.Metrics, "pip_test_metric") {
+		t.Fatalf("dump file round-trip mismatch: %+v", back)
+	}
+}
+
+func TestFlightRecorderNilNoOp(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(ReqRecord{})
+	if f.Trigger("x", "") != nil {
+		t.Fatal("nil recorder returned a dump")
+	}
+	if f.Dumps() != nil || f.DumpCount() != 0 || f.Suppressed() != 0 || f.Recorded() != 0 {
+		t.Fatal("nil recorder accessors not zero")
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+// Cross-process trace assembly. A request that crosses the shard router
+// produces one Chrome trace per process (the router's admission/forward
+// spans, each backend's queue-wait/solve spans), all recorded under one
+// trace ID. MergeChrome stitches those per-process exports into a single
+// trace_event JSON that loads in Perfetto as one timeline: each part
+// becomes its own process (pid) named by process_name metadata, relative
+// timestamps are aligned using the start_unix_ns wall-clock metadata
+// WriteChrome embeds, and span IDs are prefixed per part so they stay
+// globally unique. CheckChrome is the structural validator the tests,
+// the smoke binary, and CI run against both single-process and merged
+// traces.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TracePart is one process's contribution to a merged trace: a label for
+// the process track ("router", "backend-0") and its WriteChrome output.
+type TracePart struct {
+	Process string
+	Data    []byte
+}
+
+// mergeDoc mirrors chromeTrace with a generic metadata map so parsed
+// parts round-trip fields MergeChrome does not interpret.
+type mergeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// metaNum reads a numeric metadata field (JSON numbers decode as float64).
+func metaNum(m map[string]any, key string) (int64, bool) {
+	v, ok := m[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}
+
+// MergeChrome merges per-process Chrome traces recorded under one trace
+// ID into a single trace_event JSON. Parts whose metadata carries a
+// trace_id must all agree (that is the point of the merge); parts with
+// differing IDs are a caller bug and an error. Timestamps are shifted by
+// each part's wall-clock start relative to the earliest part, so the
+// merged timeline shows true cross-process ordering to clock accuracy.
+func MergeChrome(parts []TracePart) ([]byte, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("obs: merge of zero trace parts")
+	}
+	docs := make([]mergeDoc, len(parts))
+	traceID := ""
+	var minStart int64
+	haveStart := false
+	for i, p := range parts {
+		if err := json.Unmarshal(p.Data, &docs[i]); err != nil {
+			return nil, fmt.Errorf("obs: merge part %q: %w", p.Process, err)
+		}
+		if id, _ := docs[i].Metadata["trace_id"].(string); id != "" {
+			if traceID == "" {
+				traceID = id
+			} else if id != traceID {
+				return nil, fmt.Errorf("obs: merge: part %q has trace ID %q, want %q",
+					p.Process, id, traceID)
+			}
+		}
+		if s, ok := metaNum(docs[i].Metadata, "start_unix_ns"); ok {
+			if !haveStart || s < minStart {
+				minStart = s
+				haveStart = true
+			}
+		}
+	}
+
+	out := mergeDoc{
+		DisplayTimeUnit: "ns",
+		Metadata: map[string]any{
+			"trace_id": traceID,
+			"label":    "merged",
+		},
+	}
+	var dropped int64
+	procs := make([]string, 0, len(parts))
+	for i, p := range parts {
+		pid := i + 1
+		procs = append(procs, p.Process)
+		if d, ok := metaNum(docs[i].Metadata, "dropped_records"); ok {
+			dropped += d
+		}
+		// Shift this part's relative microsecond timestamps onto the
+		// merged timeline. Parts without start metadata stay unshifted.
+		var shift float64
+		if s, ok := metaNum(docs[i].Metadata, "start_unix_ns"); ok && haveStart {
+			shift = float64(s-minStart) / 1e3
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": p.Process},
+		})
+		for _, ev := range docs[i].TraceEvents {
+			ev.PID = pid
+			if ev.Phase != "M" {
+				ev.TS += shift
+			}
+			if sid, ok := ev.Args["sid"].(string); ok {
+				ev.Args["sid"] = p.Process + "/" + sid
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	out.Metadata["processes"] = procs
+	out.Metadata["dropped_records"] = dropped
+	// Order events for readability: metadata first, then by timestamp.
+	// Per-(pid,tid) monotonicity is preserved — each part was sorted and
+	// the stable sort never reorders equal-ts events within a part.
+	sort.SliceStable(out.TraceEvents, func(a, b int) bool {
+		ea, eb := &out.TraceEvents[a], &out.TraceEvents[b]
+		if (ea.Phase == "M") != (eb.Phase == "M") {
+			return ea.Phase == "M"
+		}
+		if ea.Phase == "M" {
+			return false
+		}
+		return ea.TS < eb.TS
+	})
+	return json.Marshal(out)
+}
+
+// CheckChrome validates the structure of a Chrome trace_event JSON
+// (single-process or merged): known phase types only, spans carry
+// non-negative durations, timestamps are non-negative and monotonically
+// non-decreasing per (pid, tid) track, every track carrying events is
+// named by thread_name metadata, and span IDs (the sid argument
+// WriteChrome attaches) are globally unique. It is the trace analogue of
+// CheckExposition: cheap, dependency-free, and strict enough that a
+// passing trace loads in Perfetto.
+func CheckChrome(data []byte) error {
+	var doc mergeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace: no traceEvents")
+	}
+	type track struct{ pid, tid int }
+	lastTS := map[track]float64{}
+	named := map[track]bool{}
+	used := map[track]string{} // first event name per unnamed track, for the error
+	sids := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		tk := track{ev.PID, ev.TID}
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				named[tk] = true
+			}
+			continue
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("obs: trace event %d (%q): complete span without non-negative dur", i, ev.Name)
+			}
+		case "i", "C":
+			// instant / counter: nothing extra to check
+		default:
+			return fmt.Errorf("obs: trace event %d (%q): unknown phase %q", i, ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 {
+			return fmt.Errorf("obs: trace event %d (%q): negative ts %v", i, ev.Name, ev.TS)
+		}
+		if last, ok := lastTS[tk]; ok && ev.TS < last {
+			return fmt.Errorf("obs: trace event %d (%q): ts %v goes backwards on pid %d tid %d (last %v)",
+				i, ev.Name, ev.TS, ev.PID, ev.TID, last)
+		}
+		lastTS[tk] = ev.TS
+		if _, ok := used[tk]; !ok {
+			used[tk] = ev.Name
+		}
+		if sid, ok := ev.Args["sid"].(string); ok {
+			if sids[sid] {
+				return fmt.Errorf("obs: trace event %d (%q): duplicate span ID %q", i, ev.Name, sid)
+			}
+			sids[sid] = true
+		}
+	}
+	for tk, name := range used {
+		if !named[tk] {
+			return fmt.Errorf("obs: trace: pid %d tid %d (first event %q) has no thread_name metadata", tk.pid, tk.tid, name)
+		}
+	}
+	return nil
+}

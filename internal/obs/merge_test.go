@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chromePart records a few spans on a fresh trace under the given ID and
+// returns its WriteChrome output — one process's contribution to a merge.
+func chromePart(t *testing.T, id, label string, spans ...string) []byte {
+	t.Helper()
+	tr := New(label, 64)
+	tr.SetID(id)
+	lane := tr.NewTrack("req-r1")
+	for _, name := range spans {
+		sp := lane.Begin(name, S("request_id", "r1"))
+		sp.End(N("status", 200))
+	}
+	lane.Event("mark")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeChromeTwoProcesses is the tentpole unit contract: two
+// recorders sharing one trace ID merge into a single validated
+// trace_event JSON with per-process tracks, monotonic timestamps per
+// track, and globally unique span IDs.
+func TestMergeChromeTwoProcesses(t *testing.T) {
+	const id = "trace-merge-1"
+	router := chromePart(t, id, "pip-router", "/v1/solve", "forward")
+	backend := chromePart(t, id, "pipserve", "/v1/solve", "queue-wait", "solve")
+
+	merged, err := MergeChrome([]TracePart{
+		{Process: "router", Data: router},
+		{Process: "backend-0", Data: backend},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckChrome(merged); err != nil {
+		t.Fatalf("merged trace fails validation: %v\n%s", err, merged)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := doc.Metadata["trace_id"].(string); got != id {
+		t.Fatalf("merged trace_id = %q, want %q", got, id)
+	}
+
+	// Both processes appear as named pids, and every span's sid carries
+	// its process prefix (the global-uniqueness mechanism).
+	procs := map[string]int{}
+	sidPrefixes := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "process_name" {
+			name, _ := ev.Args["name"].(string)
+			procs[name] = ev.PID
+		}
+		if sid, ok := ev.Args["sid"].(string); ok {
+			pre, _, found := strings.Cut(sid, "/")
+			if !found {
+				t.Fatalf("merged sid %q lacks a process prefix", sid)
+			}
+			sidPrefixes[pre] = true
+		}
+	}
+	for _, want := range []string{"router", "backend-0"} {
+		if _, ok := procs[want]; !ok {
+			t.Fatalf("merged trace missing process %q (have %v)", want, procs)
+		}
+		if !sidPrefixes[want] {
+			t.Fatalf("no span IDs from process %q", want)
+		}
+	}
+	if procs["router"] == procs["backend-0"] {
+		t.Fatal("both processes share one pid; tracks would collide in Perfetto")
+	}
+}
+
+// TestMergeChromeAlignsClocks: the later-started part's events are
+// shifted onto the merged timeline by the wall-clock delta, so
+// cross-process ordering survives the merge.
+func TestMergeChromeAlignsClocks(t *testing.T) {
+	early := New("early", 16)
+	early.SetID("t")
+	early.NewTrack("a").Event("first")
+	time.Sleep(10 * time.Millisecond)
+	late := New("late", 16)
+	late.SetID("t")
+	late.NewTrack("b").Event("second")
+
+	var eb, lb bytes.Buffer
+	if err := early.WriteChrome(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.WriteChrome(&lb); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeChrome([]TracePart{
+		{Process: "p-early", Data: eb.Bytes()},
+		{Process: "p-late", Data: lb.Bytes()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var firstTS, secondTS float64 = -1, -1
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "first":
+			firstTS = ev.TS
+		case "second":
+			secondTS = ev.TS
+		}
+	}
+	if firstTS < 0 || secondTS < 0 {
+		t.Fatalf("events missing from merge: first=%v second=%v", firstTS, secondTS)
+	}
+	// The late process started >= 10ms after the early one; its event must
+	// land later on the merged timeline (clock alignment, not raw ts).
+	if secondTS <= firstTS {
+		t.Fatalf("clock alignment lost: second (%v µs) not after first (%v µs)", secondTS, firstTS)
+	}
+}
+
+func TestMergeChromeRejectsMismatchedTraceIDs(t *testing.T) {
+	a := chromePart(t, "id-a", "a", "x")
+	b := chromePart(t, "id-b", "b", "y")
+	if _, err := MergeChrome([]TracePart{{Process: "a", Data: a}, {Process: "b", Data: b}}); err == nil {
+		t.Fatal("merge of different trace IDs did not error")
+	}
+	if _, err := MergeChrome(nil); err == nil {
+		t.Fatal("merge of zero parts did not error")
+	}
+	if _, err := MergeChrome([]TracePart{{Process: "a", Data: []byte("not json")}}); err == nil {
+		t.Fatal("merge of invalid JSON did not error")
+	}
+}
+
+// TestCheckChromeCatchesStructuralBreaks: the validator must reject the
+// failure shapes the merge machinery exists to prevent.
+func TestCheckChromeCatchesStructuralBreaks(t *testing.T) {
+	dur := 5.0
+	mkDoc := func(events []chromeEvent) []byte {
+		data, err := json.Marshal(mergeDoc{TraceEvents: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	threadMeta := chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": "lane"}}
+
+	cases := []struct {
+		name   string
+		events []chromeEvent
+	}{
+		{"empty", nil},
+		{"unknown phase", []chromeEvent{threadMeta,
+			{Name: "e", Phase: "B", PID: 1, TID: 1, TS: 1}}},
+		{"span without dur", []chromeEvent{threadMeta,
+			{Name: "s", Phase: "X", PID: 1, TID: 1, TS: 1}}},
+		{"backwards ts", []chromeEvent{threadMeta,
+			{Name: "a", Phase: "i", PID: 1, TID: 1, TS: 10},
+			{Name: "b", Phase: "i", PID: 1, TID: 1, TS: 5}}},
+		{"unnamed track", []chromeEvent{
+			{Name: "e", Phase: "i", PID: 1, TID: 1, TS: 1}}},
+		{"duplicate sid", []chromeEvent{threadMeta,
+			{Name: "a", Phase: "X", PID: 1, TID: 1, TS: 1, Dur: &dur, Args: map[string]any{"sid": "s0"}},
+			{Name: "b", Phase: "X", PID: 1, TID: 1, TS: 2, Dur: &dur, Args: map[string]any{"sid": "s0"}}}},
+	}
+	for _, tc := range cases {
+		if err := CheckChrome(mkDoc(tc.events)); err == nil {
+			t.Errorf("%s: CheckChrome accepted a broken trace", tc.name)
+		}
+	}
+
+	// And the happy path passes, so the cases above fail for their own
+	// reasons rather than a validator that rejects everything.
+	good := mkDoc([]chromeEvent{threadMeta,
+		{Name: "a", Phase: "X", PID: 1, TID: 1, TS: 1, Dur: &dur, Args: map[string]any{"sid": "s0"}},
+		{Name: "b", Phase: "i", PID: 1, TID: 1, TS: 2}})
+	if err := CheckChrome(good); err != nil {
+		t.Fatalf("CheckChrome rejected a well-formed trace: %v", err)
+	}
+}

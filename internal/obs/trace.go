@@ -21,6 +21,7 @@ package obs
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -331,6 +332,71 @@ type exported struct {
 	open  bool  // span had not ended at snapshot time
 	name  string
 	args  []KV
+}
+
+// Start returns the trace's wall-clock creation time (zero on a nil
+// trace). Cross-process merging (MergeChrome) aligns per-process
+// timelines by the difference of their start times.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Record is one published trace record in exported form — the shape the
+// flight recorder persists in dumps and tests inspect. Kind is "span",
+// "instant", or "counter".
+type Record struct {
+	Kind    string `json:"kind"`
+	Track   string `json:"track"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	Open    bool   `json:"open,omitempty"`
+	Args    []KV   `json:"args,omitempty"`
+}
+
+func (k recordKind) String() string {
+	switch k {
+	case kindSpan:
+		return "span"
+	case kindInstant:
+		return "instant"
+	case kindCounter:
+		return "counter"
+	}
+	return "unknown"
+}
+
+// Export returns a consistent copy of every published record with track
+// names resolved, ordered by start time. Like WriteChrome it may run
+// while recording continues; open spans are clipped to now.
+func (t *Trace) Export() []Record {
+	if t == nil {
+		return nil
+	}
+	recs := t.snapshot()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].start < recs[j].start })
+	names := t.trackNames()
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		rec := Record{
+			Kind:    r.kind.String(),
+			Name:    r.name,
+			StartNS: r.start,
+			Args:    r.args,
+		}
+		if int(r.track) < len(names) {
+			rec.Track = names[r.track]
+		}
+		if r.kind == kindSpan {
+			rec.DurNS = r.dur
+			rec.Open = r.open
+		}
+		out = append(out, rec)
+	}
+	return out
 }
 
 // snapshot returns a consistent copy of every published record, closing

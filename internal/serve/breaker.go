@@ -93,6 +93,11 @@ type breaker struct {
 	// now is replaceable so tests can step through cooldowns without
 	// sleeping.
 	now func() time.Time
+	// notify, when set (before traffic — it is written once at wiring
+	// time), observes state transitions for the flight recorder. It is
+	// always invoked after mu is released: the hook's dump path scrapes
+	// metrics, which read breaker snapshots under the same mutex.
+	notify func(from, to breakerState)
 
 	mu       sync.Mutex
 	state    breakerState
@@ -123,7 +128,13 @@ func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
 		return true, 0
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var trans func()
+	defer func() {
+		b.mu.Unlock()
+		if trans != nil {
+			trans()
+		}
+	}()
 	switch b.state {
 	case breakerClosed:
 		return true, 0
@@ -134,6 +145,7 @@ func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
 		b.state = breakerHalfOpen
 		b.probes = b.opts.Probes
 		b.probeOK = 0
+		trans = b.transition(breakerOpen, breakerHalfOpen)
 		fallthrough
 	default: // breakerHalfOpen
 		if b.probes <= 0 {
@@ -145,6 +157,15 @@ func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
 	}
 }
 
+// transition captures a notify callback for a state change. Called under
+// mu; the returned thunk must be invoked after mu is released.
+func (b *breaker) transition(from, to breakerState) func() {
+	if b.notify == nil {
+		return nil
+	}
+	return func() { b.notify(from, to) }
+}
+
 // record feeds one finished request's outcome back. Requests admitted
 // while closed may report after the breaker has tripped; those stragglers
 // are dropped in the open state and folded into the probe accounting in
@@ -154,18 +175,26 @@ func (b *breaker) record(bad bool) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var trans func()
+	defer func() {
+		b.mu.Unlock()
+		if trans != nil {
+			trans()
+		}
+	}()
 	switch b.state {
 	case breakerOpen:
 		return
 	case breakerHalfOpen:
 		if bad {
 			b.trip()
+			trans = b.transition(breakerHalfOpen, breakerOpen)
 			return
 		}
 		b.probeOK++
 		if b.probeOK >= b.opts.Probes {
 			b.reset()
+			trans = b.transition(breakerHalfOpen, breakerClosed)
 		}
 	default: // breakerClosed
 		if b.ring[b.next] {
@@ -182,6 +211,7 @@ func (b *breaker) record(bad bool) {
 		if b.filled >= b.opts.MinSamples &&
 			float64(b.bad)/float64(b.filled) >= b.opts.Threshold {
 			b.trip()
+			trans = b.transition(breakerClosed, breakerOpen)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -224,22 +225,32 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 	if err != nil {
 		return pip.BatchResult{}, cfg, err
 	}
-	// Attach the solve to a request-scoped trace lane when the server is
-	// tracing, so spans in a captured trace file carry the same ID as the
-	// request's log lines and X-Request-Id header.
+	// Attach the solve to a request-scoped trace lane. The -trace file
+	// recorder (opts.Trace) keeps precedence when configured — its captured
+	// file must stay cross-referenceable against request logs as before —
+	// otherwise the per-trace-ID recorder behind GET /debug/trace gets the
+	// solve's phase spans.
+	rt := reqTraceFrom(r.Context())
 	var lane pip.TraceLane
 	if s.opts.Trace != nil {
 		if id := requestIDFrom(r.Context()); id != "" {
 			lane = s.opts.Trace.NewTrack("req-" + id)
 		}
+	} else if rt != nil {
+		lane = rt.lane
 	}
 	ptrs := q["ptr"]
 	var res pip.BatchResult
+	var solveSpan obs.Span
+	if rt != nil {
+		solveSpan = rt.lane.Begin("solve", obs.S("config", cfg.String()))
+	}
 	solveStart := time.Now()
 	if len(ptrs) > 0 {
 		// Demand mode. Root names are validated first so a bad name is the
 		// client's 400, not an analysis failure.
 		if _, _, err := pip.DemandRoots(m, s.opts.Summaries, ptrs); err != nil {
+			solveSpan.End()
 			return pip.BatchResult{}, cfg, badRequestf("%v", err)
 		}
 		s.demandReqs.Add(1)
@@ -248,6 +259,10 @@ func (s *Server) analyze(r *http.Request, req *moduleRequest) (pip.BatchResult, 
 		res = s.eng.AnalyzeTraced(m, cfg, s.opts.Summaries, lane)
 	}
 	s.solveLatency.Observe(time.Since(solveStart).Seconds())
+	solveSpan.End(
+		obs.N("cache_hit", b2i(res.CacheHit)),
+		obs.N("disk_hit", b2i(res.DiskHit)),
+		obs.N("degraded", b2i(res.Degraded)))
 	if res.Err != nil {
 		// Engine-level failure (solver error or recovered panic): the
 		// module parsed, so this is on the server, not the client.
@@ -429,12 +444,19 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.sessions.release(sess)
 
+	var solveSpan obs.Span
+	if rt := reqTraceFrom(r.Context()); rt != nil {
+		solveSpan = rt.lane.Begin("resolve", obs.S("config", sess.cfg.String()))
+	}
 	sess.mu.Lock()
 	solveStart := time.Now()
 	res := sess.sess.AnalyzeWithSummaries(m, s.opts.Summaries)
 	s.solveLatency.Observe(time.Since(solveStart).Seconds())
 	generation := sess.sess.Generation()
 	sess.mu.Unlock()
+	solveSpan.End(
+		obs.N("generation", int64(generation)),
+		obs.N("degraded", b2i(res.Degraded)))
 	if res.Err != nil {
 		s.writeAnalyzeError(w, fmt.Errorf("analysis failed: %v", res.Err))
 		return
@@ -545,8 +567,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handleMetricsJSON(w)
 		return
 	}
-	st := s.eng.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeProm(w)
+}
+
+// writeProm renders the full Prometheus exposition to w. Split out of
+// handleMetrics because the flight recorder embeds the same scrape in
+// every anomaly dump — a dump is "what did the server look like when
+// this happened", and the answer is the metrics page.
+func (s *Server) writeProm(w io.Writer) {
+	st := s.eng.Stats()
 	p := obs.NewPromWriter(w)
 
 	// Request-path latency split: queue wait vs. solve time.
@@ -656,12 +686,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	p.Gauge("pip_engine_worklist_peak", "Highest worklist depth seen by any solve.", float64(st.Telemetry.WorklistPeak))
 	p.Gauge("pip_engine_workers", "Configured engine pool bound.", float64(st.Workers))
+
+	// Distributed tracing and the anomaly flight recorder.
+	dropped := s.traceDropped.Load()
+	if s.opts.Trace != nil {
+		dropped += s.opts.Trace.Dropped()
+	}
+	p.Counter("pip_trace_dropped_total", "Trace records dropped by saturated trace rings (per-request traces plus the -trace file recorder).", float64(dropped))
+	tracesResident, tracesEvicted := s.traces.stats()
+	p.Gauge("pip_traces", "Distinct trace IDs resident for GET /debug/trace.", float64(tracesResident))
+	p.Counter("pip_trace_evictions_total", "Trace IDs evicted from the bounded trace index.", float64(tracesEvicted))
+	p.Counter("pip_flightrec_dumps_total", "Anomaly dumps taken by the flight recorder over the process lifetime.", float64(s.flight.DumpCount()))
+	p.Counter("pip_flightrec_suppressed_total", "Flight-recorder triggers swallowed by the per-reason cooldown.", float64(s.flight.Suppressed()))
 	if err := p.Err(); err != nil {
 		s.log.Error("write metrics", "err", err)
 	}
 }
 
 func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
 	if b {
 		return 1
 	}

@@ -29,11 +29,15 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +66,18 @@ type RouterOptions struct {
 	MaxBodyBytes int64
 	// LogWriter receives structured request logs; nil disables logging.
 	LogWriter io.Writer
+
+	// FlightRecords bounds the flight recorder's ring of recent completed
+	// request records; <= 0 means obs.DefaultFlightRecords.
+	FlightRecords int
+	// FlightDumps bounds retained anomaly dumps (served at
+	// GET /debug/flightrec); <= 0 means obs.DefaultFlightDumps.
+	FlightDumps int
+	// FlightDir, when non-empty, writes each anomaly dump to a
+	// timestamped JSON file under it.
+	FlightDir string
+	// OnFlightDump, when non-nil, runs after each anomaly dump.
+	OnFlightDump func(reason string)
 }
 
 // Defaults for the zero RouterOptions value.
@@ -106,6 +122,14 @@ type Router struct {
 	rerouted      atomic.Int64 // failed attempts that moved to the next backend
 	degradedLocal atomic.Int64 // requests answered by the local Ω fallback
 	badRequests   atomic.Int64
+
+	// traces indexes the router's own per-trace-ID recorders; GET
+	// /debug/trace merges them with the backends' spans for the same ID.
+	// flight is the router's anomaly flight recorder (per-backend breaker
+	// transitions and local Ω degradations).
+	traces       *traceIndex
+	flight       *obs.FlightRecorder
+	traceDropped atomic.Uint64
 }
 
 // routerMaxHandles bounds the handle→backend pin table.
@@ -129,6 +153,7 @@ func NewRouter(opts RouterOptions) *Router {
 		mux:     http.NewServeMux(),
 		client:  opts.Client,
 		handles: make(map[string]int),
+		traces:  newTraceIndex(DefaultTraceIndexSize, DefaultTraceRecords),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{Timeout: DefaultForwardTimeout}
@@ -138,8 +163,36 @@ func NewRouter(opts RouterOptions) *Router {
 	} else {
 		rt.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
 	}
+	// The flight recorder's dump embeds the router's own metrics scrape;
+	// writeProm reads breaker snapshots, so every trigger site (breaker
+	// notify below) fires after the owning mutex is released.
+	rt.flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{
+		Records: opts.FlightRecords,
+		Dumps:   opts.FlightDumps,
+		Dir:     opts.FlightDir,
+		Metrics: func() string {
+			var b strings.Builder
+			rt.writeProm(&b)
+			return b.String()
+		},
+		OnDump: func(d *obs.Dump) {
+			rt.log.Info("flight recorder dump", "reason", d.Reason, "detail", d.Detail, "file", d.File)
+			if opts.OnFlightDump != nil {
+				opts.OnFlightDump(d.Reason)
+			}
+		},
+	})
 	for i, u := range opts.Backends {
-		rt.backends = append(rt.backends, &routerBackend{url: u, breaker: newBreaker(opts.Breaker)})
+		b := &routerBackend{url: u, breaker: newBreaker(opts.Breaker)}
+		b.breaker.notify = func(from, to breakerState) {
+			switch to {
+			case breakerOpen:
+				rt.flight.Trigger(flightTriggerBreaker, "backend "+u+" "+from.String()+"->open")
+			case breakerHalfOpen:
+				rt.flight.Trigger(flightTriggerBreakerHalf, "backend "+u+" open->half-open")
+			}
+		}
+		rt.backends = append(rt.backends, b)
 		for v := 0; v < opts.Replicas; v++ {
 			h := fnv.New64a()
 			io.WriteString(h, u)
@@ -149,11 +202,16 @@ func NewRouter(opts RouterOptions) *Router {
 	}
 	sort.Slice(rt.ring, func(a, b int) bool { return rt.ring[a].hash < rt.ring[b].hash })
 
-	rt.mux.HandleFunc("POST /v1/solve", withRequestID(rt.route))
-	rt.mux.HandleFunc("POST /v1/alias", withRequestID(rt.route))
-	rt.mux.HandleFunc("POST /v1/resolve", withRequestID(rt.route))
+	analysis := func(h http.HandlerFunc) http.HandlerFunc {
+		return withRequestID(withTraceID(traced(rt.traces, rt.flight, &rt.traceDropped, "pip-router", h)))
+	}
+	rt.mux.HandleFunc("POST /v1/solve", analysis(rt.route))
+	rt.mux.HandleFunc("POST /v1/alias", analysis(rt.route))
+	rt.mux.HandleFunc("POST /v1/resolve", analysis(rt.route))
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/trace", rt.handleTrace)
+	rt.mux.HandleFunc("GET /debug/flightrec", rt.handleFlightrec)
 	return rt
 }
 
@@ -248,18 +306,29 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := requestIDFrom(r.Context())
+	traceID := traceIDFrom(r.Context())
+	tc := reqTraceFrom(r.Context())
 	for attempt, idx := range cands {
 		b := rt.backends[idx]
 		if ok, _ := b.breaker.allow(); !ok {
+			if tc != nil {
+				tc.lane.Event("breaker-skip", obs.S("backend", b.url))
+			}
 			continue // open breaker: this shard is known-dead, skip it
 		}
 		if attempt > 0 {
 			rt.rerouted.Add(1)
 		}
-		resp, err := rt.forward(r, b, body, id)
+		var fwdSpan obs.Span
+		if tc != nil {
+			fwdSpan = tc.lane.Begin("forward",
+				obs.S("backend", b.url), obs.N("attempt", int64(attempt)))
+		}
+		resp, err := rt.forward(r, b, body, id, traceID, attempt)
 		if err != nil {
 			b.failures.Add(1)
 			b.breaker.record(true)
+			fwdSpan.End(obs.S("error", err.Error()))
 			rt.log.Info("forward failed", "backend", b.url, "err", err, "request_id", id)
 			continue
 		}
@@ -270,11 +339,13 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 			// shard's problem, not the client's: record and fail over.
 			b.failures.Add(1)
 			b.breaker.record(true)
+			fwdSpan.End(obs.N("status", int64(resp.StatusCode)), obs.S("outcome", "failover"))
 			continue
 		}
 		b.breaker.record(false)
 		b.forwarded.Add(1)
 		rt.forwarded.Add(1)
+		fwdSpan.End(obs.N("status", int64(resp.StatusCode)))
 		if r.URL.Path == "/v1/resolve" && resp.StatusCode == http.StatusOK {
 			rt.pinHandle(respBody, idx)
 		}
@@ -292,10 +363,12 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward performs one backend attempt, preserving the method, path,
-// query string, body, content type, and request ID. The injected
-// router.forward fault fails the attempt before any bytes move, exactly
-// like a refused connection.
-func (rt *Router) forward(r *http.Request, b *routerBackend, body []byte, id string) (*http.Response, error) {
+// query string, body, content type, request ID, and trace context: the
+// backend joins the router's trace ID (so the cluster-wide merge finds
+// its spans under the same key) with a span-parent naming this forward
+// attempt. The injected router.forward fault fails the attempt before
+// any bytes move, exactly like a refused connection.
+func (rt *Router) forward(r *http.Request, b *routerBackend, body []byte, id, traceID string, attempt int) (*http.Response, error) {
 	if err := faults.Inject(faults.RouterForward); err != nil {
 		return nil, err
 	}
@@ -310,7 +383,11 @@ func (rt *Router) forward(r *http.Request, b *routerBackend, body []byte, id str
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
-	req.Header.Set("X-Request-Id", id)
+	req.Header.Set(requestIDHeader, id)
+	if traceID != "" {
+		req.Header.Set(traceIDHeader, traceID)
+		req.Header.Set(traceParentHeader, "router:"+id+":fwd"+strconv.Itoa(attempt))
+	}
 	return rt.client.Do(req)
 }
 
@@ -363,6 +440,12 @@ func (rt *Router) degradeLocally(w http.ResponseWriter, r *http.Request, body []
 	}
 	res := pip.AnalyzeDegraded(m)
 	rt.degradedLocal.Add(1)
+	// Mark the degradation on the tracing middleware's outcome writer so
+	// the flight recorder sees it, and leave an event on the trace lane.
+	markDegraded(w)
+	if tc := reqTraceFrom(r.Context()); tc != nil {
+		tc.lane.Event("degraded-local")
+	}
 	rt.log.Info("all backends down, served local degraded answer",
 		"path", r.URL.Path, "request_id", requestIDFrom(r.Context()))
 
@@ -449,8 +532,87 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeRouterJSON(w, status, resp)
 }
 
+// handleTrace serves GET /debug/trace?id= on the router: the router's
+// own spans for that trace ID merged with every backend's spans for the
+// same ID (fetched live over their /debug/trace endpoints) into one
+// Chrome trace_event timeline — the cluster-wide view of the request.
+// Backends that never saw the trace (404) or are unreachable contribute
+// nothing; 404 only when no process has spans for the ID.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := sanitizeHeaderID(r.URL.Query().Get("id"))
+	if id == "" {
+		writeRouterError(w, http.StatusBadRequest, "missing or invalid ?id= trace ID")
+		return
+	}
+	var parts []obs.TracePart
+	if tr := rt.traces.get(id); tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err == nil {
+			parts = append(parts, obs.TracePart{Process: "router", Data: buf.Bytes()})
+		}
+	}
+	for i, b := range rt.backends {
+		data, err := rt.fetchBackendTrace(r, b, id)
+		if err != nil {
+			rt.log.Info("backend trace fetch failed", "backend", b.url, "err", err)
+			continue
+		}
+		if data != nil {
+			parts = append(parts, obs.TracePart{Process: fmt.Sprintf("backend-%d", i), Data: data})
+		}
+	}
+	if len(parts) == 0 {
+		writeRouterError(w, http.StatusNotFound, "unknown trace ID (evicted or never seen)")
+		return
+	}
+	merged, err := obs.MergeChrome(parts)
+	if err != nil {
+		writeRouterError(w, http.StatusInternalServerError, "merge: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(merged)
+}
+
+// fetchBackendTrace asks one backend for its spans under a trace ID.
+// A 404 answer (the backend never saw the trace) returns (nil, nil).
+func (rt *Router) fetchBackendTrace(r *http.Request, b *routerBackend, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		b.url+"/debug/trace?id="+url.QueryEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+}
+
+// handleFlightrec serves GET /debug/flightrec: the router's retained
+// anomaly dumps (breaker transitions, local Ω degradations).
+func (rt *Router) handleFlightrec(w http.ResponseWriter, r *http.Request) {
+	writeRouterJSON(w, http.StatusOK, flightrecResponse{
+		Dumps:      rt.flight.Dumps(),
+		DumpsTotal: rt.flight.DumpCount(),
+		Suppressed: rt.flight.Suppressed(),
+		Recorded:   rt.flight.Recorded(),
+	})
+}
+
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.writeProm(w)
+}
+
+// writeProm renders the router's Prometheus exposition; split out so the
+// flight recorder can embed the same scrape in anomaly dumps.
+func (rt *Router) writeProm(w io.Writer) {
 	p := obs.NewPromWriter(w)
 	p.Counter("pip_router_forwarded_total", "Requests answered by a backend shard.", float64(rt.forwarded.Load()))
 	p.Counter("pip_router_rerouted_total", "Failed-over forward attempts (dead, shedding, or faulted shards).", float64(rt.rerouted.Load()))
@@ -472,6 +634,14 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pins := len(rt.handles)
 	rt.mu.Unlock()
 	p.Gauge("pip_router_handle_pins", "Resolve lineages pinned to their owning backend.", float64(pins))
+
+	// Distributed tracing and the anomaly flight recorder.
+	p.Counter("pip_trace_dropped_total", "Trace records dropped by saturated per-trace rings.", float64(rt.traceDropped.Load()))
+	tracesResident, tracesEvicted := rt.traces.stats()
+	p.Gauge("pip_traces", "Distinct trace IDs resident for GET /debug/trace.", float64(tracesResident))
+	p.Counter("pip_trace_evictions_total", "Trace IDs evicted from the bounded trace index.", float64(tracesEvicted))
+	p.Counter("pip_flightrec_dumps_total", "Anomaly dumps taken by the flight recorder over the process lifetime.", float64(rt.flight.DumpCount()))
+	p.Counter("pip_flightrec_suppressed_total", "Flight-recorder triggers swallowed by the per-reason cooldown.", float64(rt.flight.Suppressed()))
 	if err := p.Err(); err != nil {
 		rt.log.Error("write metrics", "err", err)
 	}

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/pip-analysis/pip/internal/obs"
 )
 
 // newCluster starts n real pipserve backends and a router over them,
@@ -292,10 +294,17 @@ func TestRouterHealthzAndMetrics(t *testing.T) {
 		"pip_router_backend_failures_total",
 		"pip_router_backend_state",
 		"pip_router_handle_pins",
+		"pip_trace_dropped_total",
+		"pip_flightrec_dumps_total",
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("router metrics missing %q in:\n%s", want, text)
 		}
+	}
+	// The router's exposition must be structurally valid Prometheus text
+	// format, like the server's.
+	if err := obs.CheckExposition(string(text)); err != nil {
+		t.Fatalf("router /metrics: invalid exposition: %v\n%s", err, text)
 	}
 }
 

@@ -124,6 +124,20 @@ type Options struct {
 	MemSoftLimit uint64
 	// TightBudget is the budget applied under memory pressure.
 	TightBudget pip.Budget
+
+	// FlightRecords bounds the flight recorder's ring of recent completed
+	// request records; <= 0 means obs.DefaultFlightRecords.
+	FlightRecords int
+	// FlightDumps bounds retained anomaly dumps (served at
+	// GET /debug/flightrec); <= 0 means obs.DefaultFlightDumps.
+	FlightDumps int
+	// FlightDir, when non-empty, writes each anomaly dump to a
+	// timestamped JSON file under it. Empty keeps dumps in memory only.
+	FlightDir string
+	// OnFlightDump, when non-nil, runs after each anomaly dump is
+	// recorded (pipserve wires it to checkpoint the -trace file, so a
+	// crash shortly after an anomaly still leaves the tail on disk).
+	OnFlightDump func(reason string)
 }
 
 // Defaults for the zero Options value.
@@ -197,6 +211,14 @@ type Server struct {
 	// pip_faults_injected_total metric, fed by the faults observer.
 	faultMu     sync.Mutex
 	faultCounts map[[2]string]int64
+
+	// traces indexes per-trace-ID recorders for GET /debug/trace; flight
+	// is the anomaly flight recorder behind GET /debug/flightrec.
+	// traceDropped accumulates spans dropped by saturated per-trace
+	// rings (pip_trace_dropped_total).
+	traces       *traceIndex
+	flight       *obs.FlightRecorder
+	traceDropped atomic.Uint64
 }
 
 // New returns a server around a fresh shared engine.
@@ -220,17 +242,7 @@ func New(opts Options) *Server {
 		opts.MaxSessions = DefaultMaxSessions
 	}
 	s := &Server{
-		opts: opts,
-		eng: pip.NewEngine(pip.BatchOptions{
-			Workers:        opts.Workers,
-			Cache:          true,
-			CacheEntries:   opts.CacheEntries,
-			SolveWorkers:   opts.SolveWorkers,
-			Retries:        opts.Retries,
-			WatchdogFactor: opts.WatchdogFactor,
-			MemSoftLimit:   opts.MemSoftLimit,
-			TightBudget:    opts.TightBudget,
-		}),
+		opts:         opts,
 		queueSlots:   make(chan struct{}, opts.MaxQueue+opts.MaxConcurrent),
 		runSlots:     make(chan struct{}, opts.MaxConcurrent),
 		mux:          http.NewServeMux(),
@@ -240,6 +252,49 @@ func New(opts Options) *Server {
 		incrReusedC:  obs.NewHistogram(10, 100, 1e3, 1e4, 1e5, 1e6),
 		breaker:      newBreaker(opts.Breaker),
 		faultCounts:  map[[2]string]int64{},
+		traces:       newTraceIndex(DefaultTraceIndexSize, DefaultTraceRecords),
+	}
+	// The flight recorder and the engine's anomaly hook reference each
+	// other through s, so both are wired after the struct exists and
+	// before any traffic. The metrics scrape and breaker notify run
+	// outside their owners' locks (see obs.FlightRecorder and breaker),
+	// so a dump can safely read engine stats and breaker snapshots.
+	s.flight = obs.NewFlightRecorder(obs.FlightRecorderOptions{
+		Records: opts.FlightRecords,
+		Dumps:   opts.FlightDumps,
+		Dir:     opts.FlightDir,
+		Metrics: func() string {
+			var b strings.Builder
+			s.writeProm(&b)
+			return b.String()
+		},
+		OnDump: func(d *obs.Dump) {
+			s.log.Info("flight recorder dump", "reason", d.Reason, "detail", d.Detail, "file", d.File)
+			if opts.OnFlightDump != nil {
+				opts.OnFlightDump(d.Reason)
+			}
+		},
+	})
+	s.eng = pip.NewEngine(pip.BatchOptions{
+		Workers:        opts.Workers,
+		Cache:          true,
+		CacheEntries:   opts.CacheEntries,
+		SolveWorkers:   opts.SolveWorkers,
+		Retries:        opts.Retries,
+		WatchdogFactor: opts.WatchdogFactor,
+		MemSoftLimit:   opts.MemSoftLimit,
+		TightBudget:    opts.TightBudget,
+		OnAnomaly: func(reason, detail string) {
+			s.flight.Trigger(reason, detail)
+		},
+	})
+	s.breaker.notify = func(from, to breakerState) {
+		switch to {
+		case breakerOpen:
+			s.flight.Trigger(flightTriggerBreaker, "server breaker "+from.String()+"->open")
+		case breakerHalfOpen:
+			s.flight.Trigger(flightTriggerBreakerHalf, "server breaker open->half-open")
+		}
 	}
 	if opts.LogWriter != nil {
 		s.log = slog.New(slog.NewJSONHandler(opts.LogWriter, nil))
@@ -255,13 +310,15 @@ func New(opts Options) *Server {
 		s.faultMu.Unlock()
 	})
 	analysis := func(h http.HandlerFunc) http.HandlerFunc {
-		return s.requestID(s.logged(s.breakered(s.recovered(s.admitted(h)))))
+		return s.requestID(withTraceID(s.traced(s.logged(s.breakered(s.recovered(s.admitted(h)))))))
 	}
 	s.mux.HandleFunc("POST /v1/solve", analysis(s.handleSolve))
 	s.mux.HandleFunc("POST /v1/alias", analysis(s.handleAlias))
 	s.mux.HandleFunc("POST /v1/resolve", analysis(s.handleResolve))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/flightrec", s.handleFlightrec)
 	if opts.EnablePprof {
 		// net/http/pprof registers on DefaultServeMux at import; route the
 		// same handlers explicitly so they exist only when enabled.
@@ -403,13 +460,23 @@ func (w *outcomeWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// markDegraded records a degradation on the request's outcome writer.
-// Handlers call it through their http.ResponseWriter; outside the
-// breaker middleware (where the writer is not an outcomeWriter) it is a
-// no-op.
+// markDegraded records a degradation on every outcome writer wrapping the
+// request. Two middlewares each hold one: the breaker (feeding its
+// bad-outcome window) and the tracing middleware (feeding the flight
+// recorder and the degraded trigger), with the logging statusWriter in
+// between — so this walks the whole wrapper chain. Outside the middleware
+// stack it is a no-op.
 func markDegraded(w http.ResponseWriter) {
-	if ow, ok := w.(*outcomeWriter); ok {
-		ow.degraded = true
+	for w != nil {
+		switch t := w.(type) {
+		case *outcomeWriter:
+			t.degraded = true
+			w = t.ResponseWriter
+		case *statusWriter:
+			w = t.ResponseWriter
+		default:
+			return
+		}
 	}
 }
 
@@ -505,16 +572,24 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			<-s.queueSlots
 			s.inFlight.Done()
 		}()
-		// Wait for a run slot; give up if the client goes away first.
+		// Wait for a run slot; give up if the client goes away first. The
+		// wait is also a span on the request's trace lane, so a cluster
+		// trace shows queue pressure per backend, not just in aggregate.
+		var qspan obs.Span
+		if rt := reqTraceFrom(r.Context()); rt != nil {
+			qspan = rt.lane.Begin("queue-wait")
+		}
 		waitStart := time.Now()
 		select {
 		case s.runSlots <- struct{}{}:
 		case <-r.Context().Done():
 			s.queued.Add(-1)
+			qspan.End(obs.S("outcome", "client-gone"))
 			s.writeError(w, http.StatusServiceUnavailable, "client gave up while queued")
 			return
 		}
 		s.queueWait.Observe(time.Since(waitStart).Seconds())
+		qspan.End()
 		s.queued.Add(-1)
 		s.running.Add(1)
 		defer func() {

@@ -206,6 +206,12 @@ type BatchOptions struct {
 	// TightBudget is the budget applied under memory pressure (componentwise
 	// minimum with the job's own budget, so it only ever tightens).
 	TightBudget Budget
+	// OnAnomaly, when non-nil, is called at the engine's anomaly sites
+	// (watchdog-forced Ω, memory-guard tightening, cache verify-on-read
+	// failure, store verified-miss) with a stable reason string and a
+	// detail. The server wires it to its flight recorder. Called outside
+	// engine locks; must return quickly.
+	OnAnomaly func(reason, detail string)
 }
 
 // ArmChaos arms process-global fault injection from a spec string like
@@ -281,6 +287,7 @@ func NewEngine(opts BatchOptions) *Engine {
 		WatchdogFactor: opts.WatchdogFactor,
 		MemSoftLimit:   opts.MemSoftLimit,
 		TightBudget:    opts.TightBudget,
+		OnAnomaly:      opts.OnAnomaly,
 	})}
 }
 
