@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race fmt-check bench-smoke bench-snapshot store-snapshot serve-smoke router-smoke chaos router-chaos differential incremental-differential fuzz staticcheck bench clean
+.PHONY: build test test-race fmt-check bench-smoke bench-snapshot store-snapshot serve-smoke router-smoke chaos router-chaos membership-chaos differential incremental-differential fuzz staticcheck bench clean
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,18 @@ chaos:
 # artifacts on failure).
 router-chaos:
 	$(GO) test -race -v -run 'TestChaosRouterKillShard|TestChaosStoreFaults' ./internal/chaos/
+
+# The PR-10 membership-churn scenario under its own pinned seed
+# (override with PIP_CHAOS_SEED4): a cluster under concurrent load has a
+# backend drained via the admin surface, a fresh one joined, the drained
+# one removed, and a live one killed for the health prober to discover —
+# with forward faults injected and hedged forwards racing the slow tail.
+# Asserts zero dropped requests, bit-exact non-degraded answers, a
+# monotone ring generation, a membership.change flight dump on disk, and
+# hedge volume inside its token-bucket budget. PIP_CHAOS_DUMPDIR keeps
+# the dump files for CI artifact upload on failure.
+membership-chaos:
+	$(GO) test -race -v -run TestChaosMembershipChurn ./internal/chaos/
 
 # Differential correctness gate for intra-solve parallelism: sweeps
 # generator-driven problems across a worker-count × configuration ×

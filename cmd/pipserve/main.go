@@ -7,6 +7,7 @@
 //	pipserve [-addr HOST:PORT] [-config CFG] [-budget B] [-cache-entries N]
 //	         [-concurrent N] [-queue N] [-workers N] [-store DIR]
 //	pipserve -router -backends URL,URL,...   (shard router mode)
+//	pipserve -router -backends-file FILE     (router with SIGHUP-reloaded membership)
 //	pipserve -smoke        (ephemeral port, one end-to-end request, exit)
 //
 // Endpoints:
@@ -22,6 +23,8 @@
 //	                 backend that saw the trace ID
 //	GET  /debug/flightrec    recent anomaly dumps from the flight recorder
 //	GET  /debug/pprof/*  Go profiling, only with -pprof
+//	POST /admin/backends     (router mode) {"op":"add|drain|remove","backend":URL}
+//	GET  /debug/ring         (router mode) membership generation + keyspace ownership
 //
 // -store DIR attaches a persistent solution store: solutions are flushed
 // on eviction and drain, and a restarted pipserve over the same directory
@@ -33,6 +36,13 @@
 // store stay hot for its keyspace), failed shards are rerouted around,
 // and with every shard down the router answers the sound Ω-degradation
 // locally rather than dropping requests.
+//
+// Router membership is dynamic: -backends-file names a file of backend
+// URLs (one per line, # comments) re-read on SIGHUP and reconciled
+// against the live cluster without a restart, and POST /admin/backends
+// adds, drains, or removes single backends at runtime. An active health
+// prober opens a dead backend's breaker (and closes it on recovery)
+// without waiting for user traffic to pay for the discovery.
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 and the
 // process exits once every in-flight solve has answered (or after
@@ -119,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"run as a shard router over -backends instead of a solving server")
 	backendList := fs.String("backends", "",
 		"comma-separated pipserve base URLs to shard across in -router mode, e.g. http://10.0.0.1:7411,http://10.0.0.2:7411")
+	backendsFile := fs.String("backends-file", "",
+		"file of pipserve base URLs (one per line, # comments) for -router mode; SIGHUP re-reads it and reconciles cluster membership without a restart")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +139,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *backendList != "" && !*routerMode {
 		return fmt.Errorf("-backends requires -router")
+	}
+	if *backendsFile != "" && !*routerMode {
+		return fmt.Errorf("-backends-file requires -router")
+	}
+	if *backendList != "" && *backendsFile != "" {
+		return fmt.Errorf("-backends and -backends-file are mutually exclusive")
 	}
 	if *routerMode && *storeDir != "" {
 		return fmt.Errorf("-store is a solving-server flag; the router holds no solutions")
@@ -153,7 +171,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *routerMode {
-		return runRouter(*addr, *backendList, *flightDir, *drainTimeout, *smoke, *quiet, stdout, stderr)
+		return runRouter(*addr, *backendList, *backendsFile, *flightDir, *drainTimeout, *smoke, *quiet, stdout, stderr)
 	}
 
 	cfg, err := pip.ParseConfig(*configName)
@@ -295,12 +313,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// runRouter is the -router mode main loop: a sharding front door over a
-// static backend list. In -smoke mode with no -backends it starts one
-// in-process solving backend on an ephemeral port, so the smoke check
-// exercises real forwarding end to end.
-func runRouter(addr, backendList, flightDir string, drainTimeout time.Duration, smoke, quiet bool, stdout, stderr io.Writer) error {
+// readBackendsFile parses a -backends-file: one base URL per line (or
+// comma-separated), blank lines and # comments ignored.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
 	var backends []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, b := range strings.Split(line, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backends = append(backends, b)
+			}
+		}
+	}
+	return backends, nil
+}
+
+// runRouter is the -router mode main loop: a sharding front door over
+// the -backends list or a SIGHUP-reloaded -backends-file. In -smoke
+// mode with no backends it starts one in-process solving backend on an
+// ephemeral port, so the smoke check exercises real forwarding end to
+// end.
+func runRouter(addr, backendList, backendsFile, flightDir string, drainTimeout time.Duration, smoke, quiet bool, stdout, stderr io.Writer) error {
+	var backends []string
+	if backendsFile != "" {
+		var err error
+		if backends, err = readBackendsFile(backendsFile); err != nil {
+			return fmt.Errorf("backends-file: %w", err)
+		}
+		if len(backends) == 0 {
+			return fmt.Errorf("backends-file %s: no backend URLs", backendsFile)
+		}
+	}
 	for _, b := range strings.Split(backendList, ",") {
 		if b = strings.TrimSpace(b); b != "" {
 			backends = append(backends, b)
@@ -309,7 +358,7 @@ func runRouter(addr, backendList, flightDir string, drainTimeout time.Duration, 
 	var drainBackend func() error
 	if len(backends) == 0 {
 		if !smoke {
-			return fmt.Errorf("-router requires -backends")
+			return fmt.Errorf("-router requires -backends or -backends-file")
 		}
 		// Smoke backend: a real solving server inside this process.
 		bs := serve.New(serve.Options{})
@@ -335,6 +384,32 @@ func runRouter(addr, backendList, flightDir string, drainTimeout time.Duration, 
 		ropts.LogWriter = stderr
 	}
 	rt := serve.NewRouter(ropts)
+	defer rt.Close()
+
+	// SIGHUP re-reads the backends file and reconciles membership in
+	// place: joined URLs start owning keys, departed ones are removed
+	// (their keyspace reroutes), survivors keep breaker state and pins.
+	if backendsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				urls, err := readBackendsFile(backendsFile)
+				if err != nil {
+					fmt.Fprintln(stderr, "pipserve: backends-file reload:", err)
+					continue
+				}
+				added, removed, err := rt.SetBackends(urls)
+				if err != nil {
+					fmt.Fprintln(stderr, "pipserve: backends-file reload:", err)
+					continue
+				}
+				fmt.Fprintf(stdout, "backends-file reloaded: +%d -%d (%d configured)\n",
+					len(added), len(removed), len(urls))
+			}
+		}()
+	}
 
 	listenAddr := addr
 	if smoke {

@@ -64,6 +64,15 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-router"}, &out, &errOut); err == nil {
 		t.Fatal("-router without -backends accepted outside -smoke")
 	}
+	if err := run([]string{"-backends-file", "x"}, &out, &errOut); err == nil {
+		t.Fatal("-backends-file without -router accepted")
+	}
+	if err := run([]string{"-router", "-backends", "http://x", "-backends-file", "y"}, &out, &errOut); err == nil {
+		t.Fatal("-backends and -backends-file together accepted")
+	}
+	if err := run([]string{"-router", "-backends-file", "/nonexistent/backends"}, &out, &errOut); err == nil {
+		t.Fatal("unreadable -backends-file accepted")
+	}
 }
 
 // TestRouterSmokeMode: -router -smoke spins up an in-process backend and
@@ -211,5 +220,75 @@ func TestSIGTERMDrain(t *testing.T) {
 	// The listener is really gone.
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still answering after shutdown")
+	}
+}
+
+// TestRouterBackendsFileSIGHUPReload: a router started from a backends
+// file picks up membership edits on SIGHUP — the dynamic-membership
+// contract at CLI level, without a restart.
+func TestRouterBackendsFileSIGHUPReload(t *testing.T) {
+	dir := t.TempDir()
+	file := dir + "/backends"
+	if err := os.WriteFile(file, []byte("# initial cluster\nhttp://127.0.0.1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out syncBuffer
+	base, done := startServer(t, &out, "-router", "-backends-file", file)
+
+	ring := func() (backends int, generation uint64) {
+		t.Helper()
+		resp, err := http.Get(base + "/debug/ring")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var r struct {
+			Generation uint64 `json:"generation"`
+			Backends   []struct {
+				URL string `json:"url"`
+			} `json:"backends"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		return len(r.Backends), r.Generation
+	}
+	if n, g := ring(); n != 1 || g != 1 {
+		t.Fatalf("initial ring: %d backends at generation %d, want 1 at 1", n, g)
+	}
+
+	// Edit the file (join one, keep one) and signal the reload.
+	if err := os.WriteFile(file,
+		[]byte("http://127.0.0.1:1\nhttp://127.0.0.1:2 # joiner\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n, g := ring(); n == 2 && g >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			n, g := ring()
+			t.Fatalf("SIGHUP reload never applied: %d backends at generation %d\n%s", n, g, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "backends-file reloaded: +1 -0") {
+		t.Fatalf("reload banner missing:\n%s", out.String())
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not exit after SIGTERM")
 	}
 }

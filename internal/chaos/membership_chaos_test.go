@@ -1,0 +1,350 @@
+// Membership-churn chaos: the PR 10 acceptance scenario. A cluster
+// under concurrent load has its membership churned through every
+// dynamic path — a backend drained via the admin surface, a fresh one
+// joined, the drained one removed, and a live one killed outright for
+// the prober to discover — with forward faults injected throughout and
+// hedging racing the slow tail. The invariants are the router's
+// promises end to end: no request is ever dropped, every non-degraded
+// answer is bit-exact, the ring generation only moves forward, the
+// flight recorder catches the membership changes, and the hedge volume
+// stays inside its token-bucket budget.
+package chaos_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pip-analysis/pip"
+	"github.com/pip-analysis/pip/internal/faults"
+	"github.com/pip-analysis/pip/internal/obs"
+	"github.com/pip-analysis/pip/internal/serve"
+)
+
+// chaosSeedMembership pins the membership-churn trajectory separately
+// from the other suites. Override with PIP_CHAOS_SEED4 to explore.
+func chaosSeedMembership() int64 {
+	if v := os.Getenv("PIP_CHAOS_SEED4"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 909
+}
+
+func TestChaosMembershipChurn(t *testing.T) {
+	const hedgeBurst, hedgeRatio = 8.0, 0.05
+	srcs := make([]string, 6)
+	for i := range srcs {
+		srcs[i] = fmt.Sprintf(`
+static int m%d;
+int *q%d = &m%d;
+extern void keep(int**);
+void g%d() { keep(&q%d); }
+`, i, i, i, i, i)
+	}
+	exact := make([]string, len(srcs))
+	for i, src := range srcs {
+		m, err := pip.CompileC("churn.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pip.Analyze(m, pip.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact[i] = res.Dump()
+	}
+
+	reg, err := faults.ParseSpec(fmt.Sprintf("seed=%d;router.forward=error:0.03", chaosSeedMembership()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Arm(reg)
+	t.Cleanup(faults.Disarm)
+
+	// Three initial shards plus a spare that joins mid-churn.
+	servers := make([]*serve.Server, 4)
+	backends := make([]*httptest.Server, 4)
+	urls := make([]string, 4)
+	for i := range servers {
+		servers[i] = serve.New(serve.Options{MaxConcurrent: 4, MaxQueue: 64})
+		backends[i] = httptest.NewServer(servers[i].Handler())
+		urls[i] = backends[i].URL
+		defer backends[i].Close()
+	}
+	dumpDir := os.Getenv("PIP_CHAOS_DUMPDIR")
+	if dumpDir == "" {
+		dumpDir = t.TempDir()
+	}
+	rt := serve.NewRouter(serve.RouterOptions{
+		Backends: urls[:3],
+		Breaker:  serve.BreakerOptions{Window: 8, MinSamples: 4, Threshold: 0.5, Cooldown: 50 * time.Millisecond, Probes: 2},
+		Probe: serve.ProbeOptions{
+			Interval: 20 * time.Millisecond, Timeout: 250 * time.Millisecond,
+			FailThreshold: 2, SuccessThreshold: 1,
+		},
+		Hedge: serve.HedgeOptions{
+			DelayMin: 5 * time.Millisecond, DelayMax: 25 * time.Millisecond,
+			Burst: hedgeBurst, Ratio: hedgeRatio,
+		},
+		FlightDir: dumpDir,
+	})
+	defer rt.Close()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	ringGen := func() uint64 {
+		resp, err := http.Get(ts.URL + "/debug/ring")
+		if err != nil {
+			return 0 // the router itself is never down in this test; transient only
+		}
+		defer resp.Body.Close()
+		var ring struct {
+			Generation uint64 `json:"generation"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&ring) != nil {
+			return 0
+		}
+		return ring.Generation
+	}
+	admin := func(op, backend string) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"op": op, "backend": backend})
+		resp, err := http.Post(ts.URL+"/admin/backends", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("admin %s %s: %v", op, backend, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admin %s %s: status %d", op, backend, resp.StatusCode)
+		}
+	}
+
+	// Generation watcher: the ring generation, observed concurrently with
+	// the churn, must never move backwards — in-flight snapshots are
+	// immutable and publishes are ordered.
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	var genErr error
+	var genMu sync.Mutex
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			g := ringGen()
+			if g == 0 {
+				continue
+			}
+			genMu.Lock()
+			if g < last {
+				genErr = fmt.Errorf("ring generation went backwards: %d after %d", g, last)
+			}
+			last = g
+			genMu.Unlock()
+		}
+	}()
+
+	type reply struct {
+		code     int
+		degraded bool
+		dump     string
+		src      int
+	}
+	const rounds = 10
+	replies := make([]reply, 0, rounds*len(srcs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for si, src := range srcs {
+			wg.Add(1)
+			go func(r, si int, src string) {
+				defer wg.Done()
+				body, _ := json.Marshal(map[string]string{"c": src})
+				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					t.Errorf("round %d src %d: transport error (dropped request): %v", r, si, err)
+					return
+				}
+				defer resp.Body.Close()
+				var out struct {
+					Degraded bool   `json:"degraded"`
+					Dump     string `json:"dump"`
+				}
+				if resp.StatusCode == http.StatusOK {
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						t.Errorf("round %d src %d: bad 200 body: %v", r, si, err)
+						return
+					}
+				}
+				mu.Lock()
+				replies = append(replies, reply{resp.StatusCode, out.Degraded, out.Dump, si})
+				mu.Unlock()
+			}(r, si, src)
+		}
+		// Churn the membership mid-load: drain, join, remove, kill.
+		switch r {
+		case 3:
+			admin("drain", urls[1])
+		case 5:
+			admin("add", urls[3])
+		case 7:
+			admin("remove", urls[1])
+		case 8:
+			// Kill a live shard outright — no admin notice; the prober and
+			// the breakers must discover it.
+			backends[2].CloseClientConnections()
+			backends[2].Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	close(watchStop)
+	watchWG.Wait()
+	genMu.Lock()
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	genMu.Unlock()
+
+	var exactN, degraded, refused, failed int
+	for _, rp := range replies {
+		switch rp.code {
+		case http.StatusOK:
+			if rp.degraded {
+				degraded++
+				continue
+			}
+			exactN++
+			if rp.dump != exact[rp.src] {
+				t.Fatalf("unsound non-degraded response for src %d under churn", rp.src)
+			}
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			refused++
+		case http.StatusInternalServerError:
+			failed++
+		default:
+			t.Fatalf("unexpected status %d for src %d", rp.code, rp.src)
+		}
+	}
+	if len(replies) != rounds*len(srcs) {
+		t.Fatalf("dropped requests: sent %d, answered %d", rounds*len(srcs), len(replies))
+	}
+	t.Logf("membership chaos: %d exact, %d degraded, %d refused, %d failed across drain/join/remove/kill",
+		exactN, degraded, refused, failed)
+	if exactN == 0 {
+		t.Fatal("chaos drowned every request; the suite proved nothing")
+	}
+	if faults.Active().Hits(faults.RouterForward) == 0 {
+		t.Fatal("injection point router.forward never reached")
+	}
+
+	// Three membership changes happened (drain, add, remove): the final
+	// generation reflects all of them on top of the initial ring.
+	if g := ringGen(); g < 4 {
+		t.Fatalf("final ring generation %d, want >= 4 after three membership changes", g)
+	}
+
+	// The surviving cluster (shard 0 + the joiner) still answers every
+	// module; non-degraded answers stay bit-exact.
+	postExact := 0
+	for si, src := range srcs {
+		body, _ := json.Marshal(map[string]string{"c": src})
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("post-churn src %d: %v", si, err)
+		}
+		var out struct {
+			Degraded bool   `json:"degraded"`
+			Dump     string `json:"dump"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-churn src %d: status %d", si, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !out.Degraded {
+			if out.Dump != exact[si] {
+				t.Fatalf("post-churn src %d: unsound answer", si)
+			}
+			postExact++
+		}
+	}
+	if postExact == 0 {
+		t.Fatal("no exact answers from the post-churn cluster")
+	}
+
+	// The flight recorder caught the churn: at least one membership.change
+	// dump, written to disk.
+	var flight struct {
+		Dumps []obs.Dump `json:"dumps"`
+	}
+	resp, err := http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundMembership := false
+	for _, d := range flight.Dumps {
+		if d.Reason == "membership.change" {
+			foundMembership = true
+			if d.File == "" {
+				t.Fatal("membership.change dump has no on-disk file despite FlightDir")
+			}
+			if _, err := os.Stat(d.File); err != nil {
+				t.Fatalf("membership.change dump file missing: %v", err)
+			}
+		}
+	}
+	if !foundMembership {
+		t.Fatalf("no membership.change flight dump after drain/add/remove (dumps: %+v)", flight.Dumps)
+	}
+
+	// Hedge volume respects the token bucket: hedges <= Burst + Ratio ×
+	// successful forwards (the refill source), read from /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var hedges, successes float64
+	sc := bufio.NewScanner(mresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pip_router_hedges_total ") {
+			hedges, _ = strconv.ParseFloat(strings.Fields(line)[1], 64)
+		}
+		if strings.HasPrefix(line, "pip_router_backend_forwarded_total{") {
+			v, _ := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			successes += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cap := hedgeBurst + hedgeRatio*successes; hedges > cap+1e-9 {
+		t.Fatalf("hedges_total = %v exceeds the retry budget %v (burst %v + ratio %v × %v successes)",
+			hedges, cap, hedgeBurst, hedgeRatio, successes)
+	}
+	t.Logf("membership chaos: %v hedges within budget (%v successes), final generation %d", hedges, successes, ringGen())
+}

@@ -216,6 +216,54 @@ func (b *breaker) record(bad bool) {
 	}
 }
 
+// forceOpen trips the breaker regardless of the window's contents — the
+// health prober's consecutive-failure verdict is outside evidence that
+// the backend is down, and waiting for user traffic to fail would admit
+// requests into a known-dead shard. No-op when already open or disabled.
+func (b *breaker) forceOpen() {
+	if b.opts.Disabled {
+		return
+	}
+	b.mu.Lock()
+	var trans func()
+	defer func() {
+		b.mu.Unlock()
+		if trans != nil {
+			trans()
+		}
+	}()
+	if b.state == breakerOpen {
+		return
+	}
+	from := b.state
+	b.trip()
+	trans = b.transition(from, breakerOpen)
+}
+
+// forceClose resets the breaker to closed with a clean window — the
+// prober saw the backend answer /healthz enough consecutive times that
+// recovery need not wait for a user request to probe through half-open.
+// No-op when already closed or disabled.
+func (b *breaker) forceClose() {
+	if b.opts.Disabled {
+		return
+	}
+	b.mu.Lock()
+	var trans func()
+	defer func() {
+		b.mu.Unlock()
+		if trans != nil {
+			trans()
+		}
+	}()
+	if b.state == breakerClosed {
+		return
+	}
+	from := b.state
+	b.reset()
+	trans = b.transition(from, breakerClosed)
+}
+
 // trip opens the breaker. Called under mu.
 func (b *breaker) trip() {
 	b.state = breakerOpen

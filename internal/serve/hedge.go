@@ -1,0 +1,161 @@
+package serve
+
+// Hedged forwards bound the router's tail latency during membership
+// churn: when the owning shard is slow (draining, overloaded, or dying
+// but not yet tripped), waiting for it to time out before failing over
+// costs the client the full forward timeout. Instead, after an adaptive
+// delay derived from the observed forward latency, the router races the
+// next candidate and takes whichever answers first.
+//
+// Unbounded hedging is a retry storm with better marketing, so hedges
+// are governed by a token bucket: each hedge spends one token, and the
+// bucket refills by a small fraction per successful forward. Under a
+// churn storm the hedge rate is therefore capped at roughly
+// Ratio × the success rate plus the Burst reserve — the cluster can
+// never see its load doubled by its own router.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HedgeOptions configures hedged forwards on the router's route path.
+type HedgeOptions struct {
+	// Disabled turns hedging off; failover then happens only after the
+	// in-flight attempt fails.
+	Disabled bool
+	// DelayMin/DelayMax clamp the adaptive hedge delay (2× the EWMA of
+	// observed successful forward latency). <= 0 means the defaults.
+	DelayMin time.Duration
+	DelayMax time.Duration
+	// Burst is the token-bucket capacity — the hedge reserve available
+	// instantly. <= 0 means DefaultHedgeBurst.
+	Burst float64
+	// Ratio is the fraction of a token refilled per successful forward;
+	// it caps the steady-state hedge rate. <= 0 means DefaultHedgeRatio.
+	Ratio float64
+}
+
+// Defaults for the zero HedgeOptions value.
+const (
+	DefaultHedgeDelayMin = 10 * time.Millisecond
+	DefaultHedgeDelayMax = 2 * time.Second
+	// DefaultHedgeDelay is used before any latency has been observed.
+	DefaultHedgeDelay = 50 * time.Millisecond
+	DefaultHedgeBurst = 8.0
+	DefaultHedgeRatio = 0.1
+)
+
+func (o HedgeOptions) withDefaults() HedgeOptions {
+	if o.DelayMin <= 0 {
+		o.DelayMin = DefaultHedgeDelayMin
+	}
+	if o.DelayMax <= 0 {
+		o.DelayMax = DefaultHedgeDelayMax
+	}
+	if o.DelayMax < o.DelayMin {
+		o.DelayMax = o.DelayMin
+	}
+	if o.Burst <= 0 {
+		o.Burst = DefaultHedgeBurst
+	}
+	if o.Ratio <= 0 {
+		o.Ratio = DefaultHedgeRatio
+	}
+	return o
+}
+
+// hedgePolicy is the router-wide hedge state: the latency estimate the
+// adaptive delay derives from, and the token bucket that bounds hedge
+// volume. Both are hot-path cheap: the EWMA is one atomic, the bucket
+// one short mutex.
+type hedgePolicy struct {
+	opts HedgeOptions
+
+	// ewmaMicros is the exponentially weighted moving average (α = 1/5)
+	// of successful forward latency, in microseconds. 0 = no observation.
+	ewmaMicros atomic.Int64
+
+	mu     sync.Mutex
+	tokens float64
+}
+
+func newHedgePolicy(opts HedgeOptions) *hedgePolicy {
+	opts = opts.withDefaults()
+	return &hedgePolicy{opts: opts, tokens: opts.Burst}
+}
+
+// observe feeds one successful forward's latency into the EWMA and
+// refills the token bucket by Ratio.
+func (h *hedgePolicy) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	for {
+		old := h.ewmaMicros.Load()
+		next := us
+		if old != 0 {
+			next = old - old/5 + us/5
+			if next < 1 {
+				next = 1
+			}
+		}
+		if h.ewmaMicros.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.mu.Lock()
+	h.tokens += h.opts.Ratio
+	if h.tokens > h.opts.Burst {
+		h.tokens = h.opts.Burst
+	}
+	h.mu.Unlock()
+}
+
+// delay returns the adaptive hedge delay: 2× the observed latency EWMA
+// (a request slower than twice typical is worth racing), clamped to
+// [DelayMin, DelayMax]; DefaultHedgeDelay before any observation.
+func (h *hedgePolicy) delay() time.Duration {
+	d := DefaultHedgeDelay
+	if us := h.ewmaMicros.Load(); us > 0 {
+		d = 2 * time.Duration(us) * time.Microsecond
+	}
+	if d < h.opts.DelayMin {
+		d = h.opts.DelayMin
+	}
+	if d > h.opts.DelayMax {
+		d = h.opts.DelayMax
+	}
+	return d
+}
+
+// take spends one hedge token; false means the budget is exhausted and
+// the request must wait for its in-flight attempt like a non-hedged one.
+func (h *hedgePolicy) take() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tokens >= 1 {
+		h.tokens--
+		return true
+	}
+	return false
+}
+
+// refund returns a token taken for a hedge that could not launch (every
+// remaining candidate's breaker was open).
+func (h *hedgePolicy) refund() {
+	h.mu.Lock()
+	if h.tokens < h.opts.Burst {
+		h.tokens++
+	}
+	h.mu.Unlock()
+}
+
+// level reports the current token count for the /metrics gauge.
+func (h *hedgePolicy) level() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tokens
+}

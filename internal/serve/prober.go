@@ -1,0 +1,128 @@
+package serve
+
+// The active health prober closes the gap between a backend dying and
+// the router noticing: without it, a dead shard is only discovered when
+// a user request fails into it (and recovery waits for a user request
+// to probe through half-open). The prober polls every resident
+// backend's /healthz on a jittered interval and feeds the verdicts into
+// the existing per-backend circuit breakers — consecutive failures
+// force the breaker open before any user pays for the discovery,
+// consecutive successes close it without waiting for canary traffic.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// ProbeOptions configures the router's active health prober.
+type ProbeOptions struct {
+	// Disabled turns the prober off; breakers then move only on user
+	// traffic, as before.
+	Disabled bool
+	// Interval is the nominal probe cycle; each cycle waits a jittered
+	// [Interval/2, 3·Interval/2) so a fleet of routers does not probe in
+	// lockstep. <= 0 means DefaultProbeInterval.
+	Interval time.Duration
+	// Timeout bounds one probe request; <= 0 means DefaultProbeTimeout.
+	Timeout time.Duration
+	// FailThreshold is how many consecutive probe failures force the
+	// backend's breaker open; <= 0 means DefaultProbeFailThreshold.
+	FailThreshold int
+	// SuccessThreshold is how many consecutive probe successes close an
+	// open breaker; <= 0 means DefaultProbeSuccessThreshold.
+	SuccessThreshold int
+}
+
+// Defaults for the zero ProbeOptions value.
+const (
+	DefaultProbeInterval         = 2 * time.Second
+	DefaultProbeTimeout          = 2 * time.Second
+	DefaultProbeFailThreshold    = 3
+	DefaultProbeSuccessThreshold = 2
+)
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultProbeInterval
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultProbeTimeout
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = DefaultProbeFailThreshold
+	}
+	if o.SuccessThreshold <= 0 {
+		o.SuccessThreshold = DefaultProbeSuccessThreshold
+	}
+	return o
+}
+
+// proberLoop runs on its own goroutine until Close. Each cycle loads
+// the current ring snapshot, so backends added at runtime are probed
+// from the next cycle and removed ones stop being probed.
+func (rt *Router) proberLoop() {
+	for {
+		wait := rt.probeOpts.Interval/2 + time.Duration(rand.Int63n(int64(rt.probeOpts.Interval)))
+		select {
+		case <-rt.probeStop:
+			return
+		case <-time.After(wait):
+		}
+		snap := rt.snap.Load()
+		for _, b := range snap.backends {
+			select {
+			case <-rt.probeStop:
+				return
+			default:
+			}
+			rt.probeOne(b)
+		}
+	}
+}
+
+// probeOne polls one backend's /healthz and updates its consecutive
+// fail/success streaks. The streak counters are plain ints touched only
+// by the prober goroutine; the breaker transitions they drive are the
+// same mutexed state machine user traffic uses.
+func (rt *Router) probeOne(b *routerBackend) {
+	rt.probesTotal.Add(1)
+	b.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeOpts.Timeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err == nil {
+		resp, derr := rt.client.Do(req)
+		if derr == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ok {
+		b.consecFail = 0
+		b.consecOK++
+		if b.consecOK >= rt.probeOpts.SuccessThreshold {
+			if st, _ := b.breaker.snapshot(); st != breakerClosed {
+				b.breaker.forceClose()
+				rt.log.Info("probe recovery closed breaker", "backend", b.url)
+			}
+		}
+		return
+	}
+	b.probeFails.Add(1)
+	rt.probeFailsTotal.Add(1)
+	b.consecOK = 0
+	b.consecFail++
+	if b.consecFail >= rt.probeOpts.FailThreshold {
+		if st, _ := b.breaker.snapshot(); st != breakerOpen {
+			b.breaker.forceOpen()
+			rt.flight.Trigger(flightTriggerProbeFail,
+				fmt.Sprintf("backend %s: %d consecutive health-probe failures", b.url, b.consecFail))
+		}
+	}
+}

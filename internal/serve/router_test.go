@@ -26,36 +26,42 @@ func newCluster(t *testing.T, n int, ropts RouterOptions) (*Router, *httptest.Se
 		t.Cleanup(backends[i].Close)
 	}
 	rt := NewRouter(ropts)
+	t.Cleanup(rt.Close)
 	ts := httptest.NewServer(rt.Handler())
 	t.Cleanup(ts.Close)
 	return rt, ts, servers, backends
 }
 
 func TestRouterCandidatesDeterministicAndCovering(t *testing.T) {
-	rt := NewRouter(RouterOptions{Backends: []string{"http://a", "http://b", "http://c"}})
-	owners := make(map[int]int)
+	rt := NewRouter(RouterOptions{
+		Backends: []string{"http://a", "http://b", "http://c"},
+		Probe:    ProbeOptions{Disabled: true},
+	})
+	defer rt.Close()
+	snap := rt.snap.Load()
+	owners := make(map[string]int)
 	for i := 0; i < 1000; i++ {
 		probe := &routeProbe{C: fmt.Sprintf("int x%d;", i)}
 		key := routeKey(probe, "")
-		c1 := rt.candidates(key)
-		c2 := rt.candidates(key)
+		c1 := snap.candidates(key, nil)
+		c2 := snap.candidates(key, nil)
 		if len(c1) != 3 || fmt.Sprint(c1) != fmt.Sprint(c2) {
 			t.Fatalf("candidates not deterministic or incomplete: %v vs %v", c1, c2)
 		}
-		seen := map[int]bool{}
-		for _, idx := range c1 {
-			if seen[idx] {
+		seen := map[*routerBackend]bool{}
+		for _, b := range c1 {
+			if seen[b] {
 				t.Fatalf("duplicate backend in candidate order: %v", c1)
 			}
-			seen[idx] = true
+			seen[b] = true
 		}
-		owners[c1[0]]++
+		owners[c1[0].url]++
 	}
 	// Consistent hashing with 64 vnodes each: every backend owns a real
 	// share of the keyspace (no precise split required, just coverage).
-	for idx, n := range owners {
+	for u, n := range owners {
 		if n < 50 {
-			t.Fatalf("backend %d owns only %d/1000 keys — ring badly skewed: %v", idx, n, owners)
+			t.Fatalf("backend %s owns only %d/1000 keys — ring badly skewed: %v", u, n, owners)
 		}
 	}
 	if len(owners) != 3 {
@@ -279,6 +285,11 @@ func TestRouterHealthzAndMetrics(t *testing.T) {
 	if h.Open == 0 {
 		t.Fatalf("no open breakers reported after killing every shard: %+v", h)
 	}
+	// Open breakers must surface as "degraded" (regression: the router
+	// used to answer "ok" with every breaker open).
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status = %q with %d open breakers, want \"degraded\"", h.Status, h.Open)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -294,6 +305,16 @@ func TestRouterHealthzAndMetrics(t *testing.T) {
 		"pip_router_backend_failures_total",
 		"pip_router_backend_state",
 		"pip_router_handle_pins",
+		"pip_router_ring_generation",
+		"pip_router_backends",
+		"pip_router_backends_draining",
+		"pip_router_membership_changes_total",
+		"pip_router_probes_total",
+		"pip_router_probe_failures_total",
+		"pip_router_hedges_total",
+		"pip_router_hedge_wins_total",
+		"pip_router_hedge_denied_total",
+		"pip_router_hedge_budget_tokens",
 		"pip_trace_dropped_total",
 		"pip_flightrec_dumps_total",
 	} {

@@ -34,6 +34,8 @@ const (
 	flightTriggerDegraded    = "solve.degraded"
 	flightTriggerBreaker     = "breaker.open"
 	flightTriggerBreakerHalf = "breaker.half-open"
+	flightTriggerMembership  = "membership.change"
+	flightTriggerProbeFail   = "probe.fail"
 )
 
 // sanitizeHeaderID validates a caller-supplied identifier header the way
